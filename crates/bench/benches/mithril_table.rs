@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks for the Mithril engine itself: per-ACT table
+//! update, the per-RFM greedy selection (the work that must fit in a tRFM
+//! window), and the configuration solver.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mithril::{bounds, MithrilConfig, MithrilScheme, MithrilTable};
+use mithril_dram::{Ddr5Timing, DramMitigation};
+use std::hint::black_box;
+
+fn act_stream(len: usize, rows: u64) -> Vec<u64> {
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % rows
+        })
+        .collect()
+}
+
+fn bench_table_ops(c: &mut Criterion) {
+    let ops = act_stream(10_000, 4_096);
+    let mut g = c.benchmark_group("mithril_table");
+    for &n in &[64usize, 256, 1024] {
+        g.bench_function(format!("act_10k_n{n}"), |b| {
+            b.iter_batched(
+                || MithrilTable::<u16>::new(n),
+                |mut t| {
+                    for &r in &ops {
+                        t.on_activate(black_box(r));
+                    }
+                    t
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(format!("rfm_selection_n{n}"), |b| {
+            let mut t = MithrilTable::<u16>::new(n);
+            for &r in &ops {
+                t.on_activate(r);
+            }
+            b.iter(|| {
+                // Selection + the find-new-max scan that must complete
+                // within tRFM.
+                t.on_activate(black_box(7));
+                black_box(t.on_rfm())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_engine_interval(c: &mut Criterion) {
+    // A full RFM interval: RFMTH ACTs + one RFM, as the DRAM bank sees it.
+    let timing = Ddr5Timing::ddr5_4800();
+    let cfg = MithrilConfig::for_flip_threshold(6_250, 128, &timing).unwrap();
+    let ops = act_stream(128, 65_536);
+    c.bench_function("mithril_engine_rfm_interval_128", |b| {
+        b.iter_batched(
+            || MithrilScheme::new(cfg),
+            |mut m| {
+                for &r in &ops {
+                    m.on_activate(r);
+                }
+                black_box(m.on_rfm());
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let timing = Ddr5Timing::ddr5_4800();
+    c.bench_function("config_solver_6_25k_128", |b| {
+        b.iter(|| MithrilConfig::for_flip_threshold(black_box(6_250), 128, &timing).unwrap())
+    });
+    c.bench_function("theorem1_bound_n1024", |b| {
+        b.iter(|| bounds::theorem1_bound(black_box(1024), 64, &timing))
+    });
+}
+
+criterion_group!(benches, bench_table_ops, bench_engine_interval, bench_solver);
+criterion_main!(benches);

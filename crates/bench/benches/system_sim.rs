@@ -1,0 +1,41 @@
+//! Criterion benchmark for end-to-end simulator throughput: how fast the
+//! full 16-core system simulates one slice of mix-high, with and without
+//! Mithril. Useful for spotting performance regressions in the command
+//! loop before the long figure runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mithril_sim::{Scheme, System, SystemConfig};
+use mithril_workloads::mix_high;
+use std::hint::black_box;
+
+fn run(scheme: Scheme, insts: u64) -> f64 {
+    let mut cfg = SystemConfig::table_iii();
+    cfg.cores = 8;
+    cfg.flip_th = 6_250;
+    cfg.scheme = scheme;
+    let mut sys = System::new(cfg, mix_high(8, 5)).expect("valid config");
+    sys.run(insts, u64::MAX).aggregate_ipc
+}
+
+fn bench_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system_8core_10k_insts");
+    g.sample_size(10);
+    g.bench_function("baseline", |b| {
+        b.iter(|| black_box(run(Scheme::None, 10_000)))
+    });
+    g.bench_function("mithril_128", |b| {
+        b.iter(|| {
+            black_box(run(
+                Scheme::Mithril { rfm_th: 128, ad_th: Some(200), plus: false },
+                10_000,
+            ))
+        })
+    });
+    g.bench_function("blockhammer", |b| {
+        b.iter(|| black_box(run(Scheme::BlockHammer { nbl_scale: 6 }, 10_000)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_system);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Criterion micro-benchmarks for the streaming trackers: the per-ACT cost
+//! a hardware tracker's software model pays, across the algorithm families
+//! of paper Table I.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mithril_trackers::{
+    CounterTree, CountingBloomFilter, CountMinSketch, FrequencyTracker, LossyCounting,
+    SpaceSaving,
+};
+use std::hint::black_box;
+
+/// A deterministic pseudo-random row stream with a hot head.
+fn stream(len: usize) -> Vec<u64> {
+    let mut x = 0x1234_5678_9abc_def0u64;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if x % 10 < 3 {
+                x % 8 // hot rows
+            } else {
+                x % 65_536
+            }
+        })
+        .collect()
+}
+
+fn bench_record(c: &mut Criterion) {
+    let ops = stream(10_000);
+    let mut g = c.benchmark_group("record_10k_acts");
+    g.bench_function("space_saving_256", |b| {
+        b.iter_batched(
+            || SpaceSaving::new(256),
+            |mut t| {
+                for &x in &ops {
+                    t.record(black_box(x));
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("lossy_counting_w256", |b| {
+        b.iter_batched(
+            || LossyCounting::new(256),
+            |mut t| {
+                for &x in &ops {
+                    t.record(black_box(x));
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("count_min_4x1024", |b| {
+        b.iter_batched(
+            || CountMinSketch::new(4, 10, 7),
+            |mut t| {
+                for &x in &ops {
+                    t.record(black_box(x));
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("cbf_4096x4", |b| {
+        b.iter_batched(
+            || CountingBloomFilter::new(12, 4, 7),
+            |mut t| {
+                for &x in &ops {
+                    t.record(black_box(x));
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("counter_tree_255", |b| {
+        b.iter_batched(
+            || CounterTree::new(65_536, 255, 64),
+            |mut t| {
+                for &x in &ops {
+                    t.record(black_box(x));
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let ops = stream(10_000);
+    let mut t = SpaceSaving::new(256);
+    for &x in &ops {
+        t.record(x);
+    }
+    c.bench_function("space_saving_estimate", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &x in &ops[..1000] {
+                acc += t.estimate(black_box(x));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_record, bench_estimate);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Figure 6 — feasible (Nentry, RFMTH) configurations per FlipTH.
+//!
+//! For each target FlipTH, sweeps RFMTH and prints the minimal table size
+//! (KiB, from the solved `Nentry` and the M-bounded counter width) that
+//! satisfies `M < FlipTH/2` (Theorem 1). Also prints the Lossy-Counting
+//! variant at 25K/50K — the dotted lines of the paper's figure — using the
+//! classic `(1/ε)·ln(εn)` space bound with the tracking-error budget
+//! `ε·n = FlipTH/4` per window.
+//!
+//! Expected shape: monotone area-vs-RFMTH trade-off curves, shifted up as
+//! FlipTH shrinks; Lossy Counting strictly above CbS at the same FlipTH.
+//!
+//! Run: `cargo run --release -p mithril-bench --bin fig6`
+
+use mithril::{area, MithrilConfig};
+use mithril_dram::Ddr5Timing;
+
+fn lossy_counting_kib(flip_th: u64, timing: &Ddr5Timing) -> f64 {
+    let budget = timing.act_budget_per_trefw() as f64;
+    // Error budget: estimates must stay within FlipTH/4 of truth so the
+    // greedy selection keeps a Theorem-1-style margin.
+    let eps_n = flip_th as f64 / 4.0;
+    let w = budget / eps_n; // 1/epsilon in items
+    let entries = w * (budget / w).ln();
+    // Entry: row address + full-width count + delta field.
+    let addr_bits = 16.0;
+    let count_bits = (budget.log2()).ceil();
+    entries * (addr_bits + 2.0 * count_bits) / 8.0 / 1024.0
+}
+
+fn main() {
+    let timing = Ddr5Timing::ddr5_4800();
+    let flip_ths = [1_562u64, 3_125, 6_250, 12_500, 25_000, 50_000];
+    let rfm_ths = [16u64, 32, 64, 128, 256, 512, 1_024];
+
+    println!("# Figure 6: table size (KiB) for feasible (Nentry, RFMTH) pairs");
+    println!("algorithm,flip_th,rfm_th,nentry,counter_bits,table_kib");
+    for &flip in &flip_ths {
+        for &rfm in &rfm_ths {
+            match MithrilConfig::for_flip_threshold(flip, rfm, &timing) {
+                Ok(cfg) => {
+                    println!(
+                        "cbs,{flip},{rfm},{},{},{:.3}",
+                        cfg.nentry,
+                        cfg.counter_bits(&timing),
+                        cfg.table_kib()
+                    );
+                }
+                Err(_) => println!("cbs,{flip},{rfm},-,-,infeasible"),
+            }
+        }
+    }
+    for &flip in &[25_000u64, 50_000] {
+        let kib = lossy_counting_kib(flip, &timing);
+        println!("lossy-counting,{flip},any,-,-,{kib:.3}");
+    }
+    println!();
+    println!("# Cross-checks against the paper:");
+    let c = MithrilConfig::for_flip_threshold(6_250, 128, &timing).unwrap();
+    println!("#   Mithril-128 @ 6.25K: {} entries, {:.2} KiB (paper: 0.84 KB)", c.nentry, c.table_kib());
+    let c = MithrilConfig::for_flip_threshold(1_500, 32, &timing).unwrap();
+    println!("#   Mithril-32  @ 1.5K:  {} entries, {:.2} KiB (paper: 4.64 KB)", c.nentry, c.table_kib());
+    println!(
+        "#   Lossy-Counting @ 50K: {:.2} KiB vs CbS {:.2} KiB — LC needs the larger table",
+        lossy_counting_kib(50_000, &timing),
+        MithrilConfig::for_flip_threshold(50_000, 256, &timing).unwrap().table_kib()
+    );
+    let _ = area::UM2_PER_CAM_BIT;
+}

@@ -1,0 +1,74 @@
+//! Figure 7 — adaptive refresh: energy overhead and table-size cost vs AdTH.
+//!
+//! For the paper's two configurations, `(FlipTH, RFMTH) = (3.125K, 16)` and
+//! `(6.25K, 64)`, sweeps the adaptive threshold `AdTH ∈ {0, 50, 100, 150,
+//! 200}` and reports:
+//!
+//! * the **additional Nentry** (%) the Theorem-2 bound demands vs AdTH = 0;
+//! * the **relative dynamic energy overhead** (%) vs the unprotected
+//!   baseline, for multi-programmed (mix-high, mix-blend) and
+//!   multi-threaded (fft, radix, pagerank) workloads.
+//!
+//! Expected shape (paper Fig. 7): the energy overhead collapses towards
+//! zero in the AdTH ∈ [100, 200] band (one DRAM row holds 128 cache lines,
+//! so benign sweeps never build a spread past ~128), while the extra table
+//! cost stays small (≤ ~12% at the low FlipTH).
+//!
+//! Run: `cargo run --release -p mithril-bench --bin fig7`
+
+use mithril::MithrilConfig;
+use mithril_bench::{run_one, BinArgs};
+use mithril_sim::{geomean, Scheme, SystemConfig};
+
+fn main() {
+    let args = BinArgs::parse();
+    let mut cfg = SystemConfig::table_iii();
+    cfg.cores = args.cores;
+    let timing = cfg.timing;
+
+    let mp = ["mix-high", "mix-blend"];
+    let mt = ["fft", "radix", "pagerank"];
+
+    println!("# Figure 7: adaptive refresh (insts/core = {})", args.insts);
+    println!("flip_th,rfm_th,ad_th,add_nentry_pct,mp_energy_overhead_pct,mt_energy_overhead_pct");
+    for (flip, rfm) in [(3_125u64, 16u64), (6_250, 64)] {
+        cfg.flip_th = flip;
+        let base_n = MithrilConfig::for_flip_threshold(flip, rfm, &timing).unwrap().nentry;
+
+        // Baselines are scheme-independent: compute once per workload.
+        cfg.scheme = Scheme::None;
+        let base_energy: Vec<(/*name*/ &str, f64)> = mp
+            .iter()
+            .chain(mt.iter())
+            .map(|&name| (name, run_one(cfg, name, args.insts, args.seed).energy_pj))
+            .collect();
+
+        for ad in [0u64, 50, 100, 150, 200] {
+            let ad_opt = if ad == 0 { None } else { Some(ad) };
+            let n = MithrilConfig::solve(flip, rfm, 1, ad_opt, &timing).unwrap().nentry;
+            let add_pct = (n as f64 / base_n as f64 - 1.0) * 100.0;
+
+            cfg.scheme = Scheme::Mithril { rfm_th: rfm, ad_th: ad_opt, plus: false };
+            let overhead = |names: &[&str]| -> f64 {
+                let ratios: Vec<f64> = names
+                    .iter()
+                    .map(|&name| {
+                        let m = run_one(cfg, name, args.insts, args.seed);
+                        let base =
+                            base_energy.iter().find(|(n, _)| *n == name).expect("baseline").1;
+                        m.energy_pj / base
+                    })
+                    .collect();
+                (geomean(&ratios) - 1.0) * 100.0
+            };
+            println!(
+                "{flip},{rfm},{ad},{add_pct:.1},{:.3},{:.3}",
+                overhead(&mp),
+                overhead(&mt)
+            );
+        }
+    }
+    println!();
+    println!("# Expected: energy overhead falls to ~0 for AdTH in [100,200];");
+    println!("# additional Nentry stays modest (paper: <= ~12% at FlipTH 3.125K).");
+}

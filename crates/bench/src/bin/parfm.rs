@@ -1,0 +1,44 @@
+//! Appendix C — PARFM failure probability and RFMTH selection.
+//!
+//! Prints, for each FlipTH of the evaluation sweep, the largest RFMTH whose
+//! system failure probability (22 simultaneously attackable banks, one
+//! tREFW window) stays below the 10⁻¹⁵ consumer-reliability target — the
+//! values the PARFM runs in `fig10` use — plus the failure-probability
+//! curve around the chosen point.
+//!
+//! Run: `cargo run --release -p mithril-bench --bin parfm`
+
+use mithril_baselines::parfm_analysis::{max_rfm_th, single_row_failure, system_failure};
+use mithril_baselines::FLIP_TH_SWEEP;
+use mithril_dram::Ddr5Timing;
+
+const TARGET: f64 = 1e-15;
+const BANKS: u64 = 22;
+
+fn main() {
+    let timing = Ddr5Timing::ddr5_4800();
+    println!("# Appendix C: PARFM RFMTH meeting system failure < 1e-15 (22 banks)");
+    println!("flip_th,solved_rfm_th,system_failure_at_solved,failure_at_2x_rfmth");
+    for flip in FLIP_TH_SWEEP {
+        match max_rfm_th(flip, TARGET, BANKS, &timing) {
+            Some(rfm) => {
+                let at = system_failure(flip, rfm, BANKS, &timing);
+                let at2 = system_failure(flip, rfm * 2, BANKS, &timing);
+                println!("{flip},{rfm},{at:.3e},{at2:.3e}");
+            }
+            None => println!("{flip},unachievable,-,-"),
+        }
+    }
+    println!();
+    println!("# Single-row failure probability vs RFMTH at FlipTH = 6.25K:");
+    println!("rfm_th,single_row_failure,system_failure");
+    for rfm in [16u64, 32, 48, 64, 80, 96, 128, 192, 256] {
+        let f1 = single_row_failure(6_250, rfm, &timing);
+        let sys = system_failure(6_250, rfm, BANKS, &timing);
+        println!("{rfm},{f1:.3e},{sys:.3e}");
+    }
+    println!();
+    println!("# Expected shape: solved RFMTH shrinks as FlipTH shrinks, forcing");
+    println!("# PARFM to refresh far more often than Mithril at equal protection");
+    println!("# (Mithril uses RFMTH 256/128/64/32 across the same sweep).");
+}

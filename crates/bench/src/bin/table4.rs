@@ -1,0 +1,64 @@
+//! Table IV — per-bank counter-table size (KB) of every scheme × FlipTH.
+//!
+//! Rows: CBT @ MC, Graphene @ MC, BlockHammer @ MC, TWiCe @ buffer chip,
+//! Mithril-{256,128,64,32} @ DRAM (dash = infeasible pair, as in the
+//! paper).
+//!
+//! Run: `cargo run --release -p mithril-bench --bin table4`
+
+use mithril::MithrilConfig;
+use mithril_baselines::{BlockHammerConfig, CbtConfig, GrapheneConfig, TwiCeConfig, FLIP_TH_SWEEP};
+use mithril_dram::Ddr5Timing;
+
+fn main() {
+    let timing = Ddr5Timing::ddr5_4800();
+    print!("{:<24}", "scheme");
+    for flip in FLIP_TH_SWEEP {
+        print!("{:>10}", format!("{}K", flip as f64 / 1000.0));
+    }
+    println!();
+
+    let row = |name: &str, f: &dyn Fn(u64) -> Option<f64>| {
+        print!("{name:<24}");
+        for flip in FLIP_TH_SWEEP {
+            match f(flip) {
+                Some(kib) => print!("{kib:>10.2}"),
+                None => print!("{:>10}", "-"),
+            }
+        }
+        println!();
+    };
+
+    row("CBT @ MC", &|flip| Some(CbtConfig::for_flip_threshold(flip, &timing).table_kib()));
+    row("Graphene @ MC", &|flip| {
+        Some(GrapheneConfig::for_flip_threshold(flip, &timing).table_kib(&timing))
+    });
+    row("BlockHammer @ MC", &|flip| {
+        Some(BlockHammerConfig::for_flip_threshold(flip, &timing).table_kib())
+    });
+    row("TWiCe @ buffer chip", &|flip| {
+        Some(TwiCeConfig::for_flip_threshold(flip, &timing).table_kib(&timing))
+    });
+    for rfm in [256u64, 128, 64, 32] {
+        let name = format!("Mithril-{rfm} @ DRAM");
+        row(&name, &|flip| {
+            MithrilConfig::for_flip_threshold(flip, rfm, &timing).ok().map(|c| c.table_kib())
+        });
+    }
+
+    println!();
+    println!("# Paper values (KB) for comparison:");
+    println!("# CBT:        0.47  0.97  2.0   4.12  8.5   17.5");
+    println!("# Graphene:   0.14  0.21  0.51  0.99  1.92  3.7");
+    println!("# BlockHammer:3.75  3.5   3.25  6.0   11.0  20.0");
+    println!("# TWiCe:      2.79  5.08  9.54  18.27 35.29 71.26");
+    println!("# Mithril-256:0.08  0.17  0.41  1.45  -     -");
+    println!("# Mithril-128:0.07  0.15  0.34  0.84  3.76  -");
+    println!("# Mithril-64: 0.07  0.14  0.3   0.68  1.78  -");
+    println!("# Mithril-32: 0.06  0.13  0.27  0.57  1.38  4.64");
+    let c = MithrilConfig::for_flip_threshold(6_250, 128, &timing).unwrap();
+    println!(
+        "# Area cross-check: Mithril-128 @ 6.25K ≈ {:.4} mm² (paper: 0.024 mm²)",
+        c.table_mm2()
+    );
+}

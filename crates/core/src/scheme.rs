@@ -1,0 +1,276 @@
+//! The Mithril mitigation engine (paper Section IV-B, Fig. 4/5).
+//!
+//! One [`MithrilScheme`] instance sits in every DRAM bank. It observes ACT
+//! commands, and on every RFM command greedily selects the hottest tracked
+//! row, preventively refreshes that row's victims, and decrements the
+//! entry's counter to the table minimum.
+//!
+//! The **adaptive refresh** policy (Section V-A) skips the preventive
+//! refresh when `MaxPtr − MinPtr < AdTH` — benign workloads rarely
+//! concentrate enough ACTs on single rows to build a large spread, so the
+//! energy cost disappears in the common case. **Mithril+** (Section V-B)
+//! exposes the same condition as a mode-register flag so the memory
+//! controller can elide the RFM command itself (via
+//! [`DramMitigation::refresh_pending`]).
+
+use crate::config::MithrilConfig;
+use crate::table::MithrilTable;
+use mithril_dram::{DramMitigation, RfmOutcome, RowId};
+
+/// Operation counters for one Mithril engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchemeStats {
+    /// ACTs observed.
+    pub acts: u64,
+    /// RFM windows received.
+    pub rfms: u64,
+    /// Preventive refreshes actually executed.
+    pub refreshes: u64,
+    /// RFM windows skipped by the adaptive policy.
+    pub skips: u64,
+    /// Victim rows refreshed in total.
+    pub victim_rows: u64,
+}
+
+/// The per-bank Mithril engine with a 16-bit wrapping-counter table.
+///
+/// # Example
+///
+/// ```
+/// use mithril::{MithrilConfig, MithrilScheme};
+/// use mithril_dram::{Ddr5Timing, DramMitigation};
+///
+/// let t = Ddr5Timing::ddr5_4800();
+/// let mut m = MithrilScheme::new(MithrilConfig::for_flip_threshold(6_250, 128, &t)?);
+/// for _ in 0..100 {
+///     m.on_activate(1234);
+/// }
+/// let out = m.on_rfm();
+/// assert_eq!(out.selected_aggressor, Some(1234));
+/// assert_eq!(out.refreshed_victims, vec![1233, 1235]);
+/// # Ok::<(), mithril::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MithrilScheme {
+    table: MithrilTable<u16>,
+    config: MithrilConfig,
+    stats: SchemeStats,
+}
+
+impl MithrilScheme {
+    /// Creates an engine from a solved configuration.
+    pub fn new(config: MithrilConfig) -> Self {
+        Self { table: MithrilTable::new(config.nentry), config, stats: SchemeStats::default() }
+    }
+
+    /// The configuration this engine was built with.
+    pub fn config(&self) -> &MithrilConfig {
+        &self.config
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> SchemeStats {
+        self.stats
+    }
+
+    /// Current `MaxPtr − MinPtr` spread (the adaptive-refresh signal).
+    pub fn spread(&self) -> u64 {
+        self.table.spread()
+    }
+
+    /// Read-only view of the table.
+    pub fn table(&self) -> &MithrilTable<u16> {
+        &self.table
+    }
+
+    /// The victim rows of `aggressor` under the configured blast radius,
+    /// clamped to the bank's row range.
+    pub fn victims_of(&self, aggressor: RowId) -> Vec<RowId> {
+        let mut v = Vec::with_capacity(2 * self.config.blast_radius as usize);
+        for d in 1..=self.config.blast_radius {
+            if aggressor >= d {
+                v.push(aggressor - d);
+            }
+            if aggressor + d < self.config.rows_per_bank {
+                v.push(aggressor + d);
+            }
+        }
+        v
+    }
+
+    fn adaptive_skip(&self) -> bool {
+        match self.config.adaptive_th {
+            Some(ad) if ad > 0 => self.table.spread() < ad,
+            _ => false,
+        }
+    }
+}
+
+impl DramMitigation for MithrilScheme {
+    fn on_activate(&mut self, row: RowId) {
+        self.stats.acts += 1;
+        self.table.on_activate(row);
+    }
+
+    fn on_rfm(&mut self) -> RfmOutcome {
+        self.stats.rfms += 1;
+        if self.adaptive_skip() {
+            self.stats.skips += 1;
+            return RfmOutcome::skipped();
+        }
+        match self.table.on_rfm() {
+            Some(sel) => {
+                let victims = self.victims_of(sel.row);
+                self.stats.refreshes += 1;
+                self.stats.victim_rows += victims.len() as u64;
+                RfmOutcome::refresh(sel.row, victims)
+            }
+            None => RfmOutcome::skipped(),
+        }
+    }
+
+    fn refresh_pending(&self) -> bool {
+        // Mithril+ flag: set exactly when a refresh would execute.
+        !self.adaptive_skip() && !self.table.is_empty()
+    }
+
+    fn name(&self) -> &'static str {
+        if self.config.adaptive_th.is_some() {
+            "mithril-adaptive"
+        } else {
+            "mithril"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mithril_dram::Ddr5Timing;
+
+    fn config(flip: u64, rfm: u64) -> MithrilConfig {
+        MithrilConfig::for_flip_threshold(flip, rfm, &Ddr5Timing::ddr5_4800()).unwrap()
+    }
+
+    #[test]
+    fn greedy_selection_targets_hottest_row() {
+        let mut m = MithrilScheme::new(config(6_250, 128));
+        for _ in 0..50 {
+            m.on_activate(100);
+        }
+        for _ in 0..10 {
+            m.on_activate(200);
+        }
+        let out = m.on_rfm();
+        assert_eq!(out.selected_aggressor, Some(100));
+        assert_eq!(out.refreshed_victims, vec![99, 101]);
+        // Next RFM picks the runner-up.
+        let out = m.on_rfm();
+        assert_eq!(out.selected_aggressor, Some(200));
+    }
+
+    #[test]
+    fn edge_rows_have_clamped_victims() {
+        let mut m = MithrilScheme::new(config(6_250, 128));
+        m.on_activate(0);
+        let out = m.on_rfm();
+        assert_eq!(out.refreshed_victims, vec![1]);
+        let last = m.config().rows_per_bank - 1;
+        m.on_activate(last);
+        let out = m.on_rfm();
+        assert_eq!(out.refreshed_victims, vec![last - 1]);
+    }
+
+    #[test]
+    fn adaptive_skips_flat_tables() {
+        let t = Ddr5Timing::ddr5_4800();
+        let cfg = config(6_250, 64).with_adaptive(100, &t).unwrap();
+        let mut m = MithrilScheme::new(cfg);
+        // A perfectly uniform sweep keeps spread ≈ 1: all RFMs skipped.
+        for i in 0..10_000u64 {
+            m.on_activate(i % (cfg.nentry as u64 * 4));
+            if i % 64 == 63 {
+                m.on_rfm();
+            }
+        }
+        let s = m.stats();
+        assert!(s.skips > 0, "uniform sweep should trigger skips");
+        assert_eq!(s.refreshes + s.skips, s.rfms);
+        assert!(s.skips as f64 / s.rfms as f64 > 0.9, "skips = {s:?}");
+    }
+
+    #[test]
+    fn adaptive_still_fires_under_attack() {
+        let t = Ddr5Timing::ddr5_4800();
+        let cfg = config(6_250, 64).with_adaptive(100, &t).unwrap();
+        let mut m = MithrilScheme::new(cfg);
+        // A focused hammer builds spread past AdTH quickly.
+        for i in 0..10_000u64 {
+            m.on_activate(777);
+            if i % 64 == 63 {
+                m.on_rfm();
+            }
+        }
+        let s = m.stats();
+        // With AdTH=100 > RFMTH=64 the spread crosses AdTH every other
+        // interval: half the RFMs refresh, which is exactly what Theorem 2
+        // accounts for. The attack must never be *persistently* skipped.
+        assert!(s.refreshes >= s.rfms / 3, "attack persistently skipped: {s:?}");
+        assert!(s.refreshes > 0);
+    }
+
+    #[test]
+    fn mithril_plus_flag_mirrors_refresh_decision() {
+        let t = Ddr5Timing::ddr5_4800();
+        let cfg = config(6_250, 64).with_adaptive(50, &t).unwrap();
+        let mut m = MithrilScheme::new(cfg);
+        for i in 0..200u64 {
+            m.on_activate(i); // uniform: spread stays tiny
+        }
+        assert!(!m.refresh_pending());
+        for _ in 0..100 {
+            m.on_activate(5); // attack: spread grows past AdTH
+        }
+        assert!(m.refresh_pending());
+    }
+
+    #[test]
+    fn without_adaptive_always_pending() {
+        let mut m = MithrilScheme::new(config(6_250, 128));
+        assert!(!m.refresh_pending()); // empty table has nothing to refresh
+        m.on_activate(1);
+        assert!(m.refresh_pending());
+        assert_eq!(m.name(), "mithril");
+    }
+
+    #[test]
+    fn stats_account_every_rfm() {
+        let t = Ddr5Timing::ddr5_4800();
+        let cfg = config(3_125, 16).with_adaptive(200, &t).unwrap();
+        let mut m = MithrilScheme::new(cfg);
+        for i in 0..5_000u64 {
+            m.on_activate(i % 97);
+            if i % 16 == 15 {
+                m.on_rfm();
+            }
+        }
+        let s = m.stats();
+        assert_eq!(s.rfms, 5_000 / 16);
+        assert_eq!(s.refreshes + s.skips, s.rfms);
+        assert_eq!(s.acts, 5_000);
+    }
+
+    #[test]
+    fn blast_radius_three_refreshes_six_victims() {
+        let t = Ddr5Timing::ddr5_4800();
+        let cfg = MithrilConfig::solve(6_250, 64, 3, None, &t).unwrap();
+        let mut m = MithrilScheme::new(cfg);
+        for _ in 0..10 {
+            m.on_activate(1000);
+        }
+        let out = m.on_rfm();
+        assert_eq!(out.refreshed_victims.len(), 6);
+        assert!(out.refreshed_victims.contains(&997));
+        assert!(out.refreshed_victims.contains(&1003));
+    }
+}

@@ -1,0 +1,439 @@
+//! The Mithril table: address CAM + count CAM with `MaxPtr`/`MinPtr`.
+//!
+//! Hardware-faithful model of the per-bank structure of paper Fig. 4. The
+//! counter CAM uses **wrapping counters** (Section IV-E): Mithril never
+//! needs absolute counts, only the *relative difference* to the minimum
+//! entry, and the greedy decrement-to-min policy keeps that difference
+//! bounded by `M`. Provisioning `⌈log2(max diff)⌉` bits therefore suffices —
+//! no periodic table reset (Graphene) or duplicated table (BlockHammer) is
+//! needed, which is where Mithril's two-fold area advantage comes from.
+//!
+//! The table is generic over the [`Counter`] width so the wrapping `u16`
+//! hardware table can be checked against an unbounded `u64` reference: for
+//! any stream whose spread stays under the counter range, the two behave
+//! *identically* (see the property tests in `tests/wrapping.rs`).
+
+use mithril_dram::RowId;
+use std::collections::HashMap;
+
+/// A fixed-width, wrapping hardware counter.
+///
+/// Ordering between counters is defined *relative to the table minimum*
+/// via [`Counter::diff`], which is exact as long as the true difference
+/// fits in the counter range — the invariant Theorem 1 guarantees.
+pub trait Counter: Copy + Eq + std::fmt::Debug {
+    /// Counter width in bits.
+    const BITS: u32;
+
+    /// The zero counter.
+    fn zero() -> Self;
+
+    /// Wrapping increment by one.
+    fn incremented(self) -> Self;
+
+    /// `self − other` modulo the counter range.
+    fn diff(self, other: Self) -> u64;
+}
+
+impl Counter for u16 {
+    const BITS: u32 = 16;
+
+    fn zero() -> Self {
+        0
+    }
+
+    fn incremented(self) -> Self {
+        self.wrapping_add(1)
+    }
+
+    fn diff(self, other: Self) -> u64 {
+        self.wrapping_sub(other) as u64
+    }
+}
+
+impl Counter for u32 {
+    const BITS: u32 = 32;
+
+    fn zero() -> Self {
+        0
+    }
+
+    fn incremented(self) -> Self {
+        self.wrapping_add(1)
+    }
+
+    fn diff(self, other: Self) -> u64 {
+        self.wrapping_sub(other) as u64
+    }
+}
+
+impl Counter for u64 {
+    const BITS: u32 = 64;
+
+    fn zero() -> Self {
+        0
+    }
+
+    fn incremented(self) -> Self {
+        self.wrapping_add(1)
+    }
+
+    fn diff(self, other: Self) -> u64 {
+        self.wrapping_sub(other)
+    }
+}
+
+/// The row selected by a greedy RFM step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Selection {
+    /// The selected (hottest) aggressor row.
+    pub row: RowId,
+    /// Its estimated count above the table minimum at selection time.
+    pub count_above_min: u64,
+}
+
+/// The per-bank Mithril table (paper Fig. 4/5).
+///
+/// `C` is the hardware counter type; the deployed configuration is `u16`
+/// (the default), and `u64` serves as the unbounded reference model.
+///
+/// # Example
+///
+/// ```
+/// use mithril::MithrilTable;
+///
+/// let mut t: MithrilTable = MithrilTable::new(4);
+/// for _ in 0..9 {
+///     t.on_activate(0xA0);
+/// }
+/// t.on_activate(0xB0);
+/// // Greedy selection returns the hottest row and resets it to min.
+/// let sel = t.on_rfm().unwrap();
+/// assert_eq!(sel.row, 0xA0);
+/// assert_eq!(t.spread(), 1); // 0xB0 is now the max, one above min
+/// ```
+#[derive(Debug, Clone)]
+pub struct MithrilTable<C: Counter = u16> {
+    addrs: Vec<RowId>,
+    counts: Vec<C>,
+    index: HashMap<RowId, usize>,
+    /// Slot of the current minimum (MinPtr).
+    min_slot: usize,
+    /// Slot of the current maximum (MaxPtr).
+    max_slot: usize,
+    /// Number of occupied slots whose count equals the minimum.
+    at_min: usize,
+    /// Queue of candidate minimum slots (lazy; validated on pop).
+    min_candidates: Vec<usize>,
+    capacity: usize,
+}
+
+impl<C: Counter> MithrilTable<C> {
+    /// Creates an empty table with `capacity` entries (`Nentry`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be non-zero");
+        Self {
+            addrs: Vec::with_capacity(capacity),
+            counts: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+            min_slot: 0,
+            max_slot: 0,
+            at_min: 0,
+            min_candidates: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// `Nentry`, the number of table entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Occupied entries.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True if no entries are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// The count difference between `MaxPtr` and `MinPtr` — the adaptive
+    /// refresh proxy (paper Section V-A). Zero while the table is not full
+    /// does not arise in practice because a non-full table has min 0.
+    pub fn spread(&self) -> u64 {
+        if self.addrs.is_empty() {
+            return 0;
+        }
+        let min = if self.len() < self.capacity { C::zero() } else { self.counts[self.min_slot] };
+        self.counts[self.max_slot].diff(min)
+    }
+
+    /// Estimated count of `row` above the table minimum (`0` for off-table
+    /// rows: their estimate *is* the minimum).
+    pub fn estimate_above_min(&self, row: RowId) -> u64 {
+        let min = if self.len() < self.capacity { C::zero() } else { self.counts[self.min_slot] };
+        match self.index.get(&row) {
+            Some(&slot) => self.counts[slot].diff(min),
+            None => 0,
+        }
+    }
+
+    /// True if `row` currently occupies a table entry.
+    pub fn contains(&self, row: RowId) -> bool {
+        self.index.contains_key(&row)
+    }
+
+    /// Processes one ACT command (paper Fig. 5 steps ① and ②).
+    pub fn on_activate(&mut self, row: RowId) {
+        if let Some(&slot) = self.index.get(&row) {
+            self.increment(slot);
+            return;
+        }
+        if self.addrs.len() < self.capacity {
+            let slot = self.addrs.len();
+            self.addrs.push(row);
+            self.counts.push(C::zero().incremented());
+            self.index.insert(row, slot);
+            if self.counts[slot].diff(C::zero()) > self.counts[self.max_slot].diff(C::zero())
+                || self.addrs.len() == 1
+            {
+                self.max_slot = slot;
+            }
+            if self.addrs.len() == self.capacity {
+                self.rescan_min();
+            }
+            return;
+        }
+        // Miss on a full table: replace the MinPtr entry (Fig. 3).
+        let slot = self.pop_min_slot();
+        let old = self.addrs[slot];
+        self.index.remove(&old);
+        self.addrs[slot] = row;
+        self.index.insert(row, slot);
+        self.increment(slot);
+    }
+
+    /// Processes one RFM command: greedy selection of the `MaxPtr` entry and
+    /// decrement of its counter to the table minimum (Fig. 5 step ③).
+    /// Returns `None` only if the table is empty.
+    pub fn on_rfm(&mut self) -> Option<Selection> {
+        if self.addrs.is_empty() {
+            return None;
+        }
+        let slot = self.max_slot;
+        let row = self.addrs[slot];
+        let min =
+            if self.len() < self.capacity { C::zero() } else { self.counts[self.min_slot] };
+        let above = self.counts[slot].diff(min);
+        if above > 0 && self.len() == self.capacity {
+            self.counts[slot] = min;
+            self.at_min += 1;
+            self.min_candidates.push(slot);
+        } else if above > 0 {
+            // Table not yet full: "minimum" is the implicit zero of the
+            // free entries; the entry keeps count 0.
+            self.counts[slot] = C::zero();
+        }
+        // The new MaxPtr must be found within the tRFM window.
+        self.rescan_max();
+        Some(Selection { row, count_above_min: above })
+    }
+
+    fn increment(&mut self, slot: usize) {
+        let full = self.len() == self.capacity;
+        let min_val = if full { self.counts[self.min_slot] } else { C::zero() };
+        let was_min = full && self.counts[slot] == min_val;
+        self.counts[slot] = self.counts[slot].incremented();
+        // Max update: compare relative to the (pre-increment) minimum.
+        if self.counts[slot].diff(min_val) > self.counts[self.max_slot].diff(min_val) {
+            self.max_slot = slot;
+        }
+        if was_min {
+            self.at_min -= 1;
+            if self.at_min == 0 {
+                self.rescan_min();
+            } else if self.min_slot == slot {
+                // MinPtr must keep pointing at a true minimum.
+                self.min_slot = self
+                    .counts
+                    .iter()
+                    .position(|&c| c == min_val)
+                    .expect("at_min > 0 entries still hold the minimum");
+            }
+        }
+    }
+
+    /// Pops a slot that currently holds the minimum count.
+    fn pop_min_slot(&mut self) -> usize {
+        debug_assert_eq!(self.len(), self.capacity);
+        while let Some(&slot) = self.min_candidates.last() {
+            if self.counts[slot] == self.counts[self.min_slot] {
+                self.min_candidates.pop();
+                return slot;
+            }
+            self.min_candidates.pop();
+        }
+        self.min_slot
+    }
+
+    fn rescan_min(&mut self) {
+        debug_assert_eq!(self.len(), self.capacity);
+        // Relative order is defined against the max: the minimum is the
+        // entry with the largest distance below the max (first-wins rule).
+        let max = self.counts[self.max_slot];
+        let mut best = 0usize;
+        let mut best_diff = max.diff(self.counts[0]);
+        for (i, &c) in self.counts.iter().enumerate().skip(1) {
+            let d = max.diff(c);
+            if d > best_diff {
+                best = i;
+                best_diff = d;
+            }
+        }
+        self.min_slot = best;
+        let min = self.counts[best];
+        self.at_min = self.counts.iter().filter(|&&c| c == min).count();
+        self.min_candidates.clear();
+        self.min_candidates
+            .extend(self.counts.iter().enumerate().filter(|(_, &c)| c == min).map(|(i, _)| i));
+        self.min_candidates.reverse(); // pop() yields the first slot first
+    }
+
+    fn rescan_max(&mut self) {
+        if self.addrs.is_empty() {
+            return;
+        }
+        let min =
+            if self.len() < self.capacity { C::zero() } else { self.counts[self.min_slot] };
+        let mut best = 0usize;
+        let mut best_diff = self.counts[0].diff(min);
+        for (i, &c) in self.counts.iter().enumerate().skip(1) {
+            let d = c.diff(min);
+            if d > best_diff {
+                best = i;
+                best_diff = d;
+            }
+        }
+        self.max_slot = best;
+    }
+
+    /// Iterates over `(row, count_above_min)` pairs.
+    pub fn iter_relative(&self) -> impl Iterator<Item = (RowId, u64)> + '_ {
+        let min = if self.len() < self.capacity { C::zero() } else { self.counts[self.min_slot] };
+        self.addrs.iter().zip(self.counts.iter()).map(move |(&a, &c)| (a, c.diff(min)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure5_with_wrapping_counters() {
+        let mut t: MithrilTable<u16> = MithrilTable::new(4);
+        for _ in 0..9 {
+            t.on_activate(0xA0);
+        }
+        for _ in 0..9 {
+            t.on_activate(0xB0);
+        }
+        for _ in 0..3 {
+            t.on_activate(0xC0);
+        }
+        t.on_activate(0xD0);
+        // ① ACT 0xA0 → 10.
+        t.on_activate(0xA0);
+        assert_eq!(t.estimate_above_min(0xA0), 9); // 10 above min 1
+        // ② ACT 0xE0 → replaces 0xD0 (min 1) and becomes 2.
+        t.on_activate(0xE0);
+        assert!(!t.contains(0xD0));
+        assert!(t.contains(0xE0));
+        // ③ RFM → greedy selection of 0xA0; reset to min (2).
+        let sel = t.on_rfm().unwrap();
+        assert_eq!(sel.row, 0xA0);
+        assert_eq!(sel.count_above_min, 8); // 10 − min 2
+        assert_eq!(t.estimate_above_min(0xA0), 0);
+        // New max is 0xB0 at 9 (7 above min).
+        assert_eq!(t.on_rfm().unwrap().row, 0xB0);
+    }
+
+    #[test]
+    fn wrapping_survives_counter_overflow() {
+        // Tiny 2-entry table hammered way past the u16 range: relative
+        // behaviour must stay exact because spread stays small.
+        let mut t: MithrilTable<u16> = MithrilTable::new(2);
+        for i in 0..200_000u64 {
+            t.on_activate(i % 2);
+            if i % 64 == 63 {
+                t.on_rfm();
+            }
+            assert!(t.spread() <= 64 + 2, "spread exploded at {i}");
+        }
+    }
+
+    #[test]
+    fn spread_zero_on_empty_and_balanced() {
+        let mut t: MithrilTable<u16> = MithrilTable::new(2);
+        assert_eq!(t.spread(), 0);
+        t.on_activate(1);
+        t.on_activate(2);
+        // Both at count 1 → spread = 1 above implicit-zero min? No: table
+        // is now full, min = 1, max = 1 → spread 0.
+        assert_eq!(t.spread(), 0);
+    }
+
+    #[test]
+    fn rfm_on_empty_table_is_none() {
+        let mut t: MithrilTable<u16> = MithrilTable::new(2);
+        assert_eq!(t.on_rfm(), None);
+    }
+
+    #[test]
+    fn rfm_selects_first_max_on_ties() {
+        let mut t: MithrilTable<u16> = MithrilTable::new(4);
+        t.on_activate(10);
+        t.on_activate(20);
+        t.on_activate(10);
+        t.on_activate(20);
+        // Both at 2; 10 was incremented to 2 first and stays MaxPtr.
+        assert_eq!(t.on_rfm().unwrap().row, 10);
+    }
+
+    #[test]
+    fn eviction_targets_first_min_slot() {
+        let mut t: MithrilTable<u16> = MithrilTable::new(3);
+        t.on_activate(1);
+        t.on_activate(1);
+        t.on_activate(2);
+        t.on_activate(3);
+        // 2 and 3 both at min=1; a miss replaces the earlier slot (2).
+        t.on_activate(4);
+        assert!(!t.contains(2));
+        assert!(t.contains(3));
+        assert!(t.contains(4));
+    }
+
+    #[test]
+    fn estimates_relative_to_min_are_consistent() {
+        let mut t: MithrilTable<u32> = MithrilTable::new(8);
+        for i in 0..1000u64 {
+            t.on_activate(i % 12);
+        }
+        let spread = t.spread();
+        for (_, above) in t.iter_relative() {
+            assert!(above <= spread);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _: MithrilTable<u16> = MithrilTable::new(0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Empirical validation of Mithril's deterministic protection guarantee.
+//!
+//! Theorem 1 proves the estimated-count increase of any row within a tREFW
+//! is bounded by `M < FlipTH/2`. These tests drive solved configurations
+//! with worst-case command streams on the command-level [`AttackHarness`]
+//! and check the *exact* disturbance oracle: no victim may ever reach
+//! FlipTH.
+
+use mithril::{bounds, MithrilConfig, MithrilScheme};
+use mithril_dram::{AttackHarness, Ddr5Timing};
+
+fn run_attack(
+    flip_th: u64,
+    rfm_th: u64,
+    adaptive: Option<u64>,
+    mrr_elision: bool,
+    rows: impl Fn(u64) -> u64,
+    windows: u32,
+) -> (u64, usize) {
+    let timing = Ddr5Timing::ddr5_4800();
+    let cfg = MithrilConfig::solve(flip_th, rfm_th, 1, adaptive, &timing).unwrap();
+    let engine = MithrilScheme::new(cfg);
+    let mut h = AttackHarness::new(timing, Box::new(engine), rfm_th, flip_th);
+    h.set_mrr_elision(mrr_elision);
+    let mut i = 0u64;
+    for _ in 0..windows {
+        while h.try_activate(rows(i)) {
+            i += 1;
+        }
+        h.advance_window();
+    }
+    (h.oracle().max_disturbance(), h.oracle().flips().len())
+}
+
+#[test]
+fn single_row_hammer_never_flips() {
+    for (flip, rfm) in [(6_250u64, 128u64), (3_125, 64), (1_500, 32)] {
+        let (max, flips) = run_attack(flip, rfm, None, false, |_| 1000, 1);
+        assert_eq!(flips, 0, "FlipTH {flip}: flipped with max disturbance {max}");
+        assert!(max < flip, "FlipTH {flip}: max {max}");
+    }
+}
+
+#[test]
+fn double_sided_pair_never_flips() {
+    // Rows 999 and 1001 share victim 1000.
+    let (max, flips) = run_attack(6_250, 128, None, false, |i| 999 + 2 * (i % 2), 1);
+    assert_eq!(flips, 0, "max disturbance {max}");
+    assert!(max < 6_250);
+}
+
+#[test]
+fn multi_sided_32_rows_never_flips() {
+    // The TRRespass-style many-sided pattern of Section VI-A: 32 aggressor
+    // rows side by side, each pair sandwiching victims.
+    let (max, flips) = run_attack(6_250, 128, None, false, |i| 5_000 + 2 * (i % 32), 1);
+    assert_eq!(flips, 0, "max disturbance {max}");
+    assert!(max < 6_250);
+}
+
+#[test]
+fn table_thrashing_attack_never_flips() {
+    // Round-robin over slightly more rows than the table holds, forcing
+    // constant evictions — the pattern that defeats naive trackers.
+    let timing = Ddr5Timing::ddr5_4800();
+    let cfg = MithrilConfig::for_flip_threshold(6_250, 128, &timing).unwrap();
+    let n = cfg.nentry as u64;
+    let (max, flips) = run_attack(6_250, 128, None, false, |i| 100 + 2 * (i % (n + 7)), 1);
+    assert_eq!(flips, 0, "max disturbance {max}");
+    assert!(max < 6_250);
+}
+
+#[test]
+fn low_flipth_strained_config_holds_two_windows() {
+    // FlipTH = 1.5K with RFMTH = 32 (the paper's most aggressive corner),
+    // run across two refresh windows to catch window-boundary effects.
+    let (max, flips) = run_attack(1_500, 32, None, false, |i| 2_000 + 2 * (i % 40), 2);
+    assert_eq!(flips, 0, "max disturbance {max}");
+    assert!(max < 1_500);
+}
+
+#[test]
+fn adaptive_refresh_still_protects_under_attack() {
+    // AdTH = 200 skips benign RFMs but must keep the Theorem-2 guarantee.
+    for pattern in [0usize, 1, 2] {
+        let f: Box<dyn Fn(u64) -> u64> = match pattern {
+            0 => Box::new(|_| 1000),                    // single row
+            1 => Box::new(|i| 999 + 2 * (i % 2)),       // double-sided
+            _ => Box::new(|i| 5_000 + 2 * (i % 32)),    // multi-sided
+        };
+        let (max, flips) = run_attack(3_125, 64, Some(200), false, f, 1);
+        assert_eq!(flips, 0, "pattern {pattern}: max {max}");
+        assert!(max < 3_125, "pattern {pattern}: max {max}");
+    }
+}
+
+#[test]
+fn mithril_plus_elision_preserves_safety() {
+    // Mithril+ skips the RFM command entirely when the flag is clear; the
+    // protection must be unchanged under attack.
+    let (max, flips) = run_attack(3_125, 64, Some(200), true, |i| 999 + 2 * (i % 2), 1);
+    assert_eq!(flips, 0, "max disturbance {max}");
+    assert!(max < 3_125);
+}
+
+#[test]
+fn estimated_bound_dominates_observed_disturbance() {
+    // The disturbance any victim sees is at most 2×M (two adjacent
+    // aggressors each bounded by M); observed worst cases must respect it.
+    let timing = Ddr5Timing::ddr5_4800();
+    let flip = 6_250u64;
+    let rfm = 128u64;
+    let m = {
+        let cfg = MithrilConfig::for_flip_threshold(flip, rfm, &timing).unwrap();
+        bounds::theorem1_bound(cfg.nentry, cfg.rfm_th, &timing)
+    };
+    let (max, _) = run_attack(flip, rfm, None, false, |i| 999 + 2 * (i % 2), 1);
+    assert!(
+        (max as f64) < 2.0 * m,
+        "observed {max} exceeds twice the Theorem-1 bound {m}"
+    );
+}
+
+#[test]
+fn benign_uniform_sweep_has_tiny_disturbance() {
+    // A uniform sweep spreads ACTs; max disturbance stays near the
+    // per-interval count, far from FlipTH.
+    let (max, flips) = run_attack(6_250, 128, Some(200), false, |i| (i * 17) % 60_000, 1);
+    assert_eq!(flips, 0);
+    assert!(max < 200, "uniform sweep disturbed a row {max} times");
+}

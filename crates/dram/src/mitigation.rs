@@ -1,0 +1,147 @@
+//! The interface between a DRAM bank and its in-DRAM mitigation engine.
+//!
+//! DRAM-side schemes (Mithril, PARFM, the RFM-Graphene strawman) live
+//! *inside* the device: they observe every ACT to their bank and are handed
+//! the tRFM time margin whenever the memory controller issues an RFM
+//! command (paper Fig. 4, command flows ①–③). The trait below is that
+//! observation surface.
+
+use crate::types::RowId;
+
+/// The result of handing one RFM time window to a mitigation engine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RfmOutcome {
+    /// Victim rows that received a preventive refresh during the window.
+    /// Empty when the engine skipped the refresh (adaptive refresh).
+    pub refreshed_victims: Vec<RowId>,
+    /// The aggressor row the engine selected, if any (for reporting).
+    pub selected_aggressor: Option<RowId>,
+    /// True if the engine deliberately skipped this RFM (paper Section V-A).
+    pub skipped: bool,
+}
+
+impl RfmOutcome {
+    /// An outcome representing a deliberately skipped RFM window.
+    pub fn skipped() -> Self {
+        Self { refreshed_victims: Vec::new(), selected_aggressor: None, skipped: true }
+    }
+
+    /// An outcome refreshing the victims of `aggressor`.
+    pub fn refresh(aggressor: RowId, victims: Vec<RowId>) -> Self {
+        Self { refreshed_victims: victims, selected_aggressor: Some(aggressor), skipped: false }
+    }
+}
+
+/// An in-DRAM (per-bank) Row Hammer mitigation engine.
+///
+/// Implementations observe the command stream of a single bank.
+///
+/// # Example
+///
+/// ```
+/// use mithril_dram::{DramMitigation, RfmOutcome, RowId};
+///
+/// /// A toy engine that always refreshes the neighbours of the last ACT.
+/// struct LastRow(Option<RowId>);
+///
+/// impl DramMitigation for LastRow {
+///     fn on_activate(&mut self, row: RowId) {
+///         self.0 = Some(row);
+///     }
+///     fn on_rfm(&mut self) -> RfmOutcome {
+///         match self.0 {
+///             Some(r) => RfmOutcome::refresh(r, vec![r.saturating_sub(1), r + 1]),
+///             None => RfmOutcome::skipped(),
+///         }
+///     }
+///     fn name(&self) -> &'static str {
+///         "last-row"
+///     }
+/// }
+///
+/// let mut e = LastRow(None);
+/// e.on_activate(100);
+/// assert_eq!(e.on_rfm().refreshed_victims, vec![99, 101]);
+/// ```
+pub trait DramMitigation {
+    /// Called for every ACT command the bank receives.
+    fn on_activate(&mut self, row: RowId);
+
+    /// Called when the memory controller issues an RFM to this bank. The
+    /// engine owns the tRFM window and decides which victim rows (if any)
+    /// to preventively refresh.
+    fn on_rfm(&mut self) -> RfmOutcome;
+
+    /// Auto-refresh notification: rows `lo..hi` are being refreshed by a
+    /// REF command. Engines may use this for housekeeping (e.g. TWiCe-style
+    /// pruning); the default does nothing.
+    fn on_auto_refresh(&mut self, lo: RowId, hi: RowId) {
+        let _ = (lo, hi);
+    }
+
+    /// The Mithril+ mode-register flag (paper Section V-B): `true` when the
+    /// engine would actually use an RFM window. The memory controller polls
+    /// this via MRR and elides RFM commands when it is `false`. Engines
+    /// without the optimization conservatively return `true`.
+    fn refresh_pending(&self) -> bool {
+        true
+    }
+
+    /// Scheme name for reporting.
+    fn name(&self) -> &'static str;
+}
+
+/// The unit mitigation: tracks nothing, refreshes nothing.
+///
+/// Used as the unprotected baseline for normalized IPC/energy and as the
+/// engine under pure RFM-cadence tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoMitigation;
+
+impl DramMitigation for NoMitigation {
+    fn on_activate(&mut self, _row: RowId) {}
+
+    fn on_rfm(&mut self) -> RfmOutcome {
+        RfmOutcome::skipped()
+    }
+
+    fn refresh_pending(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_mitigation_skips_everything() {
+        let mut m = NoMitigation;
+        m.on_activate(1);
+        let out = m.on_rfm();
+        assert!(out.skipped);
+        assert!(out.refreshed_victims.is_empty());
+        assert!(!m.refresh_pending());
+        assert_eq!(m.name(), "none");
+    }
+
+    #[test]
+    fn outcome_constructors() {
+        let s = RfmOutcome::skipped();
+        assert!(s.skipped && s.selected_aggressor.is_none());
+        let r = RfmOutcome::refresh(10, vec![9, 11]);
+        assert!(!r.skipped);
+        assert_eq!(r.selected_aggressor, Some(10));
+        assert_eq!(r.refreshed_victims, vec![9, 11]);
+    }
+
+    #[test]
+    fn default_auto_refresh_is_noop() {
+        let mut m = NoMitigation;
+        m.on_auto_refresh(0, 8); // must not panic
+    }
+}

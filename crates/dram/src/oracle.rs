@@ -1,0 +1,282 @@
+//! Exact Row Hammer disturbance accounting ("the oracle").
+//!
+//! The paper proves Mithril's protection guarantee mathematically; this
+//! module lets the reproduction *check it empirically*. The oracle keeps the
+//! exact disturbance count of every victim row: each ACT on row `r`
+//! increments the counters of all rows within the blast radius of `r`, and
+//! any refresh of a victim (auto-refresh or preventive refresh) resets that
+//! victim's counter. A counter reaching `FlipTH` is a bit flip.
+//!
+//! The oracle is deliberately *not* a streaming algorithm — it is the ground
+//! truth the streaming trackers approximate.
+
+use std::collections::HashMap;
+
+use crate::types::RowId;
+
+/// A detected (simulated) Row Hammer bit flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlipEvent {
+    /// The victim row whose disturbance reached the threshold.
+    pub victim: RowId,
+    /// The aggressor activation that crossed the threshold.
+    pub aggressor: RowId,
+    /// The disturbance count at the moment of the flip.
+    pub disturbance: u64,
+}
+
+/// Ground-truth per-victim disturbance tracking for one DRAM bank.
+///
+/// # Example
+///
+/// ```
+/// use mithril_dram::RowHammerOracle;
+///
+/// let mut o = RowHammerOracle::new(1000, 1, 65_536);
+/// for _ in 0..999 {
+///     o.on_activate(50);
+/// }
+/// assert_eq!(o.disturbance(49), 999);
+/// assert!(o.flips().is_empty());
+/// o.on_activate(50); // the 1000th ACT flips both neighbours
+/// assert_eq!(o.flips().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RowHammerOracle {
+    flip_threshold: u64,
+    blast_radius: u64,
+    rows: u64,
+    disturbance: HashMap<RowId, u64>,
+    max_observed: u64,
+    total_acts: u64,
+    flips: Vec<FlipEvent>,
+}
+
+impl RowHammerOracle {
+    /// Creates an oracle for a bank of `rows` rows with the given
+    /// `flip_threshold` (FlipTH) and `blast_radius` (1 = adjacent rows only,
+    /// 2 = distance-2 neighbours also disturbed, ...).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flip_threshold`, `blast_radius` or `rows` is zero.
+    pub fn new(flip_threshold: u64, blast_radius: u64, rows: u64) -> Self {
+        assert!(flip_threshold > 0, "flip_threshold must be non-zero");
+        assert!(blast_radius > 0, "blast_radius must be non-zero");
+        assert!(rows > 0, "rows must be non-zero");
+        Self {
+            flip_threshold,
+            blast_radius,
+            rows,
+            disturbance: HashMap::new(),
+            max_observed: 0,
+            total_acts: 0,
+            flips: Vec::new(),
+        }
+    }
+
+    /// The configured FlipTH.
+    pub fn flip_threshold(&self) -> u64 {
+        self.flip_threshold
+    }
+
+    /// Records an activation of `aggressor`, disturbing every row within
+    /// the blast radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aggressor` is out of range.
+    pub fn on_activate(&mut self, aggressor: RowId) {
+        assert!(aggressor < self.rows, "row {aggressor} out of range");
+        self.total_acts += 1;
+        for victim in self.victims_of(aggressor) {
+            let d = self.disturbance.entry(victim).or_insert(0);
+            *d += 1;
+            if *d > self.max_observed {
+                self.max_observed = *d;
+            }
+            if *d == self.flip_threshold {
+                self.flips.push(FlipEvent { victim, aggressor, disturbance: *d });
+            }
+        }
+    }
+
+    /// Records that `row` itself was refreshed (auto-refresh reaching it, or
+    /// a preventive refresh naming it as the victim): its accumulated
+    /// disturbance is cleared.
+    pub fn on_row_refreshed(&mut self, row: RowId) {
+        self.disturbance.remove(&row);
+    }
+
+    /// Convenience: refresh every row in `lo..hi` (an auto-refresh group).
+    pub fn on_rows_refreshed(&mut self, lo: RowId, hi: RowId) {
+        if hi.saturating_sub(lo) < self.disturbance.len() as u64 {
+            for row in lo..hi {
+                self.disturbance.remove(&row);
+            }
+        } else {
+            self.disturbance.retain(|&r, _| r < lo || r >= hi);
+        }
+    }
+
+    /// Convenience for schemes that name an *aggressor*: refreshes all of
+    /// its potential victims (the rows within the blast radius).
+    pub fn on_neighbors_refreshed(&mut self, aggressor: RowId) {
+        for victim in self.victims_of(aggressor) {
+            self.disturbance.remove(&victim);
+        }
+    }
+
+    /// Current disturbance of `row` (0 if never disturbed or refreshed).
+    pub fn disturbance(&self, row: RowId) -> u64 {
+        self.disturbance.get(&row).copied().unwrap_or(0)
+    }
+
+    /// High-water mark of any victim's disturbance since construction.
+    ///
+    /// A deterministic protection scheme is *safe* iff this never reaches
+    /// FlipTH under any access pattern.
+    pub fn max_disturbance(&self) -> u64 {
+        self.max_observed
+    }
+
+    /// Current (not high-water) maximum disturbance across victims.
+    pub fn current_max_disturbance(&self) -> u64 {
+        self.disturbance.values().copied().max().unwrap_or(0)
+    }
+
+    /// All bit flips detected so far.
+    pub fn flips(&self) -> &[FlipEvent] {
+        &self.flips
+    }
+
+    /// Total activations observed.
+    pub fn total_acts(&self) -> u64 {
+        self.total_acts
+    }
+
+    /// The victim rows of `aggressor` within the blast radius.
+    pub fn victims_of(&self, aggressor: RowId) -> Vec<RowId> {
+        let mut v = Vec::with_capacity(2 * self.blast_radius as usize);
+        for d in 1..=self.blast_radius {
+            if aggressor >= d {
+                v.push(aggressor - d);
+            }
+            if aggressor + d < self.rows {
+                v.push(aggressor + d);
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sided_disturbs_both_neighbors() {
+        let mut o = RowHammerOracle::new(100, 1, 1024);
+        for _ in 0..10 {
+            o.on_activate(5);
+        }
+        assert_eq!(o.disturbance(4), 10);
+        assert_eq!(o.disturbance(6), 10);
+        assert_eq!(o.disturbance(5), 0);
+        assert_eq!(o.max_disturbance(), 10);
+    }
+
+    #[test]
+    fn double_sided_attack_accumulates_on_shared_victim() {
+        // FlipTH/2 ACTs on each side flip the middle row (paper II-B).
+        let mut o = RowHammerOracle::new(100, 1, 1024);
+        for _ in 0..50 {
+            o.on_activate(4);
+            o.on_activate(6);
+        }
+        assert_eq!(o.disturbance(5), 100);
+        assert_eq!(o.flips().len(), 1);
+        assert_eq!(o.flips()[0].victim, 5);
+    }
+
+    #[test]
+    fn refresh_resets_disturbance() {
+        let mut o = RowHammerOracle::new(100, 1, 1024);
+        for _ in 0..60 {
+            o.on_activate(5);
+        }
+        o.on_row_refreshed(4);
+        assert_eq!(o.disturbance(4), 0);
+        assert_eq!(o.disturbance(6), 60);
+        // Max high-water mark is unaffected by refreshes.
+        assert_eq!(o.max_disturbance(), 60);
+    }
+
+    #[test]
+    fn neighbors_refresh_covers_blast_radius() {
+        let mut o = RowHammerOracle::new(1000, 2, 1024);
+        for _ in 0..5 {
+            o.on_activate(10);
+        }
+        assert_eq!(o.disturbance(8), 5);
+        assert_eq!(o.disturbance(12), 5);
+        o.on_neighbors_refreshed(10);
+        for r in [8, 9, 11, 12] {
+            assert_eq!(o.disturbance(r), 0, "row {r}");
+        }
+    }
+
+    #[test]
+    fn group_refresh_resets_range() {
+        let mut o = RowHammerOracle::new(1000, 1, 1024);
+        for r in [10u64, 20, 30] {
+            for _ in 0..3 {
+                o.on_activate(r);
+            }
+        }
+        o.on_rows_refreshed(15, 25);
+        assert_eq!(o.disturbance(19), 0);
+        assert_eq!(o.disturbance(21), 0);
+        assert_eq!(o.disturbance(9), 3);
+        assert_eq!(o.disturbance(31), 3);
+    }
+
+    #[test]
+    fn edge_rows_have_one_sided_victims() {
+        let o = RowHammerOracle::new(10, 1, 100);
+        assert_eq!(o.victims_of(0), vec![1]);
+        assert_eq!(o.victims_of(99), vec![98]);
+        assert_eq!(o.victims_of(50), vec![49, 51]);
+    }
+
+    #[test]
+    fn blast_radius_two_reaches_distance_two() {
+        let mut o = RowHammerOracle::new(10, 2, 100);
+        o.on_activate(50);
+        for r in [48, 49, 51, 52] {
+            assert_eq!(o.disturbance(r), 1, "row {r}");
+        }
+        assert_eq!(o.disturbance(47), 0);
+        assert_eq!(o.disturbance(53), 0);
+    }
+
+    #[test]
+    fn flip_recorded_exactly_at_threshold() {
+        let mut o = RowHammerOracle::new(3, 1, 100);
+        o.on_activate(7);
+        o.on_activate(7);
+        assert!(o.flips().is_empty());
+        o.on_activate(7);
+        assert_eq!(o.flips().len(), 2); // rows 6 and 8
+        // Further ACTs do not duplicate the flip event.
+        o.on_activate(7);
+        assert_eq!(o.flips().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn activate_out_of_range_panics() {
+        let mut o = RowHammerOracle::new(10, 1, 8);
+        o.on_activate(8);
+    }
+}

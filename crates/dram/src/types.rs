@@ -1,0 +1,129 @@
+//! Fundamental identifier and geometry types shared across the simulator.
+
+/// Simulation time in integer picoseconds.
+///
+/// All DDR5 timing parameters of the paper's Table III convert exactly to
+/// picoseconds (e.g. tRC = 48.64 ns = 48 640 ps), so no floating point is
+/// needed anywhere in the timing model.
+pub type TimePs = u64;
+
+/// A DRAM row index within one bank.
+pub type RowId = u64;
+
+/// A rank index within a channel.
+pub type RankId = usize;
+
+/// A flat bank index within a channel (`rank * banks_per_rank + bank`).
+pub type BankId = usize;
+
+/// Physical organization of one memory channel.
+///
+/// Defaults follow the paper's Table III system: 1 rank of 32 banks per
+/// channel (DDR5, 2 channels at the system level) and 64K rows of 8 KB per
+/// bank.
+///
+/// # Example
+///
+/// ```
+/// use mithril_dram::Geometry;
+///
+/// let g = Geometry::default();
+/// assert_eq!(g.banks_total(), 32);
+/// assert_eq!(g.rows_per_bank, 65_536);
+/// // 8 KB rows and 64 B cache lines: 128 column bursts per row.
+/// assert_eq!(g.row_bytes / g.line_bytes, 128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Ranks on the channel.
+    pub ranks: usize,
+    /// Banks per rank.
+    pub banks_per_rank: usize,
+    /// Rows per bank.
+    pub rows_per_bank: u64,
+    /// Bytes per DRAM row (page size across the rank).
+    pub row_bytes: u64,
+    /// Bytes per cache line / column burst.
+    pub line_bytes: u64,
+}
+
+impl Geometry {
+    /// Total banks on the channel.
+    pub fn banks_total(&self) -> usize {
+        self.ranks * self.banks_per_rank
+    }
+
+    /// Cache lines (column bursts) per row.
+    pub fn lines_per_row(&self) -> u64 {
+        self.row_bytes / self.line_bytes
+    }
+
+    /// Bits needed to address a row within a bank.
+    pub fn row_bits(&self) -> u32 {
+        u64::BITS - (self.rows_per_bank - 1).leading_zeros()
+    }
+
+    /// Splits a flat bank id into `(rank, bank-within-rank)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn split_bank(&self, bank: BankId) -> (RankId, usize) {
+        assert!(bank < self.banks_total(), "bank {bank} out of range");
+        (bank / self.banks_per_rank, bank % self.banks_per_rank)
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Self {
+            ranks: 1,
+            banks_per_rank: 32,
+            rows_per_bank: 65_536,
+            row_bytes: 8 * 1024,
+            line_bytes: 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_iii() {
+        let g = Geometry::default();
+        assert_eq!(g.ranks, 1);
+        assert_eq!(g.banks_per_rank, 32);
+        assert_eq!(g.banks_total(), 32);
+    }
+
+    #[test]
+    fn row_bits_for_power_of_two() {
+        let g = Geometry { rows_per_bank: 65_536, ..Geometry::default() };
+        assert_eq!(g.row_bits(), 16);
+        let g = Geometry { rows_per_bank: 131_072, ..Geometry::default() };
+        assert_eq!(g.row_bits(), 17);
+    }
+
+    #[test]
+    fn split_bank_round_trips() {
+        let g = Geometry { ranks: 2, banks_per_rank: 16, ..Geometry::default() };
+        assert_eq!(g.split_bank(0), (0, 0));
+        assert_eq!(g.split_bank(15), (0, 15));
+        assert_eq!(g.split_bank(16), (1, 0));
+        assert_eq!(g.split_bank(31), (1, 15));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn split_bank_checks_range() {
+        let g = Geometry::default();
+        let _ = g.split_bank(32);
+    }
+
+    #[test]
+    fn lines_per_row_default() {
+        assert_eq!(Geometry::default().lines_per_row(), 128);
+    }
+}

@@ -1,0 +1,155 @@
+//! The BLISS memory scheduler (Subramanian et al., the paper's Table III
+//! scheduling policy).
+//!
+//! BLISS ("Blacklisting Memory Scheduler") separates applications into two
+//! priority classes instead of ranking them individually: a thread that is
+//! served `threshold` *consecutive* requests is blacklisted for the rest of
+//! the clearing interval, deprioritizing streak-heavy (interference-prone)
+//! applications. Within a class, scheduling stays FR-FCFS.
+
+use mithril_dram::TimePs;
+
+/// BLISS tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlissConfig {
+    /// Consecutive services that trigger blacklisting (paper value: 4).
+    pub streak_threshold: u32,
+    /// Blacklist clearing interval (BLISS uses 10 000 CPU cycles; ~2.8 µs
+    /// at 3.6 GHz).
+    pub clearing_interval: TimePs,
+    /// Number of hardware threads tracked.
+    pub threads: usize,
+}
+
+impl Default for BlissConfig {
+    fn default() -> Self {
+        Self { streak_threshold: 4, clearing_interval: 2_800_000, threads: 16 }
+    }
+}
+
+/// Blacklisting state.
+///
+/// # Example
+///
+/// ```
+/// use mithril_memctrl::{Bliss, BlissConfig};
+///
+/// let mut b = Bliss::new(BlissConfig { threads: 2, ..Default::default() });
+/// for _ in 0..4 {
+///     b.on_request_served(0, 100);
+/// }
+/// assert!(b.is_blacklisted(0));
+/// assert!(!b.is_blacklisted(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bliss {
+    config: BlissConfig,
+    blacklisted: Vec<bool>,
+    last_thread: Option<usize>,
+    streak: u32,
+    next_clear: TimePs,
+}
+
+impl Bliss {
+    /// Creates a scheduler state for `config.threads` threads.
+    pub fn new(config: BlissConfig) -> Self {
+        Self {
+            blacklisted: vec![false; config.threads],
+            last_thread: None,
+            streak: 0,
+            next_clear: config.clearing_interval,
+            config,
+        }
+    }
+
+    /// Records that a request of `thread` was serviced at `now`.
+    pub fn on_request_served(&mut self, thread: usize, now: TimePs) {
+        self.maybe_clear(now);
+        if self.last_thread == Some(thread) {
+            self.streak += 1;
+        } else {
+            self.last_thread = Some(thread);
+            self.streak = 1;
+        }
+        if self.streak >= self.config.streak_threshold {
+            if let Some(b) = self.blacklisted.get_mut(thread) {
+                *b = true;
+            }
+        }
+    }
+
+    /// True if `thread` is currently blacklisted (lower priority).
+    pub fn is_blacklisted(&self, thread: usize) -> bool {
+        self.blacklisted.get(thread).copied().unwrap_or(false)
+    }
+
+    /// Advances the clearing clock without a service event.
+    pub fn tick(&mut self, now: TimePs) {
+        self.maybe_clear(now);
+    }
+
+    fn maybe_clear(&mut self, now: TimePs) {
+        while now >= self.next_clear {
+            self.blacklisted.fill(false);
+            self.next_clear += self.config.clearing_interval;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bliss() -> Bliss {
+        Bliss::new(BlissConfig { threads: 4, ..Default::default() })
+    }
+
+    #[test]
+    fn streak_of_four_blacklists() {
+        let mut b = bliss();
+        for _ in 0..3 {
+            b.on_request_served(1, 0);
+        }
+        assert!(!b.is_blacklisted(1));
+        b.on_request_served(1, 0);
+        assert!(b.is_blacklisted(1));
+    }
+
+    #[test]
+    fn interleaved_service_never_blacklists() {
+        let mut b = bliss();
+        for i in 0..100 {
+            b.on_request_served(i % 2, i as TimePs);
+        }
+        assert!(!b.is_blacklisted(0));
+        assert!(!b.is_blacklisted(1));
+    }
+
+    #[test]
+    fn clearing_interval_resets_blacklist() {
+        let mut b = bliss();
+        for _ in 0..4 {
+            b.on_request_served(2, 0);
+        }
+        assert!(b.is_blacklisted(2));
+        b.tick(BlissConfig::default().clearing_interval);
+        assert!(!b.is_blacklisted(2));
+    }
+
+    #[test]
+    fn streak_resets_on_thread_switch() {
+        let mut b = bliss();
+        b.on_request_served(0, 0);
+        b.on_request_served(0, 0);
+        b.on_request_served(0, 0);
+        b.on_request_served(1, 0); // breaks the streak
+        b.on_request_served(0, 0);
+        assert!(!b.is_blacklisted(0));
+    }
+
+    #[test]
+    fn out_of_range_thread_is_not_blacklisted() {
+        let b = bliss();
+        assert!(!b.is_blacklisted(99));
+    }
+}

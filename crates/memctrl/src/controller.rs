@@ -1,0 +1,743 @@
+//! The memory controller proper: queues, scheduling, refresh and RFM issue.
+//!
+//! The controller advances an event-driven command loop: at each step it
+//! enumerates the earliest legal action per bank (refresh, RFM, ARR, a
+//! row-hit column command, a page-policy precharge, or an activation) and
+//! executes the globally earliest one. Priorities at equal time follow
+//! maintenance-first order (REF > RFM > ARR > column > PRE > ACT), which
+//! guarantees forward progress and models refresh/RFM head-of-line blocking
+//! — the mechanism behind Mithril's performance overhead (paper Fig. 9/10).
+
+use std::collections::VecDeque;
+
+use mithril_dram::{BankId, DramDevice, RowId, TimePs};
+
+use crate::bliss::{Bliss, BlissConfig};
+use crate::mitigation::{McAction, McMitigation};
+use crate::request::MemRequest;
+
+/// How the controller drives the RFM interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RfmMode {
+    /// RFM disabled (pre-DDR5 behaviour, or MC-side-only schemes).
+    Disabled,
+    /// Standard RFM: issue to a bank whenever its RAA counter reaches
+    /// RFMTH (paper Fig. 1(b)).
+    Standard,
+    /// Mithril+: poll the mode-register flag first (MRR) and elide the RFM
+    /// when the DRAM-side engine reports nothing pending (Section V-B).
+    MrrElision,
+}
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct McConfig {
+    /// RFM issue policy.
+    pub rfm_mode: RfmMode,
+    /// RAA threshold at which an RFM is due.
+    pub rfm_th: u64,
+    /// Minimalist-open page policy: max row hits per activation.
+    pub max_row_hits: u32,
+    /// BLISS scheduling, or pure FR-FCFS when `None`.
+    pub bliss: Option<BlissConfig>,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        Self {
+            rfm_mode: RfmMode::Disabled,
+            rfm_th: 64,
+            max_row_hits: 4,
+            bliss: Some(BlissConfig::default()),
+        }
+    }
+}
+
+/// A serviced request, reported back to the cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The id the caller tagged the request with.
+    pub request_id: u64,
+    /// Originating thread.
+    pub thread: usize,
+    /// Time the data burst (read) or write commit finished.
+    pub at: TimePs,
+    /// Whether this was a writeback.
+    pub is_write: bool,
+}
+
+/// Aggregate controller statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct McStats {
+    /// Demand reads serviced.
+    pub reads_done: u64,
+    /// Writebacks serviced.
+    pub writes_done: u64,
+    /// Sum of read latencies (completion − arrival), for average latency.
+    pub total_read_latency: TimePs,
+    /// ACT commands issued.
+    pub acts: u64,
+    /// Column commands that hit an open row.
+    pub row_hits: u64,
+    /// Rank REF commands issued.
+    pub refs: u64,
+    /// RFM commands issued.
+    pub rfms: u64,
+    /// RFMs elided after a clear MRR flag (Mithril+).
+    pub rfm_elisions: u64,
+    /// MRR polls issued.
+    pub mrrs: u64,
+    /// ARR commands issued on behalf of MC-side schemes.
+    pub arrs: u64,
+    /// ACTs whose issue was delayed by a throttling mitigation.
+    pub throttled_acts: u64,
+}
+
+impl McStats {
+    /// Average read latency in picoseconds.
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.reads_done == 0 {
+            0.0
+        } else {
+            self.total_read_latency as f64 / self.reads_done as f64
+        }
+    }
+
+    /// Row-buffer hit rate over column commands.
+    pub fn row_hit_rate(&self) -> f64 {
+        let cols = self.reads_done + self.writes_done;
+        if cols == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / cols as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct BankQueue {
+    queue: VecDeque<MemRequest>,
+    hits_served: u32,
+    raa: u64,
+    rfm_pending: bool,
+    arr_queue: VecDeque<Vec<RowId>>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Action {
+    Ref { rank: usize },
+    MaintPre { bank: BankId },
+    Rfm { bank: BankId },
+    Arr { bank: BankId },
+    Column { bank: BankId, pos: usize },
+    Pre { bank: BankId },
+    Act { bank: BankId, pos: usize, throttled: bool },
+}
+
+impl Action {
+    fn priority(&self) -> u8 {
+        match self {
+            Action::Ref { .. } => 0,
+            Action::MaintPre { .. } => 1,
+            Action::Rfm { .. } => 2,
+            Action::Arr { .. } => 3,
+            Action::Column { .. } => 4,
+            Action::Pre { .. } => 5,
+            Action::Act { .. } => 6,
+        }
+    }
+}
+
+/// One memory channel's controller, owning its [`DramDevice`].
+///
+/// See the crate-level example for typical use.
+pub struct MemoryController {
+    device: DramDevice,
+    config: McConfig,
+    mitigation: Box<dyn McMitigation>,
+    bliss: Option<Bliss>,
+    banks: Vec<BankQueue>,
+    next_ref: Vec<TimePs>,
+    bus_free: TimePs,
+    clock: TimePs,
+    stats: McStats,
+    completions: Vec<Completion>,
+}
+
+impl MemoryController {
+    /// Creates a controller over `device` with the given MC-side
+    /// mitigation (use [`crate::NoMcMitigation`] for DRAM-side schemes).
+    pub fn new(
+        device: DramDevice,
+        config: McConfig,
+        mitigation: Box<dyn McMitigation>,
+    ) -> Self {
+        let nbanks = device.geometry().banks_total();
+        let nranks = device.geometry().ranks;
+        let trefi = device.timing().trefi;
+        Self {
+            device,
+            config,
+            mitigation,
+            bliss: config.bliss.map(Bliss::new),
+            banks: (0..nbanks).map(|_| BankQueue::default()).collect(),
+            // Stagger rank refreshes to avoid lock-step tRFC stalls.
+            next_ref: (0..nranks).map(|r| trefi + (r as TimePs) * (trefi / nranks.max(1) as TimePs)).collect(),
+            bus_free: 0,
+            clock: 0,
+            stats: McStats::default(),
+            completions: Vec::new(),
+        }
+    }
+
+    /// Queues a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request's bank is out of range.
+    pub fn enqueue(&mut self, req: MemRequest) {
+        assert!(req.addr.bank < self.banks.len(), "bank {} out of range", req.addr.bank);
+        self.banks[req.addr.bank].queue.push_back(req);
+    }
+
+    /// Total queued (not yet serviced) requests.
+    pub fn pending(&self) -> usize {
+        self.banks.iter().map(|b| b.queue.len()).sum()
+    }
+
+    /// Current controller clock.
+    pub fn now(&self) -> TimePs {
+        self.clock
+    }
+
+    /// Controller statistics.
+    pub fn stats(&self) -> McStats {
+        self.stats
+    }
+
+    /// The DRAM device behind this controller.
+    pub fn device(&self) -> &DramDevice {
+        &self.device
+    }
+
+    /// Consumes the controller, returning the device (for end-of-run
+    /// inspection of oracles and energy counters).
+    pub fn into_device(self) -> DramDevice {
+        self.device
+    }
+
+    /// The MC-side mitigation.
+    pub fn mitigation(&self) -> &dyn McMitigation {
+        self.mitigation.as_ref()
+    }
+
+    /// Advances the command loop until no action can issue at or before
+    /// `end`, returning all completions produced.
+    ///
+    /// The controller clock tracks the last executed command, *not* `end`:
+    /// callers may interleave `enqueue`/`advance_until` at the same fence
+    /// repeatedly (the simulator's intra-epoch relaxation), and requests
+    /// arriving between calls are scheduled at their natural times rather
+    /// than being quantized to the fence.
+    pub fn advance_until(&mut self, end: TimePs) -> Vec<Completion> {
+        loop {
+            match self.next_candidate() {
+                Some((t, action)) if t <= end => {
+                    self.clock = t;
+                    if let Some(b) = &mut self.bliss {
+                        b.tick(t);
+                    }
+                    self.execute(action, t);
+                }
+                _ => break,
+            }
+        }
+        std::mem::take(&mut self.completions)
+    }
+
+    // ---------------------------------------------------------- candidates
+
+    fn next_candidate(&self) -> Option<(TimePs, Action)> {
+        let mut best: Option<(TimePs, Action)> = None;
+        let mut consider = |t: TimePs, a: Action| {
+            let better = match &best {
+                None => true,
+                Some((bt, ba)) => (t, a.priority()) < (*bt, ba.priority()),
+            };
+            if better {
+                best = Some((t, a));
+            }
+        };
+
+        let timing = *self.device.timing();
+        let geometry = *self.device.geometry();
+
+        for rank in 0..geometry.ranks {
+            let due = self.next_ref[rank];
+            if self.clock >= due {
+                // Refresh overdue: close rows, then REF.
+                let lo = rank * geometry.banks_per_rank;
+                let hi = lo + geometry.banks_per_rank;
+                let mut all_ready = true;
+                let mut ready_at = self.clock.max(due);
+                for b in lo..hi {
+                    let bank = self.device.bank(b);
+                    if bank.open_row().is_some() {
+                        all_ready = false;
+                        consider(self.clock.max(bank.earliest_precharge()), Action::MaintPre { bank: b });
+                    } else {
+                        ready_at = ready_at.max(bank.earliest_activate());
+                    }
+                }
+                if all_ready {
+                    consider(ready_at, Action::Ref { rank });
+                }
+                // While a rank's refresh is overdue, suppress new work on it.
+                continue;
+            }
+            // Upcoming refresh also schedules itself (so we don't stall
+            // waiting for external events when queues are empty).
+            consider(due, Action::Ref { rank });
+
+            for b in (rank * geometry.banks_per_rank)..((rank + 1) * geometry.banks_per_rank) {
+                self.bank_candidates(b, &timing, &mut consider);
+            }
+        }
+        best
+    }
+
+    fn bank_candidates(
+        &self,
+        b: BankId,
+        timing: &mithril_dram::Ddr5Timing,
+        consider: &mut impl FnMut(TimePs, Action),
+    ) {
+        let bq = &self.banks[b];
+        let bank = self.device.bank(b);
+        let open = bank.open_row();
+
+        // Maintenance: a pending RFM or ARR takes priority over new ACTs.
+        if bq.rfm_pending || !bq.arr_queue.is_empty() {
+            match open {
+                Some(_) => {
+                    // Row hits may drain first (RAAMMT slack), but if none
+                    // are serviceable we close the row.
+                    if let Some(pos) = self.best_hit(bq, open.unwrap()) {
+                        if bq.hits_served < self.config.max_row_hits {
+                            consider(self.column_time(bank, timing), Action::Column { bank: b, pos });
+                            return;
+                        }
+                        let _ = pos;
+                    }
+                    consider(self.clock.max(bank.earliest_precharge()), Action::MaintPre { bank: b });
+                }
+                None => {
+                    let t = self.clock.max(bank.earliest_activate());
+                    if bq.rfm_pending {
+                        consider(t, Action::Rfm { bank: b });
+                    } else {
+                        consider(t, Action::Arr { bank: b });
+                    }
+                }
+            }
+            return;
+        }
+
+        match open {
+            Some(row) => {
+                if bq.hits_served < self.config.max_row_hits {
+                    if let Some(pos) = self.best_hit(bq, row) {
+                        consider(self.column_time(bank, timing), Action::Column { bank: b, pos });
+                        return;
+                    }
+                }
+                // Minimalist-open: no serviceable hit (or hit budget spent):
+                // close the row.
+                consider(self.clock.max(bank.earliest_precharge()), Action::Pre { bank: b });
+            }
+            None => {
+                if let Some((pos, t, throttled)) = self.best_activation(b, bq) {
+                    consider(t, Action::Act { bank: b, pos, throttled });
+                }
+            }
+        }
+    }
+
+    /// Highest-priority row-hit request position, if any.
+    fn best_hit(&self, bq: &BankQueue, row: RowId) -> Option<usize> {
+        let mut best: Option<(bool, TimePs, usize)> = None;
+        for (i, req) in bq.queue.iter().enumerate() {
+            if req.addr.row != row {
+                continue;
+            }
+            let key = (self.is_blacklisted(req.thread), req.arrival, i);
+            if best.map_or(true, |b| key < b) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, _, i)| i)
+    }
+
+    /// Best request to activate for, with its earliest issue time.
+    fn best_activation(&self, b: BankId, bq: &BankQueue) -> Option<(usize, TimePs, bool)> {
+        let base = self.device.earliest_activate(b, self.clock);
+        let mut best: Option<(TimePs, bool, TimePs, usize, bool)> = None;
+        for (i, req) in bq.queue.iter().enumerate() {
+            let release =
+                self.mitigation.activate_allowed_at(b, req.addr.row, req.thread, self.clock);
+            let t = base.max(release);
+            let key = (t, self.is_blacklisted(req.thread), req.arrival, i, release > base);
+            if best.map_or(true, |b| (key.0, key.1, key.2, key.3) < (b.0, b.1, b.2, b.3)) {
+                best = Some(key);
+            }
+        }
+        best.map(|(t, _, _, i, throttled)| (i, t, throttled))
+    }
+
+    fn is_blacklisted(&self, thread: usize) -> bool {
+        self.bliss.as_ref().is_some_and(|b| b.is_blacklisted(thread))
+    }
+
+    /// Earliest time a column command may issue on `bank`, considering the
+    /// shared data bus.
+    fn column_time(&self, bank: &mithril_dram::Bank, timing: &mithril_dram::Ddr5Timing) -> TimePs {
+        let bus_ready = self.bus_free.saturating_sub(timing.tcl);
+        self.clock.max(bank.earliest_column()).max(bus_ready)
+    }
+
+    // ------------------------------------------------------------ execution
+
+    fn execute(&mut self, action: Action, now: TimePs) {
+        match action {
+            Action::Ref { rank } => {
+                if !self.device.can_refresh_rank(rank, now) {
+                    // Scheduled at its due time while banks were still busy
+                    // or open; the next pass treats the refresh as overdue
+                    // and closes rows first.
+                    return;
+                }
+                let (_, ranges) = self.device.issue_refresh_rank(rank, now);
+                for (bank, lo, hi) in ranges {
+                    self.mitigation.on_auto_refresh(bank, lo, hi);
+                }
+                self.next_ref[rank] += self.device.timing().trefi;
+                self.stats.refs += 1;
+            }
+            Action::MaintPre { bank } | Action::Pre { bank } => {
+                self.device.issue_precharge(bank, now);
+            }
+            Action::Rfm { bank } => {
+                if self.config.rfm_mode == RfmMode::MrrElision {
+                    self.stats.mrrs += 1;
+                    let pending = self.device.issue_mrr(bank);
+                    if !pending {
+                        self.device.note_rfm_elided();
+                        self.stats.rfm_elisions += 1;
+                        self.banks[bank].rfm_pending = false;
+                        self.banks[bank].raa = 0;
+                        return;
+                    }
+                }
+                let _ = self.device.issue_rfm(bank, now);
+                self.stats.rfms += 1;
+                self.banks[bank].rfm_pending = false;
+                self.banks[bank].raa = 0;
+            }
+            Action::Arr { bank } => {
+                let victims = self.banks[bank]
+                    .arr_queue
+                    .pop_front()
+                    .expect("ARR action requires a queued ARR");
+                self.device.issue_arr(bank, &victims, now);
+                self.stats.arrs += 1;
+            }
+            Action::Column { bank, pos } => {
+                let req = self.banks[bank].queue.remove(pos).expect("valid queue position");
+                let done = if req.is_write {
+                    self.stats.writes_done += 1;
+                    self.device.issue_write(bank, req.addr.row, now)
+                } else {
+                    self.stats.reads_done += 1;
+                    self.device.issue_read(bank, req.addr.row, now)
+                };
+                self.stats.row_hits += 1;
+                self.banks[bank].hits_served += 1;
+                let timing = self.device.timing();
+                self.bus_free = now + timing.tcl + timing.tbl;
+                if !req.is_write {
+                    self.stats.total_read_latency += done.saturating_sub(req.arrival);
+                }
+                if let Some(bl) = &mut self.bliss {
+                    bl.on_request_served(req.thread, now);
+                }
+                self.completions.push(Completion {
+                    request_id: req.id,
+                    thread: req.thread,
+                    at: done,
+                    is_write: req.is_write,
+                });
+            }
+            Action::Act { bank, pos, throttled } => {
+                let req = self.banks[bank].queue[pos];
+                self.device.issue_activate(bank, req.addr.row, now);
+                self.stats.acts += 1;
+                self.banks[bank].hits_served = 0;
+                if throttled {
+                    self.stats.throttled_acts += 1;
+                }
+                if self.config.rfm_mode != RfmMode::Disabled {
+                    self.banks[bank].raa += 1;
+                    if self.banks[bank].raa >= self.config.rfm_th {
+                        self.banks[bank].rfm_pending = true;
+                    }
+                }
+                match self.mitigation.on_activate(bank, req.addr.row, req.thread, now) {
+                    McAction::None => {}
+                    McAction::Arr { bank: target, victims } => {
+                        self.banks[target].arr_queue.push_back(victims);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MemoryController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryController")
+            .field("clock", &self.clock)
+            .field("pending", &self.pending())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::AddressMapping;
+    use crate::mitigation::NoMcMitigation;
+    use mithril_dram::{Ddr5Timing, Geometry, NoMitigation, PS_PER_MS, PS_PER_US};
+
+    fn controller(config: McConfig) -> (MemoryController, AddressMapping) {
+        let geometry = Geometry::default();
+        let device = DramDevice::new(geometry, Ddr5Timing::ddr5_4800(), 100_000, 1, |_| {
+            Box::new(NoMitigation)
+        });
+        (MemoryController::new(device, config, Box::new(NoMcMitigation)), AddressMapping::new(geometry))
+    }
+
+    #[test]
+    fn single_read_completes_with_act_latency() {
+        let (mut mc, map) = controller(McConfig::default());
+        let t = Ddr5Timing::ddr5_4800();
+        mc.enqueue(MemRequest::read(1, map.map_line(64), 0, 0));
+        let done = mc.advance_until(PS_PER_US);
+        assert_eq!(done.len(), 1);
+        // ACT at 0, RD at tRCD, data at tRCD + tCL + tBL.
+        assert_eq!(done[0].at, t.trcd + t.tcl + t.tbl);
+    }
+
+    #[test]
+    fn row_hits_are_serviced_back_to_back() {
+        let (mut mc, _) = controller(McConfig::default());
+        // Two lines in the same row, same bank: second is a row hit.
+        let a = crate::mapping::MappedAddr { bank: 0, row: 10, col: 0 };
+        let b = crate::mapping::MappedAddr { bank: 0, row: 10, col: 1 };
+        mc.enqueue(MemRequest::read(1, a, 0, 0));
+        mc.enqueue(MemRequest::read(2, b, 0, 0));
+        let done = mc.advance_until(PS_PER_US);
+        assert_eq!(done.len(), 2);
+        assert_eq!(mc.stats().acts, 1, "second access must be a row hit");
+    }
+
+    #[test]
+    fn minimalist_open_caps_row_hits() {
+        let (mut mc, _) = controller(McConfig::default());
+        for i in 0..6u64 {
+            let addr = crate::mapping::MappedAddr { bank: 0, row: 10, col: i };
+            mc.enqueue(MemRequest::read(i, addr, 0, 0));
+        }
+        let done = mc.advance_until(10 * PS_PER_US);
+        assert_eq!(done.len(), 6);
+        // 6 same-row requests with max 4 hits per activation: 2 ACTs.
+        assert_eq!(mc.stats().acts, 2);
+    }
+
+    #[test]
+    fn different_rows_conflict_in_bank() {
+        let (mut mc, _) = controller(McConfig::default());
+        let a = crate::mapping::MappedAddr { bank: 0, row: 10, col: 0 };
+        let b = crate::mapping::MappedAddr { bank: 0, row: 20, col: 0 };
+        mc.enqueue(MemRequest::read(1, a, 0, 0));
+        mc.enqueue(MemRequest::read(2, b, 0, 0));
+        let done = mc.advance_until(PS_PER_US);
+        assert_eq!(done.len(), 2);
+        assert_eq!(mc.stats().acts, 2);
+        // Second completes after a full row cycle.
+        assert!(done[1].at > Ddr5Timing::ddr5_4800().trc);
+    }
+
+    #[test]
+    fn auto_refresh_happens_every_trefi() {
+        let (mut mc, _) = controller(McConfig::default());
+        let t = Ddr5Timing::ddr5_4800();
+        mc.advance_until(10 * t.trefi + t.trefi / 2);
+        assert_eq!(mc.stats().refs, 10);
+    }
+
+    #[test]
+    fn rfm_issued_every_rfmth_acts() {
+        let cfg = McConfig { rfm_mode: RfmMode::Standard, rfm_th: 4, ..Default::default() };
+        let (mut mc, _) = controller(cfg);
+        // 8 activations to bank 0 (different rows → all ACTs).
+        for i in 0..8u64 {
+            let addr = crate::mapping::MappedAddr { bank: 0, row: 10 + i, col: 0 };
+            mc.enqueue(MemRequest::read(i, addr, 0, 0));
+        }
+        let done = mc.advance_until(PS_PER_MS);
+        assert_eq!(done.len(), 8);
+        assert_eq!(mc.stats().acts, 8);
+        assert_eq!(mc.stats().rfms, 2, "RAA reaches 4 twice");
+    }
+
+    #[test]
+    fn mrr_elision_skips_rfm_for_idle_engine() {
+        // NoMitigation reports refresh_pending() = false → every RFM elided.
+        let cfg = McConfig { rfm_mode: RfmMode::MrrElision, rfm_th: 4, ..Default::default() };
+        let (mut mc, _) = controller(cfg);
+        for i in 0..8u64 {
+            let addr = crate::mapping::MappedAddr { bank: 0, row: 10 + i, col: 0 };
+            mc.enqueue(MemRequest::read(i, addr, 0, 0));
+        }
+        mc.advance_until(PS_PER_MS);
+        assert_eq!(mc.stats().rfms, 0);
+        assert_eq!(mc.stats().rfm_elisions, 2);
+        assert_eq!(mc.stats().mrrs, 2);
+    }
+
+    #[test]
+    fn arr_requests_execute_with_priority() {
+        /// Mitigation that ARRs the neighbours of every activation.
+        struct ArrEvery;
+        impl McMitigation for ArrEvery {
+            fn on_activate(
+                &mut self,
+                bank: BankId,
+                row: RowId,
+                _thread: usize,
+                _now: TimePs,
+            ) -> McAction {
+                McAction::Arr { bank, victims: vec![row.saturating_sub(1), row + 1] }
+            }
+            fn name(&self) -> &'static str {
+                "arr-every"
+            }
+        }
+        let geometry = Geometry::default();
+        let device = DramDevice::new(geometry, Ddr5Timing::ddr5_4800(), 100_000, 1, |_| {
+            Box::new(NoMitigation)
+        });
+        let mut mc = MemoryController::new(device, McConfig::default(), Box::new(ArrEvery));
+        let addr = crate::mapping::MappedAddr { bank: 3, row: 100, col: 0 };
+        mc.enqueue(MemRequest::read(1, addr, 0, 0));
+        mc.advance_until(PS_PER_US);
+        assert_eq!(mc.stats().arrs, 1);
+        // The oracle saw the preventive refresh of both neighbours.
+        assert_eq!(mc.device().oracle(3).disturbance(99), 0);
+        assert_eq!(mc.device().oracle(3).disturbance(101), 0);
+        assert_eq!(mc.device().counters().preventive_rows, 2);
+    }
+
+    #[test]
+    fn throttling_mitigation_delays_acts() {
+        /// Delays every ACT of thread 0 by 1 µs.
+        struct DelayThread0;
+        impl McMitigation for DelayThread0 {
+            fn on_activate(
+                &mut self,
+                _bank: BankId,
+                _row: RowId,
+                _thread: usize,
+                _now: TimePs,
+            ) -> McAction {
+                McAction::None
+            }
+            fn activate_allowed_at(
+                &self,
+                _bank: BankId,
+                _row: RowId,
+                thread: usize,
+                now: TimePs,
+            ) -> TimePs {
+                if thread == 0 {
+                    now + PS_PER_US
+                } else {
+                    now
+                }
+            }
+            fn name(&self) -> &'static str {
+                "delay-thread0"
+            }
+        }
+        let geometry = Geometry::default();
+        let device = DramDevice::new(geometry, Ddr5Timing::ddr5_4800(), 100_000, 1, |_| {
+            Box::new(NoMitigation)
+        });
+        let mut mc = MemoryController::new(device, McConfig::default(), Box::new(DelayThread0));
+        let a = crate::mapping::MappedAddr { bank: 0, row: 1, col: 0 };
+        let b = crate::mapping::MappedAddr { bank: 1, row: 2, col: 0 };
+        mc.enqueue(MemRequest::read(1, a, 0, 0));
+        mc.enqueue(MemRequest::read(2, b, 1, 0));
+        let done = mc.advance_until(10 * PS_PER_US);
+        assert_eq!(done.len(), 2);
+        let t0 = done.iter().find(|c| c.thread == 0).unwrap();
+        let t1 = done.iter().find(|c| c.thread == 1).unwrap();
+        assert!(t0.at > PS_PER_US, "thread 0 must be throttled");
+        assert!(t1.at < PS_PER_US, "thread 1 must not be throttled");
+        assert_eq!(mc.stats().throttled_acts, 1);
+    }
+
+    #[test]
+    fn bliss_blacklists_streaming_thread() {
+        let (mut mc, _) = controller(McConfig::default());
+        // Thread 0 floods bank 0 with row hits; thread 1 queues one
+        // request behind them on the same bank, different row.
+        for i in 0..4u64 {
+            let addr = crate::mapping::MappedAddr { bank: 0, row: 10, col: i };
+            mc.enqueue(MemRequest::read(i, addr, 0, 0));
+        }
+        for i in 0..4u64 {
+            let addr = crate::mapping::MappedAddr { bank: 0, row: 10, col: 4 + i };
+            mc.enqueue(MemRequest::read(100 + i, addr, 0, 0));
+        }
+        let addr1 = crate::mapping::MappedAddr { bank: 0, row: 20, col: 0 };
+        mc.enqueue(MemRequest::read(999, addr1, 1, 0));
+        let done = mc.advance_until(PS_PER_MS);
+        assert_eq!(done.len(), 9);
+        // After 4 consecutive services, thread 0 is blacklisted and thread
+        // 1's row-miss request wins the next activation.
+        let pos_t1 = done.iter().position(|c| c.request_id == 999).unwrap();
+        assert!(pos_t1 < 8, "blacklisted stream must not starve thread 1 (pos {pos_t1})");
+    }
+
+    #[test]
+    fn pending_counts_queued_requests() {
+        let (mut mc, map) = controller(McConfig::default());
+        mc.enqueue(MemRequest::read(1, map.map_line(0), 0, 0));
+        mc.enqueue(MemRequest::read(2, map.map_line(1), 0, 0));
+        assert_eq!(mc.pending(), 2);
+        mc.advance_until(PS_PER_US);
+        assert_eq!(mc.pending(), 0);
+    }
+
+    #[test]
+    fn writes_complete_and_count() {
+        let (mut mc, map) = controller(McConfig::default());
+        mc.enqueue(MemRequest::write(1, map.map_line(0), 0, 0));
+        let done = mc.advance_until(PS_PER_US);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].is_write);
+        assert_eq!(mc.stats().writes_done, 1);
+    }
+}

@@ -1,0 +1,183 @@
+//! Physical-address interleaving across banks, rows and columns.
+//!
+//! The mapping follows the usual high-performance layout: consecutive cache
+//! lines stripe across banks (bank bits above the column bits, XOR-hashed
+//! with low row bits to break power-of-two conflict patterns), so streaming
+//! workloads exploit bank-level parallelism while a row's lines stay in one
+//! row buffer.
+
+use mithril_dram::{BankId, Geometry, RowId};
+
+/// A request's DRAM coordinates after interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MappedAddr {
+    /// Flat bank index within the channel.
+    pub bank: BankId,
+    /// Row within the bank.
+    pub row: RowId,
+    /// Column (cache-line slot) within the row.
+    pub col: u64,
+}
+
+/// Line-address → (bank, row, column) interleaving for one channel.
+///
+/// # Example
+///
+/// ```
+/// use mithril_dram::Geometry;
+/// use mithril_memctrl::AddressMapping;
+///
+/// let m = AddressMapping::new(Geometry::default());
+/// let a = m.map_line(0);
+/// let b = m.map_line(1); // next line: same row, different bank
+/// assert_ne!(a.bank, b.bank);
+/// // Lines map deterministically.
+/// assert_eq!(m.map_line(12345), m.map_line(12345));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AddressMapping {
+    geometry: Geometry,
+    bank_bits: u32,
+    col_bits: u32,
+}
+
+impl AddressMapping {
+    /// Creates the mapping for `geometry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank count or lines-per-row is not a power of two.
+    pub fn new(geometry: Geometry) -> Self {
+        let banks = geometry.banks_total();
+        assert!(banks.is_power_of_two(), "bank count must be a power of two");
+        let lines = geometry.lines_per_row();
+        assert!(lines.is_power_of_two(), "lines per row must be a power of two");
+        Self {
+            geometry,
+            bank_bits: banks.trailing_zeros(),
+            col_bits: lines.trailing_zeros(),
+        }
+    }
+
+    /// Maps a cache-line address (line index, i.e. byte address / 64) to
+    /// DRAM coordinates.
+    pub fn map_line(&self, line_addr: u64) -> MappedAddr {
+        // Layout (LSB → MSB): bank | column | row.
+        let bank_mask = (1u64 << self.bank_bits) - 1;
+        let col_mask = (1u64 << self.col_bits) - 1;
+        let bank_raw = line_addr & bank_mask;
+        let col = (line_addr >> self.bank_bits) & col_mask;
+        let row = (line_addr >> (self.bank_bits + self.col_bits))
+            % self.geometry.rows_per_bank;
+        // XOR-hash the bank with low row bits (permutation-based
+        // interleaving) so same-bank strides don't always conflict.
+        let bank = (bank_raw ^ (row & bank_mask)) & bank_mask;
+        MappedAddr { bank: bank as BankId, row, col }
+    }
+
+    /// The geometry this mapping was built for.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// Inverse mapping: the line address landing on `(bank, row, col)`.
+    ///
+    /// Attackers reverse-engineer exactly this function to aim at specific
+    /// DRAM rows; the attack-trace generators use it for the same purpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn line_for(&self, addr: MappedAddr) -> u64 {
+        let bank_mask = (1u64 << self.bank_bits) - 1;
+        assert!(addr.bank < self.geometry.banks_total(), "bank out of range");
+        assert!(addr.row < self.geometry.rows_per_bank, "row out of range");
+        assert!(addr.col < self.geometry.lines_per_row(), "col out of range");
+        let bank_raw = (addr.bank as u64 ^ (addr.row & bank_mask)) & bank_mask;
+        bank_raw | (addr.col << self.bank_bits) | (addr.row << (self.bank_bits + self.col_bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapping() -> AddressMapping {
+        AddressMapping::new(Geometry::default())
+    }
+
+    #[test]
+    fn consecutive_lines_stripe_banks() {
+        let m = mapping();
+        let banks: Vec<_> = (0..32u64).map(|i| m.map_line(i).bank).collect();
+        let unique: std::collections::HashSet<_> = banks.iter().collect();
+        assert_eq!(unique.len(), 32, "32 consecutive lines must hit 32 banks");
+    }
+
+    #[test]
+    fn lines_within_row_share_row() {
+        let m = mapping();
+        // Stride by bank count: same bank, consecutive columns.
+        let a = m.map_line(0);
+        let b = m.map_line(32);
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(a.row, b.row);
+        assert_ne!(a.col, b.col);
+    }
+
+    #[test]
+    fn row_changes_after_row_worth_of_lines() {
+        let m = mapping();
+        let lines_per_row_all_banks = 32 * 128; // banks * lines_per_row
+        let a = m.map_line(0);
+        let b = m.map_line(lines_per_row_all_banks);
+        assert_eq!(a.row + 1, b.row);
+    }
+
+    #[test]
+    fn mapping_is_total_and_in_range() {
+        let m = mapping();
+        let g = *m.geometry();
+        for i in (0..1_000_000u64).step_by(7919) {
+            let a = m.map_line(i);
+            assert!(a.bank < g.banks_total());
+            assert!(a.row < g.rows_per_bank);
+            assert!(a.col < g.lines_per_row());
+        }
+    }
+
+    #[test]
+    fn xor_hash_breaks_stride_conflicts() {
+        // A power-of-two stride that would always hit bank 0 without
+        // hashing must spread across banks with it.
+        let m = mapping();
+        let stride = 32 * 128; // one full row of lines across banks
+        let banks: std::collections::HashSet<_> =
+            (0..64u64).map(|i| m.map_line(i * stride).bank).collect();
+        assert!(banks.len() > 1, "XOR hash failed to spread strided accesses");
+    }
+
+    #[test]
+    fn line_for_inverts_map_line() {
+        let m = mapping();
+        for i in (0..2_000_000u64).step_by(4391) {
+            let a = m.map_line(i);
+            assert_eq!(m.line_for(a), i, "line {i} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn line_for_targets_requested_row() {
+        let m = mapping();
+        let addr = MappedAddr { bank: 5, row: 1234, col: 7 };
+        let line = m.line_for(addr);
+        assert_eq!(m.map_line(line), addr);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_banks_panics() {
+        let g = Geometry { banks_per_rank: 24, ..Geometry::default() };
+        let _ = AddressMapping::new(g);
+    }
+}

@@ -1,0 +1,58 @@
+//! Memory requests as they arrive from the cache hierarchy.
+
+use crate::mapping::MappedAddr;
+use mithril_dram::TimePs;
+
+/// One cache-line-sized DRAM request.
+///
+/// # Example
+///
+/// ```
+/// use mithril_memctrl::{AddressMapping, MemRequest};
+/// use mithril_dram::Geometry;
+///
+/// let mapping = AddressMapping::new(Geometry::default());
+/// let req = MemRequest::read(7, mapping.map_line(0x1234_5678), 3, 1_000);
+/// assert!(!req.is_write);
+/// assert_eq!(req.thread, 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Caller-assigned identifier, echoed in the completion.
+    pub id: u64,
+    /// Bank/row/column coordinates.
+    pub addr: MappedAddr,
+    /// True for writebacks, false for demand reads.
+    pub is_write: bool,
+    /// Originating hardware thread (for BLISS and throttling decisions).
+    pub thread: usize,
+    /// Arrival time at the controller.
+    pub arrival: TimePs,
+}
+
+impl MemRequest {
+    /// A demand read.
+    pub fn read(id: u64, addr: MappedAddr, thread: usize, arrival: TimePs) -> Self {
+        Self { id, addr, is_write: false, thread, arrival }
+    }
+
+    /// A writeback.
+    pub fn write(id: u64, addr: MappedAddr, thread: usize, arrival: TimePs) -> Self {
+        Self { id, addr, is_write: true, thread, arrival }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::AddressMapping;
+    use mithril_dram::Geometry;
+
+    #[test]
+    fn constructors_set_direction() {
+        let m = AddressMapping::new(Geometry::default());
+        let a = m.map_line(0x40);
+        assert!(!MemRequest::read(1, a, 0, 0).is_write);
+        assert!(MemRequest::write(2, a, 0, 0).is_write);
+    }
+}

@@ -1,0 +1,236 @@
+//! Shared last-level cache: set-associative, LRU, write-back/write-allocate
+//! with MSHR merging.
+
+use std::collections::HashMap;
+
+/// LLC geometry and latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlcConfig {
+    /// Total capacity in bytes (paper: 16 MB).
+    pub size_bytes: usize,
+    /// Associativity (ways).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+}
+
+impl Default for LlcConfig {
+    fn default() -> Self {
+        Self { size_bytes: 16 << 20, ways: 16, line_bytes: 64 }
+    }
+}
+
+/// Result of an LLC access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LlcAccess {
+    /// The line was present.
+    Hit,
+    /// The line is absent: a fill must be requested from memory.
+    Miss,
+    /// The line is absent but a fill is already outstanding (MSHR hit):
+    /// no new memory request is needed.
+    MergedMiss,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    lru: u64,
+}
+
+/// The shared last-level cache.
+///
+/// # Example
+///
+/// ```
+/// use mithril_sim::{Llc, LlcAccess, LlcConfig};
+///
+/// let mut llc = Llc::new(LlcConfig::default());
+/// assert_eq!(llc.access(100, false), LlcAccess::Miss);
+/// assert_eq!(llc.access(100, false), LlcAccess::MergedMiss);
+/// llc.fill(100);
+/// assert_eq!(llc.access(100, false), LlcAccess::Hit);
+/// ```
+#[derive(Debug)]
+pub struct Llc {
+    sets: Vec<Vec<Line>>,
+    set_mask: u64,
+    ways: usize,
+    /// Outstanding fills: line address → dirty-on-fill flag.
+    mshr: HashMap<u64, bool>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Llc {
+    /// Builds an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set count is not a power of two or ways is zero.
+    pub fn new(config: LlcConfig) -> Self {
+        assert!(config.ways > 0, "ways must be non-zero");
+        let sets = config.size_bytes / config.line_bytes / config.ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Self {
+            sets: vec![Vec::with_capacity(config.ways); sets],
+            set_mask: sets as u64 - 1,
+            ways: config.ways,
+            mshr: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Accesses `line_addr`; a write marks the line dirty.
+    pub fn access(&mut self, line_addr: u64, is_write: bool) -> LlcAccess {
+        self.clock += 1;
+        let set = (line_addr & self.set_mask) as usize;
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.tag == line_addr) {
+            line.lru = self.clock;
+            line.dirty |= is_write;
+            self.hits += 1;
+            return LlcAccess::Hit;
+        }
+        self.misses += 1;
+        if let Some(dirty) = self.mshr.get_mut(&line_addr) {
+            *dirty |= is_write;
+            return LlcAccess::MergedMiss;
+        }
+        self.mshr.insert(line_addr, is_write);
+        LlcAccess::Miss
+    }
+
+    /// Completes the fill of `line_addr`; returns the dirty line address
+    /// that must be written back, if an eviction produced one.
+    pub fn fill(&mut self, line_addr: u64) -> Option<u64> {
+        let dirty = self.mshr.remove(&line_addr).unwrap_or(false);
+        let set = (line_addr & self.set_mask) as usize;
+        self.clock += 1;
+        let lines = &mut self.sets[set];
+        if lines.iter().any(|l| l.tag == line_addr) {
+            return None; // already filled (rare double-fill)
+        }
+        let mut writeback = None;
+        if lines.len() == self.ways {
+            // Evict the LRU way.
+            let (victim_idx, _) =
+                lines.iter().enumerate().min_by_key(|(_, l)| l.lru).expect("full set");
+            let victim = lines.swap_remove(victim_idx);
+            if victim.dirty {
+                writeback = Some(victim.tag);
+            }
+        }
+        lines.push(Line { tag: line_addr, dirty, lru: self.clock });
+        writeback
+    }
+
+    /// Miss rate over all accesses so far.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Llc {
+        // 4 sets × 2 ways × 64 B = 512 B.
+        Llc::new(LlcConfig { size_bytes: 512, ways: 2, line_bytes: 64 })
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = small();
+        assert_eq!(c.access(5, false), LlcAccess::Miss);
+        assert_eq!(c.fill(5), None);
+        assert_eq!(c.access(5, false), LlcAccess::Hit);
+    }
+
+    #[test]
+    fn mshr_merges_duplicate_misses() {
+        let mut c = small();
+        assert_eq!(c.access(5, false), LlcAccess::Miss);
+        assert_eq!(c.access(5, false), LlcAccess::MergedMiss);
+        assert_eq!(c.access(5, true), LlcAccess::MergedMiss);
+        // The merged write makes the filled line dirty.
+        c.fill(5);
+        // Evict it by filling two more lines in the same set (stride 4).
+        c.access(9, false);
+        c.fill(9);
+        c.access(13, false);
+        let wb = c.fill(13);
+        assert_eq!(wb, Some(5), "dirty merged line must write back");
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = small();
+        for addr in [0u64, 4] {
+            c.access(addr, false);
+            c.fill(addr);
+        }
+        // Touch 0 so 4 is LRU.
+        c.access(0, false);
+        c.access(8, false);
+        c.fill(8);
+        assert_eq!(c.access(0, false), LlcAccess::Hit);
+        assert_eq!(c.access(4, false), LlcAccess::Miss);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = small();
+        for addr in [0u64, 4, 8] {
+            c.access(addr, false);
+            assert_eq!(c.fill(addr), None);
+        }
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut c = small();
+        c.access(0, true);
+        c.fill(0);
+        c.access(4, false);
+        c.fill(4);
+        c.access(8, false);
+        assert_eq!(c.fill(8), Some(0));
+    }
+
+    #[test]
+    fn miss_rate_tracks_counters() {
+        let mut c = small();
+        c.access(0, false);
+        c.fill(0);
+        c.access(0, false);
+        assert!((c.miss_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(c.counters(), (1, 1));
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small();
+        c.access(0, false);
+        c.fill(0);
+        c.access(0, true); // dirty now
+        c.access(4, false);
+        c.fill(4);
+        c.access(8, false);
+        assert_eq!(c.fill(8), Some(0));
+    }
+}

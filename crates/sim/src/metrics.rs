@@ -1,0 +1,125 @@
+//! End-of-run metrics.
+
+use mithril_dram::{EnergyCounters, TimePs};
+
+/// Results of one system simulation run.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    /// Workload-set name.
+    pub workload: String,
+    /// Scheme name.
+    pub scheme: String,
+    /// Per-core IPC.
+    pub per_core_ipc: Vec<f64>,
+    /// Sum of per-core IPCs — the paper's aggregate-IPC metric.
+    pub aggregate_ipc: f64,
+    /// Total instructions retired across cores.
+    pub total_insts: u64,
+    /// Simulated wall time (max core clock).
+    pub sim_time_ps: TimePs,
+    /// LLC miss rate.
+    pub llc_miss_rate: f64,
+    /// Merged DRAM operation counters across channels.
+    pub counters: EnergyCounters,
+    /// Total dynamic DRAM energy in picojoules.
+    pub energy_pj: f64,
+    /// RFM commands issued.
+    pub rfms: u64,
+    /// RFMs elided via MRR (Mithril+).
+    pub rfm_elisions: u64,
+    /// ARR commands issued (MC-side schemes).
+    pub arrs: u64,
+    /// ACTs delayed by throttling.
+    pub throttled_acts: u64,
+    /// Average demand-read latency in nanoseconds.
+    pub avg_read_latency_ns: f64,
+    /// Worst victim disturbance observed by the oracle.
+    pub max_disturbance: u64,
+    /// Bit flips detected (must be 0 for any deterministic scheme).
+    pub flips: usize,
+}
+
+impl Metrics {
+    /// This run's aggregate IPC normalized against a baseline run
+    /// (1.0 = no slowdown), the paper's headline performance metric.
+    pub fn normalized_ipc(&self, baseline: &Metrics) -> f64 {
+        if baseline.aggregate_ipc == 0.0 {
+            return 0.0;
+        }
+        self.aggregate_ipc / baseline.aggregate_ipc
+    }
+
+    /// Relative dynamic energy against a baseline run (1.0 = no overhead).
+    pub fn relative_energy(&self, baseline: &Metrics) -> f64 {
+        if baseline.energy_pj == 0.0 {
+            return 0.0;
+        }
+        self.energy_pj / baseline.energy_pj
+    }
+}
+
+/// Geometric mean of a slice of positive values.
+///
+/// # Example
+///
+/// ```
+/// use mithril_sim::Metrics;
+/// let g = mithril_sim::geomean(&[1.0, 4.0]);
+/// assert!((g - 2.0).abs() < 1e-12);
+/// # let _ = g;
+/// ```
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.max(1e-300).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(ipc: f64, energy: f64) -> Metrics {
+        Metrics {
+            workload: "w".into(),
+            scheme: "s".into(),
+            per_core_ipc: vec![ipc],
+            aggregate_ipc: ipc,
+            total_insts: 100,
+            sim_time_ps: 1000,
+            llc_miss_rate: 0.1,
+            counters: EnergyCounters::default(),
+            energy_pj: energy,
+            rfms: 0,
+            rfm_elisions: 0,
+            arrs: 0,
+            throttled_acts: 0,
+            avg_read_latency_ns: 50.0,
+            max_disturbance: 0,
+            flips: 0,
+        }
+    }
+
+    #[test]
+    fn normalized_ipc_vs_baseline() {
+        let base = metrics(10.0, 100.0);
+        let run = metrics(9.5, 104.0);
+        assert!((run.normalized_ipc(&base) - 0.95).abs() < 1e-12);
+        assert!((run.relative_energy(&base) - 1.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_baselines_are_zero() {
+        let base = metrics(0.0, 0.0);
+        let run = metrics(1.0, 1.0);
+        assert_eq!(run.normalized_ipc(&base), 0.0);
+        assert_eq!(run.relative_energy(&base), 0.0);
+    }
+
+    #[test]
+    fn geomean_of_equal_values() {
+        assert!((geomean(&[3.0, 3.0, 3.0]) - 3.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

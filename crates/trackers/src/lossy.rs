@@ -1,0 +1,270 @@
+//! The Lossy Counting algorithm (Manku & Motwani).
+//!
+//! TWiCe's tracking mechanism is a feedback-augmented variant of lossy
+//! counting (paper Table I). The stream is divided into *buckets* of `width`
+//! items. A tracked entry stores the count accumulated since it was inserted
+//! plus `delta`, the maximum count it could have had before insertion. At
+//! every bucket boundary, entries whose `count + delta` is at most the
+//! current bucket id are pruned.
+//!
+//! Guarantees, with `n` items recorded and bucket width `w`:
+//!
+//! * `actual(x) <= estimate(x) <= actual(x) + n/w` — two-sided like CbS, but
+//!   the table must hold every item with `actual > n/w` *plus* recently seen
+//!   cold items awaiting pruning, which is why Fig. 6 of the paper shows a
+//!   larger table than CbS for the same protection level.
+
+use std::collections::HashMap;
+
+use crate::FrequencyTracker;
+
+/// A tracked lossy-counting entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LossyEntry {
+    /// The tracked item.
+    pub item: u64,
+    /// Occurrences counted since insertion.
+    pub count: u64,
+    /// Maximum possible occurrences before insertion (bucket id - 1).
+    pub delta: u64,
+}
+
+impl LossyEntry {
+    /// Upper-bound estimate for this entry.
+    pub fn estimate(&self) -> u64 {
+        self.count + self.delta
+    }
+}
+
+/// Lossy Counting frequency tracker with error `1/width` per item recorded.
+///
+/// # Example
+///
+/// ```
+/// use mithril_trackers::{FrequencyTracker, LossyCounting};
+///
+/// let mut t = LossyCounting::new(100);
+/// for _ in 0..50 {
+///     t.record(7);
+/// }
+/// for i in 0..40 {
+///     t.record(1000 + i); // one-off cold items
+/// }
+/// assert!(t.estimate(7) >= 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LossyCounting {
+    width: u64,
+    entries: HashMap<u64, LossyEntry>,
+    n: u64,
+    current_bucket: u64,
+    /// High-water mark of the table population (the hardware would have to
+    /// provision this many entries).
+    peak_entries: usize,
+}
+
+impl LossyCounting {
+    /// Creates a lossy counter with bucket `width` (error = 1/width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: u64) -> Self {
+        assert!(width > 0, "width must be non-zero");
+        Self {
+            width,
+            entries: HashMap::new(),
+            n: 0,
+            current_bucket: 1,
+            peak_entries: 0,
+        }
+    }
+
+    /// The bucket width (1/error).
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Number of currently tracked entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Largest table population observed so far; the size hardware must
+    /// provision.
+    pub fn peak_entries(&self) -> usize {
+        self.peak_entries
+    }
+
+    /// Iterates over tracked entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &LossyEntry> + '_ {
+        self.entries.values()
+    }
+
+    /// Returns the tracked entry for `item`, if present.
+    pub fn entry(&self, item: u64) -> Option<&LossyEntry> {
+        self.entries.get(&item)
+    }
+
+    /// Removes `item` from the table (the TWiCe "row refreshed" feedback).
+    pub fn remove(&mut self, item: u64) -> bool {
+        self.entries.remove(&item).is_some()
+    }
+
+    fn prune(&mut self) {
+        let bucket = self.current_bucket;
+        self.entries.retain(|_, e| e.count + e.delta > bucket);
+    }
+}
+
+impl FrequencyTracker for LossyCounting {
+    fn record(&mut self, item: u64) {
+        self.n += 1;
+        match self.entries.get_mut(&item) {
+            Some(e) => e.count += 1,
+            None => {
+                self.entries.insert(
+                    item,
+                    LossyEntry { item, count: 1, delta: self.current_bucket - 1 },
+                );
+                self.peak_entries = self.peak_entries.max(self.entries.len());
+            }
+        }
+        if self.n % self.width == 0 {
+            self.prune();
+            self.current_bucket += 1;
+        }
+    }
+
+    fn estimate(&self, item: u64) -> u64 {
+        match self.entries.get(&item) {
+            Some(e) => e.estimate(),
+            // Off-table items may have been recorded and pruned; their count
+            // is bounded by the pruning threshold.
+            None => self.current_bucket - 1,
+        }
+    }
+
+    fn counter_slots(&self) -> usize {
+        self.peak_entries
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.n = 0;
+        self.current_bucket = 1;
+        self.peak_entries = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn run(stream: &[u64], width: u64) -> (LossyCounting, HashMap<u64, u64>) {
+        let mut t = LossyCounting::new(width);
+        let mut exact = HashMap::new();
+        for &x in stream {
+            t.record(x);
+            *exact.entry(x).or_insert(0u64) += 1;
+        }
+        (t, exact)
+    }
+
+    #[test]
+    fn never_undercounts() {
+        let stream: Vec<u64> = (0..5000).map(|i| (i * i) % 97).collect();
+        let (t, exact) = run(&stream, 50);
+        for (&x, &actual) in &exact {
+            assert!(t.estimate(x) >= actual, "estimate({x}) < {actual}");
+        }
+    }
+
+    #[test]
+    fn error_bounded_by_n_over_width() {
+        let stream: Vec<u64> = (0..4000).map(|i| i % 37).collect();
+        let width = 100;
+        let (t, exact) = run(&stream, width);
+        let max_err = stream.len() as u64 / width;
+        for (&x, &actual) in &exact {
+            let est = t.estimate(x);
+            assert!(
+                est <= actual + max_err,
+                "estimate({x}) = {est} > actual {actual} + {max_err}"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_items_survive_pruning() {
+        let mut stream = Vec::new();
+        for i in 0..2000u64 {
+            stream.push(i + 1000); // cold noise, all distinct
+            if i % 4 == 0 {
+                stream.push(7); // hot item, frequency 1/5 of stream
+            }
+        }
+        let (t, exact) = run(&stream, 16);
+        assert!(t.entry(7).is_some(), "hot item was pruned");
+        assert!(t.estimate(7) >= exact[&7]);
+    }
+
+    #[test]
+    fn cold_items_get_pruned() {
+        let mut t = LossyCounting::new(8);
+        for i in 0..1024u64 {
+            t.record(i); // every item unique
+        }
+        // With all-unique items the table cannot grow beyond ~2 buckets.
+        assert!(t.len() <= 16, "table kept {} cold entries", t.len());
+    }
+
+    #[test]
+    fn peak_entries_is_high_water_mark() {
+        let mut t = LossyCounting::new(4);
+        for i in 0..16u64 {
+            t.record(i);
+        }
+        let peak = t.peak_entries();
+        assert!(peak >= t.len());
+        // Draining further unique items cannot lower the recorded peak.
+        for i in 100..104u64 {
+            t.record(i);
+        }
+        assert!(t.peak_entries() >= peak);
+    }
+
+    #[test]
+    fn remove_supports_refresh_feedback() {
+        let mut t = LossyCounting::new(100);
+        for _ in 0..10 {
+            t.record(3);
+        }
+        assert!(t.remove(3));
+        assert!(!t.remove(3));
+        assert_eq!(t.entry(3), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = LossyCounting::new(10);
+        for i in 0..100u64 {
+            t.record(i % 5);
+        }
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.estimate(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_panics() {
+        let _ = LossyCounting::new(0);
+    }
+}

@@ -1,0 +1,457 @@
+//! The Counter-based Summary (CbS) / Space-Saving algorithm.
+//!
+//! This is the tracking mechanism Mithril and Graphene are built on
+//! (paper Section III-C, Fig. 3). A fixed table of `(address, counter)`
+//! entries is maintained:
+//!
+//! * **on-table hit** — increment the entry's counter;
+//! * **miss** — replace the entry holding the *minimum* counter value with
+//!   the new address and increment that counter.
+//!
+//! The resulting estimates bracket the true count (paper inequalities (1)
+//! and (2)):
+//!
+//! ```text
+//! actual(x)  <=  estimate(x)  <=  actual(x) + min
+//! ```
+//!
+//! where `min` is the minimum counter value in the table (`0` while the
+//! table still has free entries) and `estimate(x)` is the written counter
+//! for on-table addresses or `min` for off-table addresses.
+
+use std::collections::HashMap;
+
+use crate::FrequencyTracker;
+
+/// What [`SpaceSaving::record`] did with the item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordOutcome {
+    /// The item was already tracked; its counter was incremented.
+    Hit,
+    /// The item took a free entry.
+    Inserted,
+    /// The item replaced the minimum entry, evicting the returned item.
+    Evicted(u64),
+}
+
+/// A tracked `(item, count)` pair, as returned by [`SpaceSaving::iter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackedEntry {
+    /// The tracked item (row address).
+    pub item: u64,
+    /// Its estimated occurrence count.
+    pub count: u64,
+}
+
+/// Counter-based Summary (Space-Saving) frequency tracker.
+///
+/// # Example
+///
+/// ```
+/// use mithril_trackers::{FrequencyTracker, SpaceSaving};
+///
+/// let mut t = SpaceSaving::new(2);
+/// t.record(1);
+/// t.record(1);
+/// t.record(2);
+/// t.record(3); // evicts the minimum entry (2) and inherits its count
+/// assert_eq!(t.estimate(1), 2);
+/// assert_eq!(t.estimate(3), 2); // 1 (own) + 1 (inherited from 2)
+/// // Off-table items are estimated with the table minimum:
+/// assert_eq!(t.estimate(2), t.min_count());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    items: Vec<u64>,
+    counts: Vec<u64>,
+    /// item -> slot index
+    index: HashMap<u64, usize>,
+    /// Cached minimum counter value over occupied slots (0 while not full).
+    min: u64,
+    /// Number of occupied slots whose count equals `min` (valid when full).
+    at_min: usize,
+    /// Slot holding the maximum counter value (undefined when empty).
+    max_slot: usize,
+    total_recorded: u64,
+}
+
+impl SpaceSaving {
+    /// Creates a tracker with `capacity` counter entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be non-zero");
+        Self {
+            items: Vec::with_capacity(capacity),
+            counts: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+            min: 0,
+            at_min: 0,
+            max_slot: 0,
+            total_recorded: 0,
+        }
+    }
+
+    /// Records `item` and reports what happened to the table.
+    pub fn record_outcome(&mut self, item: u64) -> RecordOutcome {
+        self.total_recorded += 1;
+        if let Some(&slot) = self.index.get(&item) {
+            self.increment(slot);
+            return RecordOutcome::Hit;
+        }
+        if self.items.len() < self.items.capacity() {
+            // Free entry: insert with count 1.
+            let slot = self.items.len();
+            self.items.push(item);
+            self.counts.push(1);
+            self.index.insert(item, slot);
+            if self.counts[self.max_slot] < 1 || self.items.len() == 1 {
+                self.max_slot = slot;
+            }
+            if self.items.len() == self.items.capacity() {
+                self.recompute_min();
+            }
+            return RecordOutcome::Inserted;
+        }
+        // Replace the minimum entry.
+        let slot = self.find_min_slot();
+        let evicted = self.items[slot];
+        self.index.remove(&evicted);
+        self.items[slot] = item;
+        self.index.insert(item, slot);
+        self.increment(slot);
+        RecordOutcome::Evicted(evicted)
+    }
+
+    /// The minimum counter value in the table (0 while entries are free).
+    ///
+    /// This is the off-table estimate and the error bound of inequality (2).
+    pub fn min_count(&self) -> u64 {
+        if self.items.len() < self.items.capacity() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The entry with the maximum counter value, if any.
+    pub fn max_entry(&self) -> Option<TrackedEntry> {
+        if self.items.is_empty() {
+            None
+        } else {
+            Some(TrackedEntry {
+                item: self.items[self.max_slot],
+                count: self.counts[self.max_slot],
+            })
+        }
+    }
+
+    /// `max - min` over the table counters — Mithril's adaptive-refresh
+    /// attack-pattern proxy (paper Section V-A).
+    pub fn spread(&self) -> u64 {
+        match self.max_entry() {
+            Some(max) => max.count - self.min_count(),
+            None => 0,
+        }
+    }
+
+    /// Resets the counter of a tracked `item` down to the table minimum.
+    ///
+    /// This is the decrement Mithril applies to the greedily selected row
+    /// after its victims receive a preventive refresh. Returns `true` if the
+    /// item was tracked. Safe because of the upper bound (inequality (2)):
+    /// after a refresh the actual count is 0, and the entry may still "owe"
+    /// up to `min` counts inherited from evictions.
+    pub fn reset_to_min(&mut self, item: u64) -> bool {
+        let Some(&slot) = self.index.get(&item) else {
+            return false;
+        };
+        let floor = self.min_count();
+        if self.counts[slot] == self.min && self.items.len() == self.items.capacity() {
+            // Already at min; nothing to do.
+            return true;
+        }
+        self.counts[slot] = floor;
+        if self.items.len() == self.items.capacity() {
+            if floor == self.min {
+                self.at_min += 1;
+            }
+        }
+        if slot == self.max_slot {
+            self.recompute_max();
+        }
+        true
+    }
+
+    /// Greedily selects the maximum entry, resets its counter to the table
+    /// minimum, and returns it. This is the per-RFM operation of Mithril.
+    pub fn take_max_reset_to_min(&mut self) -> Option<TrackedEntry> {
+        let max = self.max_entry()?;
+        self.reset_to_min(max.item);
+        Some(max)
+    }
+
+    /// Iterates over tracked `(item, count)` entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = TrackedEntry> + '_ {
+        self.items
+            .iter()
+            .zip(self.counts.iter())
+            .map(|(&item, &count)| TrackedEntry { item, count })
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if no entries are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total number of `record` calls since the last clear.
+    pub fn total_recorded(&self) -> u64 {
+        self.total_recorded
+    }
+
+    /// Returns the tracked count for `item`, or `None` if off-table.
+    pub fn tracked_count(&self, item: u64) -> Option<u64> {
+        self.index.get(&item).map(|&slot| self.counts[slot])
+    }
+
+    fn increment(&mut self, slot: usize) {
+        let was_min = self.counts[slot] == self.min;
+        self.counts[slot] += 1;
+        if self.counts[slot] > self.counts[self.max_slot] {
+            self.max_slot = slot;
+        }
+        if self.items.len() == self.items.capacity() && was_min {
+            self.at_min -= 1;
+            if self.at_min == 0 {
+                self.recompute_min();
+            }
+        }
+    }
+
+    fn find_min_slot(&self) -> usize {
+        // The hardware analogue is the MinPtr register; we scan for the
+        // first slot holding the cached minimum.
+        self.counts
+            .iter()
+            .position(|&c| c == self.min)
+            .expect("cached min must exist in a full table")
+    }
+
+    fn recompute_min(&mut self) {
+        debug_assert_eq!(self.items.len(), self.items.capacity());
+        self.min = *self.counts.iter().min().expect("non-empty");
+        self.at_min = self.counts.iter().filter(|&&c| c == self.min).count();
+    }
+
+    fn recompute_max(&mut self) {
+        self.max_slot = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+    }
+}
+
+impl FrequencyTracker for SpaceSaving {
+    fn record(&mut self, item: u64) {
+        let _ = self.record_outcome(item);
+    }
+
+    fn estimate(&self, item: u64) -> u64 {
+        match self.index.get(&item) {
+            Some(&slot) => self.counts[slot],
+            None => self.min_count(),
+        }
+    }
+
+    fn counter_slots(&self) -> usize {
+        self.items.capacity()
+    }
+
+    fn clear(&mut self) {
+        self.items.clear();
+        self.counts.clear();
+        self.index.clear();
+        self.min = 0;
+        self.at_min = 0;
+        self.max_slot = 0;
+        self.total_recorded = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn exact_counts(stream: &[u64]) -> HashMap<u64, u64> {
+        let mut m = HashMap::new();
+        for &x in stream {
+            *m.entry(x).or_insert(0) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn paper_figure5_sequence() {
+        // Reproduces the exact sequence of paper Fig. 5.
+        let mut t = SpaceSaving::new(4);
+        // Preload the table state: A0:9, B0:9, C0:3, D0:1.
+        for _ in 0..9 {
+            t.record(0xA0);
+        }
+        for _ in 0..9 {
+            t.record(0xB0);
+        }
+        for _ in 0..3 {
+            t.record(0xC0);
+        }
+        t.record(0xD0);
+        // Step 1: ACT 0xA0 -> A0 becomes 10 and MaxPtr points at it.
+        t.record(0xA0);
+        assert_eq!(t.estimate(0xA0), 10);
+        assert_eq!(t.max_entry().unwrap().item, 0xA0);
+        // Step 2: ACT 0xE0 misses -> replaces D0 (min = 1) and becomes 2.
+        assert_eq!(t.record_outcome(0xE0), RecordOutcome::Evicted(0xD0));
+        assert_eq!(t.estimate(0xE0), 2);
+        // Step 3: RFM -> greedy selection of A0, reset to min (= 2).
+        let selected = t.take_max_reset_to_min().unwrap();
+        assert_eq!(selected.item, 0xA0);
+        assert_eq!(selected.count, 10);
+        assert_eq!(t.estimate(0xA0), 2);
+        assert_eq!(t.max_entry().unwrap().item, 0xB0);
+    }
+
+    #[test]
+    fn lower_bound_holds_on_adversarial_round_robin() {
+        let mut t = SpaceSaving::new(8);
+        let stream: Vec<u64> = (0..1000).map(|i| i % 16).collect();
+        for &x in &stream {
+            t.record(x);
+        }
+        let exact = exact_counts(&stream);
+        for (&x, &actual) in &exact {
+            assert!(
+                t.estimate(x) >= actual,
+                "estimate({x}) = {} < actual {actual}",
+                t.estimate(x)
+            );
+        }
+    }
+
+    #[test]
+    fn upper_bound_holds() {
+        let mut t = SpaceSaving::new(8);
+        let stream: Vec<u64> = (0..1000).map(|i| (i * 7) % 23).collect();
+        for &x in &stream {
+            t.record(x);
+        }
+        let exact = exact_counts(&stream);
+        for entry in t.iter() {
+            let actual = exact.get(&entry.item).copied().unwrap_or(0);
+            assert!(
+                entry.count <= actual + t.min_count(),
+                "estimate({}) = {} > actual {} + min {}",
+                entry.item,
+                entry.count,
+                actual,
+                t.min_count()
+            );
+        }
+    }
+
+    #[test]
+    fn min_is_zero_while_not_full() {
+        let mut t = SpaceSaving::new(4);
+        t.record(1);
+        t.record(1);
+        assert_eq!(t.min_count(), 0);
+        assert_eq!(t.estimate(42), 0);
+    }
+
+    #[test]
+    fn eviction_inherits_min_count() {
+        let mut t = SpaceSaving::new(2);
+        for _ in 0..5 {
+            t.record(1);
+        }
+        for _ in 0..3 {
+            t.record(2);
+        }
+        assert_eq!(t.record_outcome(3), RecordOutcome::Evicted(2));
+        assert_eq!(t.estimate(3), 4); // 3 (min) + 1
+    }
+
+    #[test]
+    fn spread_tracks_max_minus_min() {
+        let mut t = SpaceSaving::new(2);
+        assert_eq!(t.spread(), 0);
+        for _ in 0..10 {
+            t.record(1);
+        }
+        t.record(2);
+        assert_eq!(t.spread(), 9);
+        t.take_max_reset_to_min();
+        assert_eq!(t.spread(), 0);
+    }
+
+    #[test]
+    fn reset_to_min_untracked_is_false() {
+        let mut t = SpaceSaving::new(2);
+        t.record(1);
+        assert!(!t.reset_to_min(99));
+        assert!(t.reset_to_min(1));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut t = SpaceSaving::new(3);
+        for i in 0..10 {
+            t.record(i);
+        }
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.total_recorded(), 0);
+        assert_eq!(t.min_count(), 0);
+        assert_eq!(t.max_entry(), None);
+        t.record(5);
+        assert_eq!(t.estimate(5), 1);
+    }
+
+    #[test]
+    fn max_entry_survives_interleaved_resets() {
+        let mut t = SpaceSaving::new(4);
+        for round in 0..50u64 {
+            for item in 0..6u64 {
+                for _ in 0..=(item % 3) {
+                    t.record(item);
+                }
+            }
+            if round % 5 == 0 {
+                t.take_max_reset_to_min();
+            }
+            // max_entry must always report the true maximum.
+            let true_max = t.iter().map(|e| e.count).max().unwrap();
+            assert_eq!(t.max_entry().unwrap().count, true_max);
+            let true_min = t.iter().map(|e| e.count).min().unwrap();
+            if t.len() == t.counter_slots() {
+                assert_eq!(t.min_count(), true_min);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = SpaceSaving::new(0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Row Hammer attack and adversarial trace generators.
+//!
+//! Attack threads know the DRAM address mapping (real attackers
+//! reverse-engineer it) and emit **uncacheable** accesses so every request
+//! reaches DRAM — the flush+hammer pattern. Rows are chosen in *physical*
+//! row coordinates via [`AddressMapping::line_for`].
+
+use crate::op::TraceOp;
+use crate::TraceSource;
+use mithril_dram::RowId;
+use mithril_memctrl::{AddressMapping, MappedAddr};
+
+/// A generic row-list hammer: cycles through `(bank, row)` targets at
+/// maximum rate.
+///
+/// Attacks are channel-aware: the system stripes cache lines over
+/// `channels` memory channels (line → channel `line % channels`, per-
+/// channel line `line / channels`), and a physical-row attack must invert
+/// that routing too.
+#[derive(Debug, Clone)]
+pub struct RowAttack {
+    mapping: AddressMapping,
+    channels: u64,
+    channel: u64,
+    targets: Vec<MappedAddr>,
+    cursor: usize,
+    col_toggle: u64,
+    name: &'static str,
+}
+
+impl RowAttack {
+    /// Creates a hammer over explicit `(bank, row)` targets on one memory
+    /// `channel` of a `channels`-channel system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty, `channels` is zero or
+    /// `channel >= channels`.
+    pub fn new(
+        mapping: AddressMapping,
+        channels: usize,
+        channel: usize,
+        targets: Vec<(usize, RowId)>,
+        name: &'static str,
+    ) -> Self {
+        assert!(!targets.is_empty(), "targets must be non-empty");
+        assert!(channels > 0, "channels must be non-zero");
+        assert!(channel < channels, "channel out of range");
+        Self {
+            targets: targets
+                .into_iter()
+                .map(|(bank, row)| MappedAddr { bank, row, col: 0 })
+                .collect(),
+            mapping,
+            channels: channels as u64,
+            channel: channel as u64,
+            cursor: 0,
+            col_toggle: 0,
+            name,
+        }
+    }
+
+    /// The attack's target list.
+    pub fn targets(&self) -> impl Iterator<Item = (usize, RowId)> + '_ {
+        self.targets.iter().map(|a| (a.bank, a.row))
+    }
+}
+
+impl TraceSource for RowAttack {
+    fn next_op(&mut self) -> TraceOp {
+        let mut addr = self.targets[self.cursor];
+        self.cursor = (self.cursor + 1) % self.targets.len();
+        // Vary the column so request merging cannot collapse the stream.
+        self.col_toggle = (self.col_toggle + 1) % self.mapping.geometry().lines_per_row();
+        addr.col = self.col_toggle;
+        TraceOp {
+            non_mem_insts: 0,
+            line_addr: self.mapping.line_for(addr) * self.channels + self.channel,
+            is_write: false,
+            uncacheable: true,
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+/// The classic double-sided attack: two aggressors sandwiching one victim.
+#[derive(Debug, Clone)]
+pub struct DoubleSided(RowAttack);
+
+impl DoubleSided {
+    /// Hammers rows `victim−1` and `victim+1` of `bank` on channel 0 of a
+    /// `channels`-channel system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `victim` is 0 or `channels` is zero.
+    pub fn new(mapping: AddressMapping, channels: usize, bank: usize, victim: RowId) -> Self {
+        assert!(victim > 0, "victim must have two neighbours");
+        Self(RowAttack::new(
+            mapping,
+            channels,
+            0,
+            vec![(bank, victim - 1), (bank, victim + 1)],
+            "double-sided",
+        ))
+    }
+}
+
+impl TraceSource for DoubleSided {
+    fn next_op(&mut self) -> TraceOp {
+        self.0.next_op()
+    }
+
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+}
+
+/// The many-sided (TRRespass/Half-Double style) attack of Section VI-A:
+/// `sides` aggressor rows side by side, sandwiching `sides − 1` victims
+/// (the paper uses 32 victims in total).
+#[derive(Debug, Clone)]
+pub struct MultiSided(RowAttack);
+
+impl MultiSided {
+    /// Hammers `sides` aggressors at rows `base, base+2, base+4, …` of
+    /// `bank` on channel 0 of a `channels`-channel system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sides` or `channels` is zero.
+    pub fn new(
+        mapping: AddressMapping,
+        channels: usize,
+        bank: usize,
+        base: RowId,
+        sides: usize,
+    ) -> Self {
+        assert!(sides > 0, "sides must be non-zero");
+        let targets = (0..sides as u64).map(|i| (bank, base + 2 * i)).collect();
+        Self(RowAttack::new(mapping, channels, 0, targets, "multi-sided"))
+    }
+}
+
+impl TraceSource for MultiSided {
+    fn next_op(&mut self) -> TraceOp {
+        self.0.next_op()
+    }
+
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+}
+
+/// The BlockHammer performance-adversarial pattern (paper Section VI-A and
+/// Fig. 10(c)): the attacker never hammers hard enough to be a Row Hammer
+/// threat; instead it activates many distinct rows just below the blacklist
+/// threshold, polluting the counting-Bloom-filter buckets that benign rows
+/// hash into. Benign memory-intensive threads then cross `NBL` through no
+/// fault of their own and get throttled.
+#[derive(Debug, Clone)]
+pub struct BlockHammerAdversarial {
+    mapping: AddressMapping,
+    channels: u64,
+    banks: usize,
+    rows_per_bank: u64,
+    /// Rows the attacker touches per bank (pollution set size).
+    set_size: u64,
+    cursor: u64,
+}
+
+impl BlockHammerAdversarial {
+    /// Creates a pollution attack touching `set_size` rows per bank,
+    /// spread over all `channels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set_size` or `channels` is zero.
+    pub fn new(mapping: AddressMapping, channels: usize, set_size: u64) -> Self {
+        assert!(set_size > 0, "set_size must be non-zero");
+        assert!(channels > 0, "channels must be non-zero");
+        let g = *mapping.geometry();
+        Self {
+            mapping,
+            channels: channels as u64,
+            banks: g.banks_total(),
+            rows_per_bank: g.rows_per_bank,
+            set_size,
+            cursor: 0,
+        }
+    }
+}
+
+impl TraceSource for BlockHammerAdversarial {
+    fn next_op(&mut self) -> TraceOp {
+        // Stride through a wide, evenly spaced row set across all banks so
+        // the pollution covers as many CBF buckets as possible.
+        let i = self.cursor;
+        self.cursor = self.cursor.wrapping_add(1);
+        let bank = (i as usize) % self.banks;
+        let slot = (i / self.banks as u64) % self.set_size;
+        let row = (slot * (self.rows_per_bank / self.set_size).max(1)) % self.rows_per_bank;
+        let line = self.mapping.line_for(MappedAddr { bank, row, col: (i / 7) % 128 });
+        TraceOp {
+            non_mem_insts: 0,
+            line_addr: line * self.channels + i % self.channels,
+            is_write: false,
+            uncacheable: true,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "blockhammer-adversarial"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mithril_dram::Geometry;
+
+    fn mapping() -> AddressMapping {
+        AddressMapping::new(Geometry::default())
+    }
+
+    #[test]
+    fn double_sided_alternates_aggressors() {
+        let mut a = DoubleSided::new(mapping(), 1, 3, 1000);
+        let m = mapping();
+        let r1 = m.map_line(a.next_op().line_addr);
+        let r2 = m.map_line(a.next_op().line_addr);
+        assert_eq!((r1.bank, r1.row), (3, 999));
+        assert_eq!((r2.bank, r2.row), (3, 1001));
+        // And repeats.
+        let r3 = m.map_line(a.next_op().line_addr);
+        assert_eq!(r3.row, 999);
+    }
+
+    #[test]
+    fn attack_ops_are_uncacheable_reads() {
+        let mut a = DoubleSided::new(mapping(), 1, 0, 10);
+        let op = a.next_op();
+        assert!(op.uncacheable);
+        assert!(!op.is_write);
+        assert_eq!(op.non_mem_insts, 0);
+    }
+
+    #[test]
+    fn multi_sided_covers_32_aggressors() {
+        let mut a = MultiSided::new(mapping(), 1, 1, 5000, 32);
+        let m = mapping();
+        let rows: Vec<u64> = (0..32).map(|_| m.map_line(a.next_op().line_addr).row).collect();
+        assert_eq!(rows[0], 5000);
+        assert_eq!(rows[31], 5000 + 62);
+        assert!(rows.windows(2).all(|w| w[1] == w[0] + 2));
+    }
+
+    #[test]
+    fn columns_vary_to_defeat_merging() {
+        let mut a = DoubleSided::new(mapping(), 1, 0, 10);
+        let m = mapping();
+        let c1 = m.map_line(a.next_op().line_addr).col;
+        let c2 = m.map_line(a.next_op().line_addr).col;
+        let c3 = m.map_line(a.next_op().line_addr).col;
+        assert!(c1 != c3 || c2 != c1);
+    }
+
+    #[test]
+    fn adversarial_spreads_rows_and_banks() {
+        let mut a = BlockHammerAdversarial::new(mapping(), 1, 64);
+        let m = mapping();
+        let mut banks = std::collections::HashSet::new();
+        let mut rows = std::collections::HashSet::new();
+        for _ in 0..32 * 64 {
+            let addr = m.map_line(a.next_op().line_addr);
+            banks.insert(addr.bank);
+            rows.insert(addr.row);
+        }
+        assert_eq!(banks.len(), 32);
+        assert!(rows.len() >= 64);
+    }
+
+    #[test]
+    fn channel_routing_round_trips() {
+        // On a 2-channel system, channel-0 attacks produce even line
+        // addresses whose per-channel half maps back to the target.
+        let mut a = DoubleSided::new(mapping(), 2, 3, 1000);
+        let m = mapping();
+        let op = a.next_op();
+        assert_eq!(op.line_addr % 2, 0, "channel-0 lines are even");
+        let back = m.map_line(op.line_addr / 2);
+        assert_eq!((back.bank, back.row), (3, 999));
+    }
+
+    #[test]
+    fn row_attack_targets_accessor() {
+        let a = RowAttack::new(mapping(), 1, 0, vec![(0, 1), (1, 2)], "t");
+        let t: Vec<_> = a.targets().collect();
+        assert_eq!(t, vec![(0, 1), (1, 2)]);
+    }
+}

@@ -1,0 +1,277 @@
+//! The paper's workload mixes (Section VI-A): 16-thread multi-programmed
+//! mixes and multi-threaded kernels.
+
+use crate::attacks::{BlockHammerAdversarial, DoubleSided, MultiSided, RowAttack};
+use mithril_baselines::{BlockHammer, BlockHammerConfig};
+use mithril_dram::Ddr5Timing;
+use crate::kernels::{
+    BlockedFft, CacheResident, PageRankLike, PointerChase, RadixPartition, RandomAccess,
+    StreamSweep,
+};
+use crate::op::TraceOp;
+use crate::TraceSource;
+use mithril_memctrl::AddressMapping;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// One hardware thread's trace source.
+pub struct Thread {
+    name: String,
+    source: Box<dyn TraceSource + Send>,
+}
+
+impl Thread {
+    /// Wraps a trace source as a thread.
+    pub fn new(name: impl Into<String>, source: Box<dyn TraceSource + Send>) -> Self {
+        Self { name: name.into(), source }
+    }
+
+    /// The thread's workload name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The next trace operation.
+    pub fn next_op(&mut self) -> TraceOp {
+        self.source.next_op()
+    }
+}
+
+impl std::fmt::Debug for Thread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Thread").field("name", &self.name).finish()
+    }
+}
+
+/// A named set of threads forming one experiment workload.
+#[derive(Debug)]
+pub struct ThreadSet {
+    /// Workload-set name (e.g. `mix-high`).
+    pub name: &'static str,
+    /// The threads, index = hardware thread id.
+    pub threads: Vec<Thread>,
+}
+
+/// `mix-high`: 16 memory-intensive traces (paper: memory-intensive SPEC
+/// CPU2017 SimPoints).
+pub fn mix_high(cores: usize, seed: u64) -> ThreadSet {
+    let mut threads = Vec::with_capacity(cores);
+    for t in 0..cores {
+        let s = seed.wrapping_mul(1000).wrapping_add(t as u64);
+        let source: Box<dyn TraceSource + Send> = match t % 4 {
+            0 => Box::new(StreamSweep::new(4, 1 << 20, s)),
+            1 => Box::new(RandomAccess::new(1 << 21, s)),
+            2 => Box::new(StreamSweep::new(2, 1 << 22, s)),
+            _ => Box::new(PointerChase::new(1 << 20, s)),
+        };
+        threads.push(Thread::new(format!("mix-high/{t}"), source));
+    }
+    ThreadSet { name: "mix-high", threads }
+}
+
+/// `mix-blend`: a random blend of intensive and cache-resident traces.
+pub fn mix_blend(cores: usize, seed: u64) -> ThreadSet {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut threads = Vec::with_capacity(cores);
+    for t in 0..cores {
+        let s = seed.wrapping_mul(2000).wrapping_add(t as u64);
+        let source: Box<dyn TraceSource + Send> = match rng.random_range(0..5u32) {
+            0 => Box::new(StreamSweep::new(3, 1 << 20, s)),
+            1 => Box::new(RandomAccess::new(1 << 20, s)),
+            2 => Box::new(CacheResident::new(1 << 12, 1 << 20, s)),
+            3 => Box::new(CacheResident::new(1 << 13, 1 << 21, s)),
+            _ => Box::new(PointerChase::new(1 << 18, s)),
+        };
+        threads.push(Thread::new(format!("mix-blend/{t}"), source));
+    }
+    ThreadSet { name: "mix-blend", threads }
+}
+
+/// Multi-threaded kernels (paper: FFT and RADIX from SPLASH-2, PageRank
+/// from GAP): all threads run the same kernel over a shared footprint,
+/// partitioned by thread.
+///
+/// # Panics
+///
+/// Panics if `kernel` is not one of `"fft"`, `"radix"`, `"pagerank"`.
+pub fn multithreaded(kernel: &str, cores: usize, seed: u64) -> ThreadSet {
+    let mut threads = Vec::with_capacity(cores);
+    for t in 0..cores {
+        let s = seed.wrapping_mul(3000).wrapping_add(t as u64);
+        let source: Box<dyn TraceSource + Send> = match kernel {
+            "fft" => Box::new(BlockedFft::new(1 << 18, t as u64)),
+            "radix" => Box::new(RadixPartition::new(1 << 20, 256, s)),
+            "pagerank" => Box::new(PageRankLike::new(1 << 20, s)),
+            other => panic!("unknown multithreaded kernel {other}"),
+        };
+        threads.push(Thread::new(format!("{kernel}/{t}"), source));
+    }
+    let name = match kernel {
+        "fft" => "fft",
+        "radix" => "radix",
+        _ => "pagerank",
+    };
+    ThreadSet { name, threads }
+}
+
+/// The attack mixes of Section VI-A: one attacker thread plus 15 benign
+/// threads from `mix-high`, on a `channels`-channel system.
+///
+/// `attack` selects the pattern:
+/// * `"double"` — double-sided hammer;
+/// * `"multi"` — 32-row multi-sided hammer;
+/// * `"bh-adversarial"` — BlockHammer CBF-pollution pattern.
+///
+/// For the *profiled* CBF-collision pattern of Fig. 10(c) see
+/// [`bh_cover_attack_mix`].
+///
+/// # Panics
+///
+/// Panics if `attack` is unknown or `cores` is zero.
+pub fn attack_mix(
+    attack: &str,
+    cores: usize,
+    mapping: AddressMapping,
+    channels: usize,
+    seed: u64,
+) -> ThreadSet {
+    assert!(cores > 0, "cores must be non-zero");
+    let mut set = mix_high(cores, seed);
+    let attacker: (Box<dyn TraceSource + Send>, &'static str) = match attack {
+        "double" => (Box::new(DoubleSided::new(mapping, channels, 0, 1000)), "attack-double"),
+        "multi" => {
+            (Box::new(MultiSided::new(mapping, channels, 0, 5000, 32)), "attack-multi")
+        }
+        "bh-adversarial" => (
+            Box::new(BlockHammerAdversarial::new(mapping, channels, 128)),
+            "attack-bh-adversarial",
+        ),
+        other => panic!("unknown attack {other}"),
+    };
+    set.threads[cores - 1] = Thread::new(attacker.1, attacker.0);
+    set.name = match attack {
+        "double" => "mix-high+double-sided",
+        "multi" => "mix-high+multi-sided",
+        _ => "mix-high+bh-adversarial",
+    };
+    set
+}
+
+/// The *profiled* BlockHammer-adversarial mix of paper Fig. 10(c): the
+/// attacker replicates BlockHammer's per-bank CBF hash functions, picks
+/// benign-hot victim rows, and hammers rows that cover every CBF bucket of
+/// each victim (see [`BlockHammer::collision_cover_rows`]). Benign threads
+/// then get their hot rows blacklisted and throttled.
+///
+/// `victim_rows` are the rows to blacklist in each of the first
+/// `victim_banks` banks (channel 0); `nbl_scale` must match the scale the
+/// simulated BlockHammer instance runs with.
+///
+/// # Panics
+///
+/// Panics if `cores` is zero or `flip_th` has no BlockHammer config.
+#[allow(clippy::too_many_arguments)]
+pub fn bh_cover_attack_mix(
+    cores: usize,
+    mapping: AddressMapping,
+    channels: usize,
+    flip_th: u64,
+    timing: &Ddr5Timing,
+    victim_rows: &[u64],
+    victim_banks: usize,
+    seed: u64,
+) -> ThreadSet {
+    assert!(cores > 0, "cores must be non-zero");
+    let cfg = BlockHammerConfig::for_flip_threshold(flip_th, timing);
+    let rows_per_bank = mapping.geometry().rows_per_bank;
+    let mut targets = Vec::new();
+    for bank in 0..victim_banks.min(mapping.geometry().banks_total()) {
+        for &victim in victim_rows {
+            for r in BlockHammer::collision_cover_rows(&cfg, bank, victim, rows_per_bank) {
+                targets.push((bank, r));
+            }
+        }
+    }
+    let mut set = mix_high(cores, seed);
+    set.threads[cores - 1] = Thread::new(
+        "attack-bh-cover",
+        Box::new(RowAttack::new(mapping, channels, 0, targets, "bh-cover")),
+    );
+    set.name = "mix-high+bh-cover";
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mithril_dram::Geometry;
+
+    #[test]
+    fn mixes_have_requested_core_count() {
+        assert_eq!(mix_high(16, 1).threads.len(), 16);
+        assert_eq!(mix_blend(8, 1).threads.len(), 8);
+        assert_eq!(multithreaded("fft", 4, 1).threads.len(), 4);
+    }
+
+    #[test]
+    fn mixes_are_deterministic() {
+        let mut a = mix_blend(4, 42);
+        let mut b = mix_blend(4, 42);
+        for t in 0..4 {
+            for _ in 0..50 {
+                assert_eq!(a.threads[t].next_op(), b.threads[t].next_op());
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = mix_high(2, 1);
+        let mut b = mix_high(2, 2);
+        let ops_a: Vec<_> = (0..50).map(|_| a.threads[1].next_op().line_addr).collect();
+        let ops_b: Vec<_> = (0..50).map(|_| b.threads[1].next_op().line_addr).collect();
+        assert_ne!(ops_a, ops_b);
+    }
+
+    #[test]
+    fn attack_mix_replaces_last_thread() {
+        let m = AddressMapping::new(Geometry::default());
+        let mut set = attack_mix("double", 16, m, 2, 7);
+        assert_eq!(set.threads.len(), 16);
+        assert_eq!(set.threads[15].name(), "attack-double");
+        assert!(set.threads[15].next_op().uncacheable);
+        assert!(!set.threads[0].next_op().uncacheable);
+    }
+
+    #[test]
+    fn multithreaded_threads_share_kernel_space() {
+        let mut set = multithreaded("pagerank", 4, 3);
+        let tag0 = set.threads[0].next_op().line_addr >> 40;
+        let tag1 = set.threads[1].next_op().line_addr >> 40;
+        assert_eq!(tag0, tag1, "threads must share the kernel footprint");
+    }
+
+    #[test]
+    fn bh_cover_mix_targets_cover_rows() {
+        let m = AddressMapping::new(Geometry::default());
+        let t = Ddr5Timing::ddr5_4800();
+        let mut set = bh_cover_attack_mix(4, m, 2, 6_250, &t, &[0, 249], 4, 3);
+        assert_eq!(set.threads[3].name(), "attack-bh-cover");
+        let op = set.threads[3].next_op();
+        assert!(op.uncacheable);
+        assert_eq!(op.line_addr % 2, 0, "attacker stays on channel 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown attack")]
+    fn unknown_attack_panics() {
+        let m = AddressMapping::new(Geometry::default());
+        let _ = attack_mix("nope", 4, m, 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown multithreaded kernel")]
+    fn unknown_kernel_panics() {
+        let _ = multithreaded("nope", 4, 0);
+    }
+}

@@ -1,0 +1,61 @@
+//! The trace operation format consumed by the system simulator.
+
+/// One unit of a core's instruction trace: a batch of non-memory
+/// instructions followed by one memory access.
+///
+/// # Example
+///
+/// ```
+/// use mithril_workloads::TraceOp;
+///
+/// let op = TraceOp { non_mem_insts: 10, line_addr: 0x40, is_write: false, uncacheable: false };
+/// assert_eq!(op.instructions(), 11);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Non-memory instructions retired before the access.
+    pub non_mem_insts: u32,
+    /// Cache-line address (byte address / 64).
+    pub line_addr: u64,
+    /// True for a store.
+    pub is_write: bool,
+    /// True to bypass the cache hierarchy (attacker flush+access
+    /// patterns: every access reaches DRAM).
+    pub uncacheable: bool,
+}
+
+impl TraceOp {
+    /// Total instructions this op represents (the memory access counts
+    /// as one instruction).
+    pub fn instructions(&self) -> u64 {
+        self.non_mem_insts as u64 + 1
+    }
+
+    /// A plain cacheable read.
+    pub fn read(non_mem_insts: u32, line_addr: u64) -> Self {
+        Self { non_mem_insts, line_addr, is_write: false, uncacheable: false }
+    }
+
+    /// A plain cacheable write.
+    pub fn write(non_mem_insts: u32, line_addr: u64) -> Self {
+        Self { non_mem_insts, line_addr, is_write: true, uncacheable: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_count_includes_access() {
+        assert_eq!(TraceOp::read(0, 1).instructions(), 1);
+        assert_eq!(TraceOp::read(99, 1).instructions(), 100);
+    }
+
+    #[test]
+    fn constructors_set_flags() {
+        assert!(TraceOp::write(1, 2).is_write);
+        assert!(!TraceOp::read(1, 2).is_write);
+        assert!(!TraceOp::read(1, 2).uncacheable);
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: configure Mithril for a DRAM bank, hammer it, and watch the
+//! protection work.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mithril_repro::core::{MithrilConfig, MithrilScheme};
+use mithril_repro::dram::{AttackHarness, Ddr5Timing};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick the protection target: the Row Hammer threshold of the DRAM
+    //    part (FlipTH) and the RFM cadence the memory controller will be
+    //    programmed with (RFMTH).
+    let timing = Ddr5Timing::ddr5_4800();
+    let flip_th = 6_250;
+    let rfm_th = 128;
+
+    // 2. Solve the minimal Mithril table for that target. The solver picks
+    //    the smallest Nentry whose Theorem-1 bound M stays below FlipTH/2.
+    let config = MithrilConfig::for_flip_threshold(flip_th, rfm_th, &timing)?;
+    println!("Solved configuration:");
+    println!("  Nentry        = {} entries", config.nentry);
+    println!("  counter width = {} bits (wrapping)", config.counter_bits(&timing));
+    println!("  table size    = {:.2} KiB per bank", config.table_kib());
+    println!("  bound M       = {:.0} (< FlipTH/2 = {})", config.bound(&timing), flip_th / 2);
+
+    // 3. Put the engine in a bank and run a double-sided hammer for a full
+    //    32 ms refresh window at the maximum activation rate. The harness
+    //    models the DDR5 timing budget exactly; the oracle tracks the true
+    //    disturbance of every victim row.
+    let engine = MithrilScheme::new(config);
+    let mut bank = AttackHarness::new(timing, Box::new(engine), rfm_th, flip_th);
+    let mut i = 0u64;
+    while bank.try_activate(if i % 2 == 0 { 999 } else { 1001 }) {
+        i += 1;
+    }
+
+    // 4. Inspect the outcome.
+    let oracle = bank.oracle();
+    println!("\nAfter one tREFW of double-sided hammering (rows 999/1001):");
+    println!("  activations issued    = {i}");
+    println!("  RFMs issued           = {}", bank.rfms_issued());
+    println!("  preventive refreshes  = {}", bank.counters().preventive_rows);
+    println!("  worst victim count    = {} (FlipTH = {flip_th})", oracle.max_disturbance());
+    println!("  bit flips             = {}", oracle.flips().len());
+    assert!(oracle.flips().is_empty(), "Mithril must prevent all flips");
+    println!("\nNo victim reached FlipTH — the deterministic guarantee held.");
+    Ok(())
+}
