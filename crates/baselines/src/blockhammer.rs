@@ -24,7 +24,7 @@
 use mithril_dram::{BankId, Ddr5Timing, RowId, TimePs};
 use mithril_memctrl::{McAction, McMitigation};
 use mithril_trackers::{CountingBloomFilter, FrequencyTracker};
-use std::collections::HashMap;
+use mithril_fasthash::FastHashMap;
 
 /// BlockHammer configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,7 +118,7 @@ struct BankState {
     /// The two time-interleaved CBFs.
     cbfs: [CountingBloomFilter; 2],
     /// Last activation time of rows currently considered hot.
-    last_act: HashMap<RowId, TimePs>,
+    last_act: FastHashMap<RowId, TimePs>,
 }
 
 /// The BlockHammer mitigation (MC-side, throttling remedy).
@@ -165,7 +165,7 @@ impl BlockHammer {
             banks: (0..banks)
                 .map(|b| BankState {
                     cbfs: [mk(2 * b as u64), mk(2 * b as u64 + 1)],
-                    last_act: HashMap::new(),
+                    last_act: FastHashMap::default(),
                 })
                 .collect(),
             next_swap: config.t_cbf / 2,
@@ -235,8 +235,8 @@ impl BlockHammer {
             }
             let key = Self::key(bank, r);
             let mut hit = false;
-            for f in 0..2 {
-                for b in cbfs[f].buckets(key) {
+            for (f, cbf) in cbfs.iter().enumerate() {
+                for b in cbf.buckets(key) {
                     hit |= need.remove(&(f, b));
                 }
             }

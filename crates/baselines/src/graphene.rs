@@ -70,12 +70,12 @@ impl GrapheneConfig {
 struct GrapheneBank {
     table: SpaceSaving,
     /// Per-slot count of threshold multiples already triggered.
-    fired: std::collections::HashMap<RowId, u64>,
+    fired: mithril_fasthash::FastHashMap<RowId, u64>,
 }
 
 impl GrapheneBank {
     fn new(nentry: usize) -> Self {
-        Self { table: SpaceSaving::new(nentry), fired: std::collections::HashMap::new() }
+        Self { table: SpaceSaving::new(nentry), fired: mithril_fasthash::FastHashMap::default() }
     }
 
     /// Returns victims to ARR if the activation crossed a threshold.
@@ -233,21 +233,20 @@ impl DramMitigation for RfmGraphene {
         }
     }
 
-    fn on_rfm(&mut self) -> RfmOutcome {
+    fn on_rfm_into(&mut self, out: &mut RfmOutcome) {
         match self.pending.pop_front() {
             Some(row) => {
                 self.table.reset_to_min(row);
-                let mut victims = Vec::with_capacity(2);
+                self.refreshes += 1;
+                let victims = out.begin_refresh(row);
                 if row > 0 {
                     victims.push(row - 1);
                 }
                 if row + 1 < self.rows_per_bank {
                     victims.push(row + 1);
                 }
-                self.refreshes += 1;
-                RfmOutcome::refresh(row, victims)
             }
-            None => RfmOutcome::skipped(),
+            None => out.reset_to_skipped(),
         }
     }
 

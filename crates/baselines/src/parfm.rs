@@ -79,23 +79,21 @@ impl DramMitigation for Parfm {
         }
     }
 
-    fn on_rfm(&mut self) -> RfmOutcome {
-        let out = match self.sample.take() {
+    fn on_rfm_into(&mut self, out: &mut RfmOutcome) {
+        match self.sample.take() {
             Some(row) => {
-                let mut victims = Vec::with_capacity(2);
+                self.refreshes += 1;
+                let victims = out.begin_refresh(row);
                 if row > 0 {
                     victims.push(row - 1);
                 }
                 if row + 1 < self.rows_per_bank {
                     victims.push(row + 1);
                 }
-                self.refreshes += 1;
-                RfmOutcome::refresh(row, victims)
             }
-            None => RfmOutcome::skipped(),
-        };
+            None => out.reset_to_skipped(),
+        }
         self.seen = 0;
-        out
     }
 
     fn name(&self) -> &'static str {
@@ -151,7 +149,7 @@ pub mod parfm_analysis {
             if i == need {
                 p[i] = escape;
             } else {
-                let lookback = if i >= need + 1 { p[i - need - 1] } else { 0.0 };
+                let lookback = if i > need { p[i - need - 1] } else { 0.0 };
                 p[i] = p[i - 1] + step * (1.0 - lookback);
             }
             if p[i] >= 1.0 {

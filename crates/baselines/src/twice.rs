@@ -15,7 +15,7 @@
 
 use mithril_dram::{BankId, Ddr5Timing, RowId, TimePs};
 use mithril_memctrl::{McAction, McMitigation};
-use std::collections::HashMap;
+use mithril_fasthash::FastHashMap;
 
 /// TWiCe configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,7 +101,7 @@ struct Entry {
 #[derive(Debug)]
 pub struct TwiCe {
     config: TwiCeConfig,
-    tables: Vec<HashMap<RowId, Entry>>,
+    tables: Vec<FastHashMap<RowId, Entry>>,
     next_checkpoint: TimePs,
     peak_entries: usize,
     arrs: u64,
@@ -111,7 +111,7 @@ impl TwiCe {
     /// Creates per-bank TWiCe tables for `banks` banks.
     pub fn new(config: TwiCeConfig, banks: usize) -> Self {
         Self {
-            tables: (0..banks).map(|_| HashMap::new()).collect(),
+            tables: (0..banks).map(|_| FastHashMap::default()).collect(),
             next_checkpoint: config.checkpoint_period,
             config,
             peak_entries: 0,

@@ -1,0 +1,72 @@
+//! The hot path of the whole reproduction: the per-ACT Mithril table
+//! update. Compares the Stream-Summary bucket implementation
+//! ([`mithril::MithrilTable`]) against the retained linear-scan reference
+//! ([`mithril::NaiveTable`]) across table sizes, on the same mixed
+//! hit/miss/RFM stream. The `perf_report` binary runs the same comparison
+//! and records it in `BENCH_table.json`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mithril::{MithrilTable, NaiveTable};
+use std::hint::black_box;
+
+/// Deterministic stream with a hot head (hits) and a long tail (misses),
+/// sized per-table so eviction pressure is comparable across sizes.
+fn act_stream(len: usize, universe: u64) -> Vec<u64> {
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if x % 10 < 3 {
+                x % 8 // hot rows: table hits
+            } else {
+                x % universe // cold tail: misses + evictions
+            }
+        })
+        .collect()
+}
+
+const OPS: usize = 10_000;
+const RFM_EVERY: usize = 64;
+
+fn bench_hot_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table_hot_path");
+    for &k in &[32usize, 128, 512, 2048] {
+        let ops = act_stream(OPS, 4 * k as u64);
+        g.bench_function(format!("bucket_k{k}"), |b| {
+            b.iter_batched(
+                || MithrilTable::<u16>::new(k),
+                |mut t| {
+                    for (i, &r) in ops.iter().enumerate() {
+                        t.on_activate(black_box(r));
+                        if i % RFM_EVERY == RFM_EVERY - 1 {
+                            black_box(t.on_rfm());
+                        }
+                    }
+                    t
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(format!("naive_k{k}"), |b| {
+            b.iter_batched(
+                || NaiveTable::new(k),
+                |mut t| {
+                    for (i, &r) in ops.iter().enumerate() {
+                        t.on_activate(black_box(r));
+                        if i % RFM_EVERY == RFM_EVERY - 1 {
+                            black_box(t.on_rfm());
+                        }
+                    }
+                    t
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hot_path);
+criterion_main!(benches);

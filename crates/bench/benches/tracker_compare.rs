@@ -1,0 +1,63 @@
+//! Bucket vs naive Space-Saving, against the other tracker families, on
+//! one shared stream — the per-ACT tracker cost that BlockHammer and MINT
+//! identify as the deciding practicality factor.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mithril_trackers::{
+    CountMinSketch, FrequencyTracker, LossyCounting, NaiveSpaceSaving, SpaceSaving,
+};
+use std::hint::black_box;
+
+fn stream(len: usize) -> Vec<u64> {
+    let mut x = 0x1234_5678_9abc_def0u64;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if x % 10 < 3 {
+                x % 8 // hot rows
+            } else {
+                x % 65_536
+            }
+        })
+        .collect()
+}
+
+fn record_all<T: FrequencyTracker>(mut t: T, ops: &[u64]) -> T {
+    for &x in ops {
+        t.record(black_box(x));
+    }
+    t
+}
+
+fn bench_compare(c: &mut Criterion) {
+    let ops = stream(10_000);
+    let mut g = c.benchmark_group("tracker_compare");
+    for &k in &[128usize, 512, 2048] {
+        g.bench_function(format!("space_saving_bucket_{k}"), |b| {
+            b.iter_batched(|| SpaceSaving::new(k), |t| record_all(t, &ops), BatchSize::SmallInput)
+        });
+        g.bench_function(format!("space_saving_naive_{k}"), |b| {
+            b.iter_batched(
+                || NaiveSpaceSaving::new(k),
+                |t| record_all(t, &ops),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.bench_function("lossy_counting_w512", |b| {
+        b.iter_batched(|| LossyCounting::new(512), |t| record_all(t, &ops), BatchSize::SmallInput)
+    });
+    g.bench_function("count_min_4x1024", |b| {
+        b.iter_batched(
+            || CountMinSketch::new(4, 10, 7),
+            |t| record_all(t, &ops),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compare);
+criterion_main!(benches);

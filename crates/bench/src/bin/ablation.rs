@@ -57,25 +57,30 @@ impl DramMitigation for Variant {
         self.table.on_activate(row);
     }
 
-    fn on_rfm(&mut self) -> RfmOutcome {
+    fn on_rfm_into(&mut self, out: &mut RfmOutcome) {
         match self.policy {
             Policy::RoundRobin => {
                 // Refresh whichever tracked row the cursor lands on.
                 let entries: Vec<RowId> = self.table.iter_relative().map(|(r, _)| r).collect();
                 if entries.is_empty() {
-                    return RfmOutcome::skipped();
+                    out.reset_to_skipped();
+                    return;
                 }
                 let row = entries[(self.rr_cursor as usize) % entries.len()];
                 self.rr_cursor += 1;
-                RfmOutcome::refresh(row, self.victims(row))
+                let victims = self.victims(row);
+                out.begin_refresh(row).extend(victims);
             }
             Policy::NoDecrement => {
                 // Greedy selection, but the counter keeps its value: the
                 // same row is selected forever while others grow unseen.
                 let max = self.table.iter_relative().max_by_key(|&(_, c)| c);
                 match max {
-                    Some((row, _)) => RfmOutcome::refresh(row, self.victims(row)),
-                    None => RfmOutcome::skipped(),
+                    Some((row, _)) => {
+                        let victims = self.victims(row);
+                        out.begin_refresh(row).extend(victims);
+                    }
+                    None => out.reset_to_skipped(),
                 }
             }
         }

@@ -59,7 +59,7 @@ fn rfm_graphene_worst(threshold: u64, timing: &Ddr5Timing) -> u64 {
     }
 
     // Plain round-robin reference patterns.
-    for m in [(budget / threshold.max(1)).max(2).min(8_192), 64] {
+    for m in [(budget / threshold.max(1)).clamp(2, 8_192), 64] {
         let engine = RfmGraphene::new(threshold, nentry, ROWS);
         let mut h = AttackHarness::new(*timing, Box::new(engine), RFM_TH, u64::MAX);
         let mut i = 0u64;

@@ -1,0 +1,177 @@
+//! Hot-path performance baseline: measures the per-ACT cost of the
+//! Stream-Summary bucket table against the retained linear-scan reference
+//! and writes `BENCH_table.json` so future PRs have a recorded perf
+//! trajectory.
+//!
+//! ```text
+//! cargo run --release -p mithril-bench --bin perf_report [-- --out PATH]
+//! ```
+//!
+//! The workload is the `table_hot_path` criterion stream: 30% hot-row hits,
+//! 70% cold misses over a 4×K row universe, one RFM every 64 ACTs — the
+//! same mix the simulator's activation path produces under mix-high.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mithril::{MithrilTable, NaiveTable};
+use mithril_trackers::{FrequencyTracker, NaiveSpaceSaving, SpaceSaving};
+
+const TABLE_SIZES: [usize; 4] = [32, 128, 512, 2048];
+const OPS: usize = 100_000;
+const RFM_EVERY: usize = 64;
+
+fn act_stream(len: usize, universe: u64) -> Vec<u64> {
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if x % 10 < 3 {
+                x % 8
+            } else {
+                x % universe
+            }
+        })
+        .collect()
+}
+
+/// Runs `f` repeatedly until ~200 ms elapse and returns ops/second.
+fn measure(ops_per_run: usize, mut f: impl FnMut()) -> f64 {
+    // Warm-up.
+    f();
+    let t0 = Instant::now();
+    let mut runs = 0u64;
+    while t0.elapsed().as_millis() < 200 {
+        f();
+        runs += 1;
+    }
+    (runs as f64 * ops_per_run as f64) / t0.elapsed().as_secs_f64()
+}
+
+struct TableRow {
+    k: usize,
+    bucket_ops_per_sec: f64,
+    naive_ops_per_sec: f64,
+}
+
+fn bench_tables() -> Vec<TableRow> {
+    TABLE_SIZES
+        .iter()
+        .map(|&k| {
+            let ops = act_stream(OPS, 4 * k as u64);
+            let bucket = measure(OPS, || {
+                let mut t = MithrilTable::<u16>::new(k);
+                for (i, &r) in ops.iter().enumerate() {
+                    t.on_activate(r);
+                    if i % RFM_EVERY == RFM_EVERY - 1 {
+                        std::hint::black_box(t.on_rfm());
+                    }
+                }
+                std::hint::black_box(t.spread());
+            });
+            // The naive reference is orders of magnitude slower at large K;
+            // shrink its stream so the report still finishes quickly.
+            let naive_ops = if k >= 512 { OPS / 10 } else { OPS };
+            let stream = &ops[..naive_ops];
+            let naive = measure(naive_ops, || {
+                let mut t = NaiveTable::new(k);
+                for (i, &r) in stream.iter().enumerate() {
+                    t.on_activate(r);
+                    if i % RFM_EVERY == RFM_EVERY - 1 {
+                        std::hint::black_box(t.on_rfm());
+                    }
+                }
+                std::hint::black_box(t.spread());
+            });
+            TableRow { k, bucket_ops_per_sec: bucket, naive_ops_per_sec: naive }
+        })
+        .collect()
+}
+
+fn bench_trackers() -> Vec<TableRow> {
+    TABLE_SIZES
+        .iter()
+        .map(|&k| {
+            let ops = act_stream(OPS, 4 * k as u64);
+            let bucket = measure(OPS, || {
+                let mut t = SpaceSaving::new(k);
+                for &r in &ops {
+                    t.record(r);
+                }
+                std::hint::black_box(t.min_count());
+            });
+            let naive_ops = if k >= 512 { OPS / 10 } else { OPS };
+            let stream = &ops[..naive_ops];
+            let naive = measure(naive_ops, || {
+                let mut t = NaiveSpaceSaving::new(k);
+                for &r in stream {
+                    t.record(r);
+                }
+                std::hint::black_box(t.min_count());
+            });
+            TableRow { k, bucket_ops_per_sec: bucket, naive_ops_per_sec: naive }
+        })
+        .collect()
+}
+
+fn rows_to_json(rows: &[TableRow]) -> String {
+    let mut s = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"k\": {}, \"bucket_ops_per_sec\": {:.0}, \"naive_ops_per_sec\": {:.0}, \"speedup\": {:.2}}}{}",
+            r.k,
+            r.bucket_ops_per_sec,
+            r.naive_ops_per_sec,
+            r.bucket_ops_per_sec / r.naive_ops_per_sec,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ]");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_table.json".to_string());
+
+    println!("# Mithril table hot path: bucket vs naive ({OPS} ACTs, RFM every {RFM_EVERY})");
+    println!("{:>6} {:>18} {:>18} {:>9}", "K", "bucket ops/s", "naive ops/s", "speedup");
+    let tables = bench_tables();
+    for r in &tables {
+        println!(
+            "{:>6} {:>18.0} {:>18.0} {:>8.2}x",
+            r.k,
+            r.bucket_ops_per_sec,
+            r.naive_ops_per_sec,
+            r.bucket_ops_per_sec / r.naive_ops_per_sec
+        );
+    }
+    println!("\n# Space-Saving tracker: bucket vs naive (record-only)");
+    println!("{:>6} {:>18} {:>18} {:>9}", "K", "bucket ops/s", "naive ops/s", "speedup");
+    let trackers = bench_trackers();
+    for r in &trackers {
+        println!(
+            "{:>6} {:>18.0} {:>18.0} {:>8.2}x",
+            r.k,
+            r.bucket_ops_per_sec,
+            r.naive_ops_per_sec,
+            r.bucket_ops_per_sec / r.naive_ops_per_sec
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"ops_per_run\": {OPS},\n  \"rfm_every\": {RFM_EVERY},\n  \"mithril_table\": {},\n  \"space_saving\": {}\n}}\n",
+        rows_to_json(&tables),
+        rows_to_json(&trackers)
+    );
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+}

@@ -55,6 +55,13 @@ mod config;
 mod scheme;
 mod table;
 
+/// Shared fast hashing for hot-path keyed lookups (re-export of
+/// [`mithril_fasthash`]): the multiply-fold [`fasthash::FastHashMap`]
+/// backing the table index, and the multiply-shift sketch hash family.
+pub mod fasthash {
+    pub use mithril_fasthash::*;
+}
+
 pub use config::{ConfigError, MithrilConfig};
 pub use scheme::{MithrilScheme, SchemeStats};
-pub use table::{Counter, MithrilTable, Selection};
+pub use table::{Counter, MithrilTable, NaiveTable, Selection};

@@ -87,15 +87,21 @@ impl MithrilScheme {
     /// clamped to the bank's row range.
     pub fn victims_of(&self, aggressor: RowId) -> Vec<RowId> {
         let mut v = Vec::with_capacity(2 * self.config.blast_radius as usize);
+        self.fill_victims(aggressor, &mut v);
+        v
+    }
+
+    /// Appends the victims of `aggressor` to `out` without allocating
+    /// (the allocation-free path behind [`DramMitigation::on_rfm_into`]).
+    fn fill_victims(&self, aggressor: RowId, out: &mut Vec<RowId>) {
         for d in 1..=self.config.blast_radius {
             if aggressor >= d {
-                v.push(aggressor - d);
+                out.push(aggressor - d);
             }
             if aggressor + d < self.config.rows_per_bank {
-                v.push(aggressor + d);
+                out.push(aggressor + d);
             }
         }
-        v
     }
 
     fn adaptive_skip(&self) -> bool {
@@ -112,20 +118,19 @@ impl DramMitigation for MithrilScheme {
         self.table.on_activate(row);
     }
 
-    fn on_rfm(&mut self) -> RfmOutcome {
+    fn on_rfm_into(&mut self, out: &mut RfmOutcome) {
+        out.reset_to_skipped();
         self.stats.rfms += 1;
         if self.adaptive_skip() {
             self.stats.skips += 1;
-            return RfmOutcome::skipped();
+            return;
         }
-        match self.table.on_rfm() {
-            Some(sel) => {
-                let victims = self.victims_of(sel.row);
-                self.stats.refreshes += 1;
-                self.stats.victim_rows += victims.len() as u64;
-                RfmOutcome::refresh(sel.row, victims)
-            }
-            None => RfmOutcome::skipped(),
+        if let Some(sel) = self.table.on_rfm() {
+            self.fill_victims(sel.row, &mut out.refreshed_victims);
+            self.stats.refreshes += 1;
+            self.stats.victim_rows += out.refreshed_victims.len() as u64;
+            out.selected_aggressor = Some(sel.row);
+            out.skipped = false;
         }
     }
 

@@ -8,13 +8,38 @@
 //! no periodic table reset (Graphene) or duplicated table (BlockHammer) is
 //! needed, which is where Mithril's two-fold area advantage comes from.
 //!
+//! # Software model: the Stream-Summary bucket structure
+//!
+//! Hardware resolves `MaxPtr`/`MinPtr` with parallel comparators in the
+//! count CAM; a software model has no such luxury, and per-ACT linear
+//! rescans made the table update O(Nentry) — the hot loop of the entire
+//! simulator. [`MithrilTable`] therefore keeps its entries in the classic
+//! *Stream-Summary* layout (Metwally et al., "Efficient computation of
+//! frequent and top-k elements in data streams"): a doubly-linked list of
+//! **buckets**, one per distinct counter value, each holding the
+//! doubly-linked list of entries at that value. Increments move an entry to
+//! the neighbouring bucket in O(1); `MinPtr` is the first entry of the head
+//! bucket and `MaxPtr` the first entry of the tail bucket, both O(1) reads.
+//! Buckets are ordered by *difference from the table minimum*, not by
+//! absolute counter value — the order is maintained purely structurally
+//! (entries only ever move by +1 or drop to the minimum), so it stays
+//! correct across `u16` wrap-arounds as long as the spread fits the counter
+//! range, exactly the invariant Theorem 1 guarantees. See
+//! `ARCHITECTURE.md` for the amortized-cost argument.
+//!
+//! [`NaiveTable`] retains the obvious O(Nentry) linear-scan implementation
+//! (with unbounded `u64` counters) as the differential-testing reference:
+//! `tests/differential.rs` proves both make identical decisions on random
+//! and adversarial streams.
+//!
 //! The table is generic over the [`Counter`] width so the wrapping `u16`
 //! hardware table can be checked against an unbounded `u64` reference: for
 //! any stream whose spread stays under the counter range, the two behave
 //! *identically* (see the property tests in `tests/wrapping.rs`).
 
 use mithril_dram::RowId;
-use std::collections::HashMap;
+use mithril_fasthash::{fast_map_with_capacity, FastHashMap};
+use mithril_streamsummary::BucketList;
 
 /// A fixed-width, wrapping hardware counter.
 ///
@@ -92,10 +117,15 @@ pub struct Selection {
     pub count_above_min: u64,
 }
 
-/// The per-bank Mithril table (paper Fig. 4/5).
+/// The per-bank Mithril table (paper Fig. 4/5), Stream-Summary backed.
 ///
 /// `C` is the hardware counter type; the deployed configuration is `u16`
 /// (the default), and `u64` serves as the unbounded reference model.
+///
+/// Tie-breaking is *age at the current counter value*: the entry that has
+/// held the minimum longest is evicted first, and the entry that reached
+/// the maximum first is selected first. [`NaiveTable`] implements the same
+/// policy with linear scans.
 ///
 /// # Example
 ///
@@ -116,15 +146,9 @@ pub struct Selection {
 pub struct MithrilTable<C: Counter = u16> {
     addrs: Vec<RowId>,
     counts: Vec<C>,
-    index: HashMap<RowId, usize>,
-    /// Slot of the current minimum (MinPtr).
-    min_slot: usize,
-    /// Slot of the current maximum (MaxPtr).
-    max_slot: usize,
-    /// Number of occupied slots whose count equals the minimum.
-    at_min: usize,
-    /// Queue of candidate minimum slots (lazy; validated on pop).
-    min_candidates: Vec<usize>,
+    index: FastHashMap<RowId, u32>,
+    /// The shared Stream-Summary bucket list over the slots.
+    list: BucketList<C>,
     capacity: usize,
 }
 
@@ -139,11 +163,8 @@ impl<C: Counter> MithrilTable<C> {
         Self {
             addrs: Vec::with_capacity(capacity),
             counts: Vec::with_capacity(capacity),
-            index: HashMap::with_capacity(capacity),
-            min_slot: 0,
-            max_slot: 0,
-            at_min: 0,
-            min_candidates: Vec::new(),
+            index: fast_map_with_capacity(capacity),
+            list: BucketList::with_capacity(capacity),
             capacity,
         }
     }
@@ -163,23 +184,31 @@ impl<C: Counter> MithrilTable<C> {
         self.addrs.is_empty()
     }
 
+    /// The minimum the table currently measures against: the head bucket's
+    /// value when full, the implicit zero of the free entries otherwise.
+    #[inline]
+    fn min_value(&self) -> C {
+        if self.len() == self.capacity {
+            self.list.min_value().expect("full table has a min bucket")
+        } else {
+            C::zero()
+        }
+    }
+
     /// The count difference between `MaxPtr` and `MinPtr` — the adaptive
-    /// refresh proxy (paper Section V-A). Zero while the table is not full
-    /// does not arise in practice because a non-full table has min 0.
+    /// refresh proxy (paper Section V-A).
     pub fn spread(&self) -> u64 {
         if self.addrs.is_empty() {
             return 0;
         }
-        let min = if self.len() < self.capacity { C::zero() } else { self.counts[self.min_slot] };
-        self.counts[self.max_slot].diff(min)
+        self.list.max_value().expect("non-empty").diff(self.min_value())
     }
 
     /// Estimated count of `row` above the table minimum (`0` for off-table
     /// rows: their estimate *is* the minimum).
     pub fn estimate_above_min(&self, row: RowId) -> u64 {
-        let min = if self.len() < self.capacity { C::zero() } else { self.counts[self.min_slot] };
         match self.index.get(&row) {
-            Some(&slot) => self.counts[slot].diff(min),
+            Some(&slot) => self.counts[slot as usize].diff(self.min_value()),
             None => 0,
         }
     }
@@ -189,6 +218,14 @@ impl<C: Counter> MithrilTable<C> {
         self.index.contains_key(&row)
     }
 
+    /// Moves `slot` to the bucket for `value + 1`. O(1) via the shared
+    /// [`BucketList`].
+    fn increment(&mut self, slot: u32) {
+        let v1 = self.counts[slot as usize].incremented();
+        self.counts[slot as usize] = v1;
+        self.list.advance(slot, v1);
+    }
+
     /// Processes one ACT command (paper Fig. 5 steps ① and ②).
     pub fn on_activate(&mut self, row: RowId) {
         if let Some(&slot) = self.index.get(&row) {
@@ -196,27 +233,22 @@ impl<C: Counter> MithrilTable<C> {
             return;
         }
         if self.addrs.len() < self.capacity {
-            let slot = self.addrs.len();
+            let slot = self.addrs.len() as u32;
             self.addrs.push(row);
             self.counts.push(C::zero().incremented());
             self.index.insert(row, slot);
-            if self.counts[slot].diff(C::zero()) > self.counts[self.max_slot].diff(C::zero())
-                || self.addrs.len() == 1
-            {
-                self.max_slot = slot;
-            }
-            if self.addrs.len() == self.capacity {
-                self.rescan_min();
-            }
+            self.list.push_slot();
+            self.list.place_fresh(slot, C::zero(), C::zero().incremented());
             return;
         }
-        // Miss on a full table: replace the MinPtr entry (Fig. 3).
-        let slot = self.pop_min_slot();
-        let old = self.addrs[slot];
+        // Miss on a full table: replace the entry that has held the
+        // minimum longest (the MinPtr entry, Fig. 3) and increment it.
+        let victim = self.list.oldest_min_slot().expect("full table is non-empty");
+        let old = self.addrs[victim as usize];
         self.index.remove(&old);
-        self.addrs[slot] = row;
-        self.index.insert(row, slot);
-        self.increment(slot);
+        self.addrs[victim as usize] = row;
+        self.index.insert(row, victim);
+        self.increment(victim);
     }
 
     /// Processes one RFM command: greedy selection of the `MaxPtr` entry and
@@ -226,107 +258,182 @@ impl<C: Counter> MithrilTable<C> {
         if self.addrs.is_empty() {
             return None;
         }
-        let slot = self.max_slot;
-        let row = self.addrs[slot];
-        let min =
-            if self.len() < self.capacity { C::zero() } else { self.counts[self.min_slot] };
-        let above = self.counts[slot].diff(min);
-        if above > 0 && self.len() == self.capacity {
-            self.counts[slot] = min;
-            self.at_min += 1;
-            self.min_candidates.push(slot);
-        } else if above > 0 {
-            // Table not yet full: "minimum" is the implicit zero of the
-            // free entries; the entry keeps count 0.
-            self.counts[slot] = C::zero();
-        }
-        // The new MaxPtr must be found within the tRFM window.
-        self.rescan_max();
-        Some(Selection { row, count_above_min: above })
-    }
-
-    fn increment(&mut self, slot: usize) {
         let full = self.len() == self.capacity;
-        let min_val = if full { self.counts[self.min_slot] } else { C::zero() };
-        let was_min = full && self.counts[slot] == min_val;
-        self.counts[slot] = self.counts[slot].incremented();
-        // Max update: compare relative to the (pre-increment) minimum.
-        if self.counts[slot].diff(min_val) > self.counts[self.max_slot].diff(min_val) {
-            self.max_slot = slot;
+        let slot = self.list.oldest_max_slot().expect("non-empty");
+        let row = self.addrs[slot as usize];
+        let min_c = self.min_value();
+        let above = self.counts[slot as usize].diff(min_c);
+        if above > 0 {
+            // Full tables decrement to the minimum entry; not-full tables
+            // measure against the implicit zero of the free entries.
+            let floor = if full { min_c } else { C::zero() };
+            self.counts[slot as usize] = floor;
+            self.list.drop_to_floor(slot, floor);
         }
-        if was_min {
-            self.at_min -= 1;
-            if self.at_min == 0 {
-                self.rescan_min();
-            } else if self.min_slot == slot {
-                // MinPtr must keep pointing at a true minimum.
-                self.min_slot = self
-                    .counts
-                    .iter()
-                    .position(|&c| c == min_val)
-                    .expect("at_min > 0 entries still hold the minimum");
-            }
-        }
-    }
-
-    /// Pops a slot that currently holds the minimum count.
-    fn pop_min_slot(&mut self) -> usize {
-        debug_assert_eq!(self.len(), self.capacity);
-        while let Some(&slot) = self.min_candidates.last() {
-            if self.counts[slot] == self.counts[self.min_slot] {
-                self.min_candidates.pop();
-                return slot;
-            }
-            self.min_candidates.pop();
-        }
-        self.min_slot
-    }
-
-    fn rescan_min(&mut self) {
-        debug_assert_eq!(self.len(), self.capacity);
-        // Relative order is defined against the max: the minimum is the
-        // entry with the largest distance below the max (first-wins rule).
-        let max = self.counts[self.max_slot];
-        let mut best = 0usize;
-        let mut best_diff = max.diff(self.counts[0]);
-        for (i, &c) in self.counts.iter().enumerate().skip(1) {
-            let d = max.diff(c);
-            if d > best_diff {
-                best = i;
-                best_diff = d;
-            }
-        }
-        self.min_slot = best;
-        let min = self.counts[best];
-        self.at_min = self.counts.iter().filter(|&&c| c == min).count();
-        self.min_candidates.clear();
-        self.min_candidates
-            .extend(self.counts.iter().enumerate().filter(|(_, &c)| c == min).map(|(i, _)| i));
-        self.min_candidates.reverse(); // pop() yields the first slot first
-    }
-
-    fn rescan_max(&mut self) {
-        if self.addrs.is_empty() {
-            return;
-        }
-        let min =
-            if self.len() < self.capacity { C::zero() } else { self.counts[self.min_slot] };
-        let mut best = 0usize;
-        let mut best_diff = self.counts[0].diff(min);
-        for (i, &c) in self.counts.iter().enumerate().skip(1) {
-            let d = c.diff(min);
-            if d > best_diff {
-                best = i;
-                best_diff = d;
-            }
-        }
-        self.max_slot = best;
+        Some(Selection { row, count_above_min: above })
     }
 
     /// Iterates over `(row, count_above_min)` pairs.
     pub fn iter_relative(&self) -> impl Iterator<Item = (RowId, u64)> + '_ {
-        let min = if self.len() < self.capacity { C::zero() } else { self.counts[self.min_slot] };
+        let min = if self.addrs.is_empty() { C::zero() } else { self.min_value() };
         self.addrs.iter().zip(self.counts.iter()).map(move |(&a, &c)| (a, c.diff(min)))
+    }
+
+    /// Number of live value buckets (diagnostics; at most `len()`).
+    pub fn bucket_count(&self) -> usize {
+        self.list.bucket_count()
+    }
+}
+
+/// The retained linear-scan reference implementation of the Mithril table.
+///
+/// Uses unbounded `u64` counters and O(capacity) scans per decision. Ties
+/// are broken by *age at the current counter value* (tracked with an
+/// explicit sequence number), the same policy [`MithrilTable`]'s bucket
+/// lists realize structurally — so the two make identical decisions on any
+/// stream whose spread fits the wrapping counter's range. Kept for
+/// differential property tests (`tests/differential.rs`) and as the
+/// baseline of the `table_hot_path` benchmark.
+#[derive(Debug, Clone)]
+pub struct NaiveTable {
+    addrs: Vec<RowId>,
+    counts: Vec<u64>,
+    /// Global sequence number of the entry's last counter change; within a
+    /// set of equal counters, smaller = held the value longer.
+    seqs: Vec<u64>,
+    index: std::collections::HashMap<RowId, usize>,
+    next_seq: u64,
+    capacity: usize,
+}
+
+impl NaiveTable {
+    /// Creates an empty table with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be non-zero");
+        Self {
+            addrs: Vec::with_capacity(capacity),
+            counts: Vec::with_capacity(capacity),
+            seqs: Vec::with_capacity(capacity),
+            index: std::collections::HashMap::with_capacity(capacity),
+            next_seq: 0,
+            capacity,
+        }
+    }
+
+    /// `Nentry`, the number of table entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Occupied entries.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// True if no entries are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    fn min_value(&self) -> u64 {
+        if self.len() == self.capacity {
+            self.counts.iter().copied().min().expect("non-empty")
+        } else {
+            0
+        }
+    }
+
+    /// Slot holding the minimum count the longest (the eviction target).
+    fn min_slot(&self) -> usize {
+        (0..self.counts.len())
+            .min_by_key(|&i| (self.counts[i], self.seqs[i]))
+            .expect("non-empty")
+    }
+
+    /// Slot holding the maximum count the longest (the RFM selection).
+    fn max_slot(&self) -> usize {
+        (0..self.counts.len())
+            .min_by_key(|&i| (std::cmp::Reverse(self.counts[i]), self.seqs[i]))
+            .expect("non-empty")
+    }
+
+    /// `MaxPtr − MinPtr` spread.
+    pub fn spread(&self) -> u64 {
+        if self.addrs.is_empty() {
+            return 0;
+        }
+        self.counts[self.max_slot()] - self.min_value()
+    }
+
+    /// Estimated count of `row` above the table minimum.
+    pub fn estimate_above_min(&self, row: RowId) -> u64 {
+        match self.index.get(&row) {
+            Some(&slot) => self.counts[slot] - self.min_value(),
+            None => 0,
+        }
+    }
+
+    /// True if `row` currently occupies a table entry.
+    pub fn contains(&self, row: RowId) -> bool {
+        self.index.contains_key(&row)
+    }
+
+    /// Processes one ACT command.
+    pub fn on_activate(&mut self, row: RowId) {
+        if let Some(&slot) = self.index.get(&row) {
+            self.counts[slot] += 1;
+            self.seqs[slot] = self.bump_seq();
+            return;
+        }
+        if self.addrs.len() < self.capacity {
+            self.addrs.push(row);
+            self.counts.push(1);
+            let seq = self.bump_seq();
+            self.seqs.push(seq);
+            self.index.insert(row, self.addrs.len() - 1);
+            return;
+        }
+        let slot = self.min_slot();
+        let old = self.addrs[slot];
+        self.index.remove(&old);
+        self.addrs[slot] = row;
+        self.index.insert(row, slot);
+        self.counts[slot] += 1;
+        self.seqs[slot] = self.bump_seq();
+    }
+
+    /// Greedy RFM selection + decrement-to-min.
+    pub fn on_rfm(&mut self) -> Option<Selection> {
+        if self.addrs.is_empty() {
+            return None;
+        }
+        let slot = self.max_slot();
+        let row = self.addrs[slot];
+        let min = self.min_value();
+        let above = self.counts[slot] - min;
+        if above > 0 {
+            // Full tables decrement to the minimum entry; not-full tables
+            // measure against the implicit zero of the free entries.
+            self.counts[slot] = if self.len() == self.capacity { min } else { 0 };
+            self.seqs[slot] = self.bump_seq();
+        }
+        Some(Selection { row, count_above_min: above })
+    }
+
+    /// Iterates over `(row, count_above_min)` pairs.
+    pub fn iter_relative(&self) -> impl Iterator<Item = (RowId, u64)> + '_ {
+        let min = if self.addrs.is_empty() { 0 } else { self.min_value() };
+        self.addrs.iter().zip(self.counts.iter()).map(move |(&a, &c)| (a, c - min))
     }
 }
 
@@ -383,8 +490,7 @@ mod tests {
         assert_eq!(t.spread(), 0);
         t.on_activate(1);
         t.on_activate(2);
-        // Both at count 1 → spread = 1 above implicit-zero min? No: table
-        // is now full, min = 1, max = 1 → spread 0.
+        // Both at count 1 → table full, min = 1, max = 1 → spread 0.
         assert_eq!(t.spread(), 0);
     }
 
@@ -401,18 +507,18 @@ mod tests {
         t.on_activate(20);
         t.on_activate(10);
         t.on_activate(20);
-        // Both at 2; 10 was incremented to 2 first and stays MaxPtr.
+        // Both at 2; 10 reached 2 first and is selected.
         assert_eq!(t.on_rfm().unwrap().row, 10);
     }
 
     #[test]
-    fn eviction_targets_first_min_slot() {
+    fn eviction_targets_oldest_min_entry() {
         let mut t: MithrilTable<u16> = MithrilTable::new(3);
         t.on_activate(1);
         t.on_activate(1);
         t.on_activate(2);
         t.on_activate(3);
-        // 2 and 3 both at min=1; a miss replaces the earlier slot (2).
+        // 2 and 3 both at min = 1; 2 has held it longer and is replaced.
         t.on_activate(4);
         assert!(!t.contains(2));
         assert!(t.contains(3));
@@ -432,8 +538,60 @@ mod tests {
     }
 
     #[test]
+    fn bucket_count_never_exceeds_entries() {
+        let mut t: MithrilTable<u16> = MithrilTable::new(16);
+        for i in 0..10_000u64 {
+            t.on_activate((i * 7) % 40);
+            if i % 24 == 23 {
+                t.on_rfm();
+            }
+            assert!(t.bucket_count() <= t.len().max(1), "arena leaked buckets");
+        }
+    }
+
+    #[test]
+    fn not_full_rfm_resets_to_zero_and_rejoins_order() {
+        let mut t: MithrilTable<u16> = MithrilTable::new(8);
+        for _ in 0..5 {
+            t.on_activate(1);
+        }
+        t.on_activate(2);
+        // RFM drops row 1 from 5 to 0 (table not full → implicit zero min).
+        let sel = t.on_rfm().unwrap();
+        assert_eq!(sel.row, 1);
+        assert_eq!(sel.count_above_min, 5);
+        assert_eq!(t.estimate_above_min(1), 0);
+        assert_eq!(t.estimate_above_min(2), 1);
+        // Next RFM now selects row 2.
+        assert_eq!(t.on_rfm().unwrap().row, 2);
+    }
+
+    #[test]
+    fn naive_matches_bucket_on_smoke_stream() {
+        let mut fast: MithrilTable<u64> = MithrilTable::new(4);
+        let mut naive = NaiveTable::new(4);
+        let mut x = 99u64;
+        for i in 0..20_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let row = (x >> 33) % 10;
+            fast.on_activate(row);
+            naive.on_activate(row);
+            if i % 17 == 16 {
+                assert_eq!(fast.on_rfm(), naive.on_rfm(), "diverged at {i}");
+            }
+            assert_eq!(fast.spread(), naive.spread(), "spread diverged at {i}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "capacity")]
     fn zero_capacity_panics() {
         let _: MithrilTable<u16> = MithrilTable::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn naive_zero_capacity_panics() {
+        let _ = NaiveTable::new(0);
     }
 }

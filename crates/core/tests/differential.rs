@@ -1,0 +1,203 @@
+//! Differential tests: the Stream-Summary bucket table must make
+//! decisions *identical* to the retained linear-scan reference
+//! ([`mithril::NaiveTable`]) — same RFM selections, same evictions, same
+//! spreads, same estimates — on random and adversarial streams.
+//!
+//! `NaiveTable` uses unbounded `u64` counters, so running it against the
+//! wrapping `u16` production table also re-proves the Section IV-E
+//! wrapping-counter claim along the way.
+
+use mithril::{MithrilTable, NaiveTable};
+use proptest::prelude::*;
+
+/// One step of a differential run: activate or RFM.
+#[derive(Debug, Clone, Copy)]
+enum Cmd {
+    Act(u64),
+    Rfm,
+}
+
+/// Drives both tables through `cmds`, asserting equal observable behavior
+/// at every step. Returns the number of commands executed.
+fn assert_lockstep<C: mithril::Counter>(
+    fast: &mut MithrilTable<C>,
+    naive: &mut NaiveTable,
+    cmds: impl Iterator<Item = Cmd>,
+) -> u64 {
+    let mut n = 0;
+    for cmd in cmds {
+        match cmd {
+            Cmd::Act(row) => {
+                fast.on_activate(row);
+                naive.on_activate(row);
+                debug_assert_eq!(fast.contains(row), naive.contains(row));
+            }
+            Cmd::Rfm => {
+                assert_eq!(fast.on_rfm(), naive.on_rfm(), "RFM diverged at step {n}");
+            }
+        }
+        n += 1;
+    }
+    assert_eq!(fast.spread(), naive.spread(), "final spread diverged");
+    assert_eq!(fast.len(), naive.len());
+    let mut a: Vec<_> = fast.iter_relative().collect();
+    let mut b: Vec<_> = naive.iter_relative().collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "final table contents diverged");
+    n
+}
+
+/// Splitmix-style deterministic stream generator for the long runs.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// 10^5-activation uniform-random stream with an RFM cadence, several
+/// capacities. Also checks per-step selections and estimates.
+#[test]
+fn random_stream_100k_identical_decisions() {
+    for &(cap, universe, rfm_every) in
+        &[(4usize, 10u64, 16u64), (16, 48, 32), (64, 256, 64), (128, 96, 24)]
+    {
+        let mut fast: MithrilTable<u16> = MithrilTable::new(cap);
+        let mut naive = NaiveTable::new(cap);
+        let mut rng = Lcg(0xC0FFEE ^ cap as u64);
+        let mut acts = 0u64;
+        let mut step = 0u64;
+        while acts < 100_000 {
+            let row = rng.next() % universe;
+            fast.on_activate(row);
+            naive.on_activate(row);
+            acts += 1;
+            if step % rfm_every == rfm_every - 1 {
+                assert_eq!(
+                    fast.on_rfm(),
+                    naive.on_rfm(),
+                    "cap {cap}: RFM diverged after {acts} ACTs"
+                );
+            }
+            if step.is_multiple_of(97) {
+                let probe = rng.next() % universe;
+                assert_eq!(fast.estimate_above_min(probe), naive.estimate_above_min(probe));
+                assert_eq!(fast.spread(), naive.spread());
+            }
+            step += 1;
+        }
+    }
+}
+
+/// Adversarial streams: double-sided hammer with camouflage, round-robin
+/// eviction churn over capacity + 1 rows (the classic Space-Saving worst
+/// case), and a sweeping wave. All at least 10^5 activations.
+#[test]
+fn attack_streams_100k_identical_decisions() {
+    // Double-sided hammer: two hot aggressors, periodic camouflage noise.
+    {
+        let mut fast: MithrilTable<u16> = MithrilTable::new(16);
+        let mut naive = NaiveTable::new(16);
+        let mut rng = Lcg(7);
+        let cmds = (0..120_000u64).map(|i| {
+            if i % 48 == 47 {
+                Cmd::Rfm
+            } else if i % 3 == 2 {
+                Cmd::Act(1000 + rng.next() % 64) // camouflage
+            } else if i % 2 == 0 {
+                Cmd::Act(499)
+            } else {
+                Cmd::Act(501)
+            }
+        });
+        assert_lockstep(&mut fast, &mut naive, cmds);
+    }
+    // Round-robin over capacity + 1 rows: every miss evicts.
+    {
+        let cap = 32usize;
+        let mut fast: MithrilTable<u16> = MithrilTable::new(cap);
+        let mut naive = NaiveTable::new(cap);
+        let cmds = (0..110_000u64).map(|i| {
+            if i % 128 == 127 {
+                Cmd::Rfm
+            } else {
+                Cmd::Act(i % (cap as u64 + 1))
+            }
+        });
+        assert_lockstep(&mut fast, &mut naive, cmds);
+    }
+    // Sweeping wave: rows visited in bursts that shift over time.
+    {
+        let mut fast: MithrilTable<u16> = MithrilTable::new(24);
+        let mut naive = NaiveTable::new(24);
+        let cmds = (0..100_000u64).map(|i| {
+            if i % 64 == 63 {
+                Cmd::Rfm
+            } else {
+                Cmd::Act((i / 500) % 96 + (i % 5))
+            }
+        });
+        assert_lockstep(&mut fast, &mut naive, cmds);
+    }
+}
+
+fn cmd_stream() -> impl Strategy<Value = Vec<Cmd>> {
+    prop::collection::vec(
+        prop_oneof![
+            10 => (0u64..48).prop_map(Cmd::Act),
+            2 => (10_000u64..10_064).prop_map(Cmd::Act), // cold tail
+            1 => Just(Cmd::Rfm),
+        ],
+        1..3000,
+    )
+}
+
+proptest! {
+    /// Random interleavings of ACTs and RFMs: bucket and naive tables stay
+    /// in lockstep at every step, for any capacity.
+    #[test]
+    fn proptest_lockstep_u16(stream in cmd_stream(), cap in 1usize..40) {
+        let mut fast: MithrilTable<u16> = MithrilTable::new(cap);
+        let mut naive = NaiveTable::new(cap);
+        for (i, cmd) in stream.iter().enumerate() {
+            match *cmd {
+                Cmd::Act(row) => {
+                    fast.on_activate(row);
+                    naive.on_activate(row);
+                }
+                Cmd::Rfm => {
+                    prop_assert_eq!(fast.on_rfm(), naive.on_rfm(), "diverged at step {}", i);
+                }
+            }
+            prop_assert_eq!(fast.spread(), naive.spread());
+        }
+        let mut a: Vec<_> = fast.iter_relative().collect();
+        let mut b: Vec<_> = naive.iter_relative().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The wide (u64) bucket table matches the naive reference too — this
+    /// isolates bucket-structure bugs from wrapping-counter bugs.
+    #[test]
+    fn proptest_lockstep_u64(stream in cmd_stream(), cap in 1usize..24) {
+        let mut fast: MithrilTable<u64> = MithrilTable::new(cap);
+        let mut naive = NaiveTable::new(cap);
+        for cmd in &stream {
+            match *cmd {
+                Cmd::Act(row) => {
+                    fast.on_activate(row);
+                    naive.on_activate(row);
+                }
+                Cmd::Rfm => {
+                    prop_assert_eq!(fast.on_rfm(), naive.on_rfm());
+                }
+            }
+        }
+        prop_assert_eq!(fast.spread(), naive.spread());
+    }
+}

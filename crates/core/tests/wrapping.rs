@@ -95,3 +95,98 @@ proptest! {
         prop_assert!(worst <= cap_bound, "worst spread {} > {}", worst, cap_bound);
     }
 }
+
+// The wrap-boundary properties pre-wind every counter close to 2^16
+// (hundreds of thousands of activations per case), so they run with a
+// reduced case count; the cheap safety properties above keep the shim
+// default.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Bucket ordering straddling the u16 wrap boundary: pre-wind every
+    /// counter to just below 2^16 (round-robin hits keep the table full and
+    /// balanced), then run a random stream that pushes the counters across
+    /// the wrap. The `diff`-keyed bucket list must not misorder entries —
+    /// the u16 table stays in lockstep with the unbounded u64 table.
+    #[test]
+    fn bucket_order_survives_u16_wrap(
+        prewind in 65_400u64..65_700,
+        stream in cmd_stream(),
+        cap in 2usize..12,
+    ) {
+        let mut narrow: MithrilTable<u16> = MithrilTable::new(cap);
+        let mut wide: MithrilTable<u64> = MithrilTable::new(cap);
+        // Fill the table, then drive every counter to `prewind` with
+        // round-robin hits (no evictions, spread stays 0). For prewind
+        // past 65_535 the u16 counters have wrapped; the u64 have not.
+        for round in 0..prewind {
+            for row in 0..cap as u64 {
+                narrow.on_activate(row);
+                wide.on_activate(row);
+            }
+            // Keep an occasional RFM in the cadence so selections also
+            // straddle the boundary.
+            if round % 512 == 511 {
+                prop_assert_eq!(narrow.on_rfm(), wide.on_rfm());
+            }
+        }
+        prop_assert_eq!(narrow.spread(), wide.spread());
+        // Now the random stream (rows 0..24 hit the wound-up entries when
+        // cap permits; others churn through eviction at the wrapped min).
+        for cmd in &stream {
+            match cmd {
+                Cmd::Act(row) => {
+                    narrow.on_activate(*row);
+                    wide.on_activate(*row);
+                }
+                Cmd::Rfm => {
+                    prop_assert_eq!(narrow.on_rfm(), wide.on_rfm(), "diverged across wrap");
+                }
+            }
+            prop_assert_eq!(narrow.spread(), wide.spread());
+        }
+        let mut a: Vec<_> = narrow.iter_relative().collect();
+        let mut b: Vec<_> = wide.iter_relative().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// A single entry incrementing across the exact 65_535 → 0 edge keeps
+    /// estimates, selection and spread exact. The whole (full) table is
+    /// wound to just below the edge so the spread stays legal while row 0
+    /// alone steps over it.
+    #[test]
+    fn single_entry_increment_across_wrap_edge(extra in 1u64..200, cap in 2usize..8) {
+        let mut narrow: MithrilTable<u16> = MithrilTable::new(cap);
+        let mut wide: MithrilTable<u64> = MithrilTable::new(cap);
+        // Round-robin the full table up to the edge: every counter sits at
+        // 65_530 (no evictions, spread 0, no RFMs — nothing resets).
+        for _ in 0..65_530u64 {
+            for row in 0..cap as u64 {
+                narrow.on_activate(row);
+                wide.on_activate(row);
+            }
+        }
+        prop_assert_eq!(narrow.spread(), 0);
+        // Row 0 alone steps across 65_535 → 0 (u16) while u64 keeps
+        // counting; spread = extra stays far below the counter range.
+        for i in 0..6 + extra {
+            narrow.on_activate(0);
+            wide.on_activate(0);
+            prop_assert_eq!(
+                narrow.estimate_above_min(0),
+                wide.estimate_above_min(0),
+                "estimate diverged {} past the edge", i
+            );
+            prop_assert_eq!(narrow.spread(), wide.spread());
+        }
+        // Selection across the edge agrees, and the reset drops row 0 back
+        // into the (wrapped) minimum bucket correctly.
+        prop_assert_eq!(narrow.on_rfm(), wide.on_rfm());
+        prop_assert_eq!(narrow.spread(), wide.spread());
+        narrow.on_activate(1);
+        wide.on_activate(1);
+        prop_assert_eq!(narrow.on_rfm(), wide.on_rfm());
+    }
+}

@@ -55,6 +55,9 @@ pub struct DramDevice {
     rows_per_ref: u64,
     counters: EnergyCounters,
     stats: DeviceStats,
+    /// Reusable outcome buffer for [`DramMitigation::on_rfm_into`], so the
+    /// per-RFM victim list never reallocates on the hot path.
+    rfm_scratch: RfmOutcome,
 }
 
 impl DramDevice {
@@ -80,6 +83,7 @@ impl DramDevice {
             rows_per_ref: timing.rows_per_ref(geometry.rows_per_bank),
             counters: EnergyCounters::default(),
             stats: DeviceStats::default(),
+            rfm_scratch: RfmOutcome::default(),
         }
     }
 
@@ -242,13 +246,18 @@ impl DramDevice {
     }
 
     /// Issues an RFM to `bank`, handing the tRFM window to its engine.
-    /// Returns the outcome and the busy-until time.
+    /// Returns the outcome (borrowed from a reusable scratch buffer — the
+    /// victim list is only valid until the next `issue_rfm`) and the
+    /// busy-until time.
     ///
     /// # Panics
     ///
     /// Panics if the bank cannot refresh at `now`.
-    pub fn issue_rfm(&mut self, bank: BankId, now: TimePs) -> (RfmOutcome, TimePs) {
-        let outcome = self.engines[bank].on_rfm();
+    pub fn issue_rfm(&mut self, bank: BankId, now: TimePs) -> (&RfmOutcome, TimePs) {
+        // Swap the scratch out so the engine can fill it while the oracle
+        // is updated; `take` leaves an allocation-free empty outcome.
+        let mut outcome = std::mem::take(&mut self.rfm_scratch);
+        self.engines[bank].on_rfm_into(&mut outcome);
         for &v in &outcome.refreshed_victims {
             self.oracles[bank].on_row_refreshed(v);
         }
@@ -256,7 +265,8 @@ impl DramDevice {
         self.counters.rfm_commands += 1;
         self.stats.rfm_commands += 1;
         let busy = self.banks[bank].issue_rfm(now, outcome.refreshed_victims.len() as u64);
-        (outcome, busy)
+        self.rfm_scratch = outcome;
+        (&self.rfm_scratch, busy)
     }
 
     /// Polls the Mithril+ mode-register flag of `bank` (an MRR command).

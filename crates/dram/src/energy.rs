@@ -160,8 +160,7 @@ mod tests {
     #[test]
     fn preventive_refresh_costs_a_row_cycle() {
         let m = EnergyModel::ddr5_default();
-        let mut c = EnergyCounters::default();
-        c.preventive_rows = 1;
+        let c = EnergyCounters { preventive_rows: 1, ..Default::default() };
         let e = m.dynamic_energy_pj(&c);
         assert!((e - m.refresh_row_fj / 1000.0).abs() < 1e-9);
     }

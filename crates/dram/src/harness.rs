@@ -16,7 +16,7 @@
 //! attacks measured on this harness are directly comparable to the bound M.
 
 use crate::energy::EnergyCounters;
-use crate::mitigation::DramMitigation;
+use crate::mitigation::{DramMitigation, RfmOutcome};
 use crate::oracle::RowHammerOracle;
 use crate::timing::Ddr5Timing;
 use crate::types::{RowId, TimePs};
@@ -57,6 +57,8 @@ pub struct AttackHarness {
     mrr_elision: bool,
     rfms_issued: u64,
     rfms_elided: u64,
+    /// Reusable RFM outcome buffer (see `DramMitigation::on_rfm_into`).
+    rfm_scratch: RfmOutcome,
 }
 
 impl AttackHarness {
@@ -108,6 +110,7 @@ impl AttackHarness {
             mrr_elision: false,
             rfms_issued: 0,
             rfms_elided: 0,
+            rfm_scratch: RfmOutcome::default(),
         }
     }
 
@@ -193,11 +196,13 @@ impl AttackHarness {
         }
         self.counters.rfm_commands += 1;
         self.rfms_issued += 1;
-        let outcome = self.engine.on_rfm();
+        let mut outcome = std::mem::take(&mut self.rfm_scratch);
+        self.engine.on_rfm_into(&mut outcome);
         for &victim in &outcome.refreshed_victims {
             self.oracle.on_row_refreshed(victim);
         }
         self.counters.preventive_rows += outcome.refreshed_victims.len() as u64;
+        self.rfm_scratch = outcome;
         self.now += self.timing.trfm;
     }
 
@@ -297,13 +302,13 @@ mod tests {
                 }
             }
         }
-        fn on_rfm(&mut self) -> RfmOutcome {
+        fn on_rfm_into(&mut self, out: &mut RfmOutcome) {
             match self.row {
                 Some(r) => {
                     self.count = 0;
-                    RfmOutcome::refresh(r, vec![r.saturating_sub(1), r + 1])
+                    out.begin_refresh(r).extend([r.saturating_sub(1), r + 1]);
                 }
-                None => RfmOutcome::skipped(),
+                None => out.reset_to_skipped(),
             }
         }
         fn name(&self) -> &'static str {
@@ -326,8 +331,8 @@ mod tests {
         struct NeverPending;
         impl DramMitigation for NeverPending {
             fn on_activate(&mut self, _row: RowId) {}
-            fn on_rfm(&mut self) -> RfmOutcome {
-                RfmOutcome::skipped()
+            fn on_rfm_into(&mut self, out: &mut RfmOutcome) {
+                out.reset_to_skipped();
             }
             fn refresh_pending(&self) -> bool {
                 false

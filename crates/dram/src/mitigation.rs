@@ -30,6 +30,24 @@ impl RfmOutcome {
     pub fn refresh(aggressor: RowId, victims: Vec<RowId>) -> Self {
         Self { refreshed_victims: victims, selected_aggressor: Some(aggressor), skipped: false }
     }
+
+    /// Resets this outcome to "skipped" **without freeing** the victim
+    /// buffer, so engines filling it via [`DramMitigation::on_rfm_into`]
+    /// reuse the allocation across RFM windows.
+    pub fn reset_to_skipped(&mut self) {
+        self.refreshed_victims.clear();
+        self.selected_aggressor = None;
+        self.skipped = true;
+    }
+
+    /// Marks this outcome as a refresh of `aggressor`'s victims and
+    /// returns the (cleared) victim buffer for the engine to fill.
+    pub fn begin_refresh(&mut self, aggressor: RowId) -> &mut Vec<RowId> {
+        self.selected_aggressor = Some(aggressor);
+        self.skipped = false;
+        self.refreshed_victims.clear();
+        &mut self.refreshed_victims
+    }
 }
 
 /// An in-DRAM (per-bank) Row Hammer mitigation engine.
@@ -48,10 +66,10 @@ impl RfmOutcome {
 ///     fn on_activate(&mut self, row: RowId) {
 ///         self.0 = Some(row);
 ///     }
-///     fn on_rfm(&mut self) -> RfmOutcome {
+///     fn on_rfm_into(&mut self, out: &mut RfmOutcome) {
 ///         match self.0 {
-///             Some(r) => RfmOutcome::refresh(r, vec![r.saturating_sub(1), r + 1]),
-///             None => RfmOutcome::skipped(),
+///             Some(r) => out.begin_refresh(r).extend([r.saturating_sub(1), r + 1]),
+///             None => out.reset_to_skipped(),
 ///         }
 ///     }
 ///     fn name(&self) -> &'static str {
@@ -69,8 +87,23 @@ pub trait DramMitigation {
 
     /// Called when the memory controller issues an RFM to this bank. The
     /// engine owns the tRFM window and decides which victim rows (if any)
-    /// to preventively refresh.
-    fn on_rfm(&mut self) -> RfmOutcome;
+    /// to preventively refresh, writing the outcome into a caller-owned
+    /// buffer so its victim `Vec` is reused across windows (the device
+    /// drives every RFM through one scratch outcome).
+    ///
+    /// Implementations must fully overwrite `out` — start with
+    /// [`RfmOutcome::reset_to_skipped`] or [`RfmOutcome::begin_refresh`].
+    fn on_rfm_into(&mut self, out: &mut RfmOutcome);
+
+    /// Allocating convenience wrapper around [`on_rfm_into`], for tests
+    /// and one-shot callers.
+    ///
+    /// [`on_rfm_into`]: DramMitigation::on_rfm_into
+    fn on_rfm(&mut self) -> RfmOutcome {
+        let mut out = RfmOutcome::skipped();
+        self.on_rfm_into(&mut out);
+        out
+    }
 
     /// Auto-refresh notification: rows `lo..hi` are being refreshed by a
     /// REF command. Engines may use this for housekeeping (e.g. TWiCe-style
@@ -101,8 +134,8 @@ pub struct NoMitigation;
 impl DramMitigation for NoMitigation {
     fn on_activate(&mut self, _row: RowId) {}
 
-    fn on_rfm(&mut self) -> RfmOutcome {
-        RfmOutcome::skipped()
+    fn on_rfm_into(&mut self, out: &mut RfmOutcome) {
+        out.reset_to_skipped();
     }
 
     fn refresh_pending(&self) -> bool {

@@ -10,7 +10,7 @@
 //! The oracle is deliberately *not* a streaming algorithm — it is the ground
 //! truth the streaming trackers approximate.
 
-use std::collections::HashMap;
+use mithril_fasthash::FastHashMap;
 
 use crate::types::RowId;
 
@@ -46,7 +46,7 @@ pub struct RowHammerOracle {
     flip_threshold: u64,
     blast_radius: u64,
     rows: u64,
-    disturbance: HashMap<RowId, u64>,
+    disturbance: FastHashMap<RowId, u64>,
     max_observed: u64,
     total_acts: u64,
     flips: Vec<FlipEvent>,
@@ -68,7 +68,7 @@ impl RowHammerOracle {
             flip_threshold,
             blast_radius,
             rows,
-            disturbance: HashMap::new(),
+            disturbance: FastHashMap::default(),
             max_observed: 0,
             total_acts: 0,
             flips: Vec::new(),

@@ -1,0 +1,242 @@
+//! Shared fast hashing for the hot paths of the reproduction.
+//!
+//! Every DRAM activation updates at least one keyed lookup (the Mithril
+//! table index, the disturbance oracle, tracker tables, the simulator's
+//! MSHR maps), so hashing cost is a first-order term of simulation
+//! throughput. `std`'s default `HashMap` hasher is SipHash-1-3 — a keyed
+//! DoS-resistant hash that costs tens of cycles per `u64`. None of these
+//! structures face attacker-controlled keys across a trust boundary (they
+//! model *hardware CAMs*), so this crate provides two cheaper families:
+//!
+//! * [`FxHasher64`] / [`FastHashMap`] — a multiply-fold hasher in the
+//!   FxHash/multiply-shift tradition for `HashMap`-style containers: one
+//!   XOR + one multiply + one rotate per 8-byte word.
+//! * [`MultiplyShiftHasher`] — the 2-universal multiply-shift family
+//!   (Dietzfelbinger et al.) for power-of-two sketch ranges, used by the
+//!   Count-Min Sketch and counting Bloom filters; this is the hash family
+//!   hardware sketches implement.
+//!
+//! Both are seeded/finalized through [`splitmix64`] so that the
+//! near-sequential row addresses DRAM workloads produce do not collide
+//! systematically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// One round of the splitmix64 mixing function.
+///
+/// Used as a seed expander and as a pre-hash finalizer wherever sequential
+/// keys (row addresses, line addresses) must be spread across buckets.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A fast multiply-fold hasher for in-process hash maps.
+///
+/// Follows the FxHash recipe (fold each word with XOR-multiply-rotate).
+/// Not DoS-resistant — use only for keys that are not adversarial inputs,
+/// which holds for every map in this workspace (they model hardware state
+/// indexed by physical row/line addresses).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher64 {
+    hash: u64,
+}
+
+impl FxHasher64 {
+    const K: u64 = 0x517C_C1B7_2722_0A95; // pi-derived odd constant (FxHash)
+
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.hash = (self.hash ^ word).wrapping_mul(Self::K).rotate_left(5);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // A final avalanche so low-entropy single-word keys (sequential row
+        // ids) still differ in the top bits HashMap uses for its control
+        // bytes.
+        splitmix64(self.hash)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.fold(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.fold(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.fold(n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.fold(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.fold(n as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.fold(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.fold(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher64`].
+pub type BuildFastHasher = BuildHasherDefault<FxHasher64>;
+
+/// A `HashMap` keyed through [`FxHasher64`]; drop-in for `std::HashMap`.
+pub type FastHashMap<K, V> = HashMap<K, V, BuildFastHasher>;
+
+/// A `HashSet` keyed through [`FxHasher64`]; drop-in for `std::HashSet`.
+pub type FastHashSet<T> = HashSet<T, BuildFastHasher>;
+
+/// Creates an empty [`FastHashMap`] with room for `capacity` entries.
+pub fn fast_map_with_capacity<K, V>(capacity: usize) -> FastHashMap<K, V> {
+    FastHashMap::with_capacity_and_hasher(capacity, BuildFastHasher::default())
+}
+
+/// Creates an empty [`FastHashSet`] with room for `capacity` entries.
+pub fn fast_set_with_capacity<T>(capacity: usize) -> FastHashSet<T> {
+    FastHashSet::with_capacity_and_hasher(capacity, BuildFastHasher::default())
+}
+
+/// A member of the multiply-shift universal hash family.
+///
+/// Maps a `u64` key to a bucket in `[0, 2^out_bits)`. 2-universal for
+/// power-of-two ranges; this is the family hardware sketch structures
+/// (Count-Min Sketch, counting Bloom filters) implement, and the exemplar
+/// multiply-shift idiom (`(seed * hash) >> shift`).
+///
+/// # Example
+///
+/// ```
+/// use mithril_fasthash::MultiplyShiftHasher;
+///
+/// let h = MultiplyShiftHasher::new(42, 10);
+/// let b = h.bucket(0xDEAD_BEEF);
+/// assert!(b < 1024);
+/// // Deterministic:
+/// assert_eq!(b, MultiplyShiftHasher::new(42, 10).bucket(0xDEAD_BEEF));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiplyShiftHasher {
+    multiplier: u64,
+    out_bits: u32,
+}
+
+impl MultiplyShiftHasher {
+    /// Creates a hasher for range `[0, 2^out_bits)` seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out_bits` is 0 or greater than 63.
+    pub fn new(seed: u64, out_bits: u32) -> Self {
+        assert!(out_bits > 0 && out_bits < 64, "out_bits must be in 1..=63");
+        // Derive an odd multiplier from the seed with a splitmix64 round so
+        // that consecutive seeds give unrelated hash functions.
+        let multiplier = splitmix64(seed) | 1;
+        Self { multiplier, out_bits }
+    }
+
+    /// Hashes `key` into `[0, 2^out_bits)`.
+    #[inline]
+    pub fn bucket(&self, key: u64) -> usize {
+        let mixed = splitmix64(key);
+        (mixed.wrapping_mul(self.multiplier) >> (64 - self.out_bits)) as usize
+    }
+
+    /// The number of output buckets, `2^out_bits`.
+    pub fn range(&self) -> usize {
+        1usize << self.out_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_map_behaves_like_hashmap() {
+        let mut m: FastHashMap<u64, u64> = fast_map_with_capacity(16);
+        for i in 0..1000u64 {
+            m.insert(i, i * 2);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&i), Some(&(i * 2)));
+        }
+        assert_eq!(m.remove(&500), Some(1000));
+        assert_eq!(m.len(), 999);
+    }
+
+    #[test]
+    fn hasher_spreads_sequential_keys() {
+        use std::hash::BuildHasher;
+        let b = BuildFastHasher::default();
+        let mut tops: FastHashSet<u8> = FastHashSet::default();
+        for k in 0u64..256 {
+            tops.insert((b.hash_one(k) >> 57) as u8);
+        }
+        // Sequential keys must cover most of the 7-bit control-byte space
+        // HashMap probes with.
+        assert!(tops.len() > 64, "only {} distinct top bytes", tops.len());
+    }
+
+    #[test]
+    fn hasher_handles_unaligned_bytes() {
+        use std::hash::Hasher;
+        let mut a = FxHasher64::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        let mut b = FxHasher64::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn multiply_shift_bucket_in_range() {
+        let h = MultiplyShiftHasher::new(7, 5);
+        for key in 0..10_000u64 {
+            assert!(h.bucket(key) < 32);
+        }
+        assert_eq!(MultiplyShiftHasher::new(0, 3).range(), 8);
+    }
+
+    #[test]
+    fn multiply_shift_seeds_differ() {
+        let a = MultiplyShiftHasher::new(1, 16);
+        let b = MultiplyShiftHasher::new(2, 16);
+        let differing = (0..1000u64).filter(|&k| a.bucket(k) != b.bucket(k)).count();
+        assert!(differing > 900, "seeds should give mostly different buckets");
+    }
+
+    #[test]
+    #[should_panic(expected = "out_bits")]
+    fn zero_bits_panics() {
+        let _ = MultiplyShiftHasher::new(0, 0);
+    }
+}

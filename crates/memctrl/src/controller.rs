@@ -240,6 +240,17 @@ impl MemoryController {
     /// arriving between calls are scheduled at their natural times rather
     /// than being quantized to the fence.
     pub fn advance_until(&mut self, end: TimePs) -> Vec<Completion> {
+        let mut out = Vec::new();
+        self.advance_until_into(end, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`advance_until`]: appends completions to
+    /// a caller-owned buffer, so a simulation loop can reuse one `Vec`
+    /// across epochs instead of allocating per call.
+    ///
+    /// [`advance_until`]: MemoryController::advance_until
+    pub fn advance_until_into(&mut self, end: TimePs, out: &mut Vec<Completion>) {
         loop {
             match self.next_candidate() {
                 Some((t, action)) if t <= end => {
@@ -252,7 +263,7 @@ impl MemoryController {
                 _ => break,
             }
         }
-        std::mem::take(&mut self.completions)
+        out.append(&mut self.completions);
     }
 
     // ---------------------------------------------------------- candidates
@@ -371,7 +382,7 @@ impl MemoryController {
                 continue;
             }
             let key = (self.is_blacklisted(req.thread), req.arrival, i);
-            if best.map_or(true, |b| key < b) {
+            if best.is_none_or(|b| key < b) {
                 best = Some(key);
             }
         }
@@ -387,7 +398,7 @@ impl MemoryController {
                 self.mitigation.activate_allowed_at(b, req.addr.row, req.thread, self.clock);
             let t = base.max(release);
             let key = (t, self.is_blacklisted(req.thread), req.arrival, i, release > base);
-            if best.map_or(true, |b| (key.0, key.1, key.2, key.3) < (b.0, b.1, b.2, b.3)) {
+            if best.is_none_or(|b| (key.0, key.1, key.2, key.3) < (b.0, b.1, b.2, b.3)) {
                 best = Some(key);
             }
         }

@@ -1,0 +1,345 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the measurement API the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a simple
+//! but honest wall-clock harness: per sample, the routine runs in a batch
+//! sized so one batch takes ≥ ~1 ms, and the reported figure is the median
+//! over `sample_size` samples (after warm-up). No plots, no statistics
+//! beyond median/min/max — enough to compare implementations and to catch
+//! regressions in CI smoke mode.
+//!
+//! CLI compatibility: `--test` runs every routine once and reports nothing
+//! (the cargo-bench smoke mode CI uses); a positional `<filter>` substring
+//! restricts which benches run, as with real criterion.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How [`Bencher::iter_batched`] amortizes setup cost. The shim honours the
+/// semantics (setup excluded from timing) but not the batch-size hinting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine input: large batches.
+    SmallInput,
+    /// Large routine input: small batches.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+#[derive(Debug, Clone)]
+struct Options {
+    test_mode: bool,
+    filter: Option<String>,
+    sample_size: usize,
+    min_batch_time: Duration,
+}
+
+impl Options {
+    fn from_args() -> Self {
+        let mut o = Self {
+            test_mode: false,
+            filter: None,
+            sample_size: 20,
+            min_batch_time: Duration::from_millis(1),
+        };
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => o.test_mode = true,
+                // Flags cargo/criterion pass that we accept and ignore.
+                "--bench" | "--profile-time" | "--save-baseline" | "--baseline"
+                | "--measurement-time" | "--warm-up-time" | "--sample-size"
+                | "--noplot" | "--quiet" | "--verbose" => {
+                    if matches!(a.as_str(), "--profile-time" | "--save-baseline" | "--baseline"
+                        | "--measurement-time" | "--warm-up-time" | "--sample-size")
+                    {
+                        let _ = args.next();
+                    }
+                }
+                other if !other.starts_with('-') => o.filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        o
+    }
+}
+
+/// Times one closure invocation.
+fn time_once<R>(mut f: impl FnMut() -> R) -> Duration {
+    let t0 = Instant::now();
+    black_box(f());
+    t0.elapsed()
+}
+
+/// The per-benchmark measurement driver.
+pub struct Bencher<'a> {
+    opts: &'a Options,
+    /// `(median, min, max)` nanoseconds per iteration, filled by the
+    /// measurement loops.
+    result_ns: Option<(f64, f64, f64)>,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine` called repeatedly.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        if self.opts.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up and batch sizing: grow the batch until it runs long
+        // enough to dwarf timer overhead.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= self.opts.min_batch_time || batch >= 1 << 24 {
+                break;
+            }
+            batch = (batch * 2).max((batch as f64 * self.opts.min_batch_time.as_secs_f64()
+                / dt.as_secs_f64().max(1e-9)) as u64);
+        }
+        let mut samples = Vec::with_capacity(self.opts.sample_size);
+        for _ in 0..self.opts.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+        self.record(samples);
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        if self.opts.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let mut samples = Vec::with_capacity(self.opts.sample_size);
+        // One warm-up call, then timed calls; setup runs outside the timer.
+        black_box(routine(setup()));
+        let per_call = time_once(|| routine(setup()));
+        // If a single call is far below the timer floor, fold several calls
+        // into one sample.
+        let calls = if per_call >= self.opts.min_batch_time {
+            1u64
+        } else {
+            (self.opts.min_batch_time.as_secs_f64() / per_call.as_secs_f64().max(1e-9)).ceil()
+                as u64
+        };
+        for _ in 0..self.opts.sample_size {
+            let mut total = Duration::ZERO;
+            for _ in 0..calls {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                total += t0.elapsed();
+            }
+            samples.push(total.as_secs_f64() * 1e9 / calls as f64);
+        }
+        self.record(samples);
+    }
+
+    fn record(&mut self, mut samples: Vec<f64>) {
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        self.result_ns = Some((median, min, max));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    opts: Options,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { opts: Options::from_args() }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI configuration (already done at construction; kept for
+    /// API compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn run_one(
+        opts: &Options,
+        name: &str,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) -> Option<(f64, f64, f64)> {
+        if let Some(filter) = &opts.filter {
+            if !name.contains(filter.as_str()) {
+                return None;
+            }
+        }
+        let mut b = Bencher { opts, result_ns: None };
+        f(&mut b);
+        if opts.test_mode {
+            println!("test {name} ... ok");
+            return None;
+        }
+        if let Some((median, min, max)) = b.result_ns {
+            println!(
+                "{name:<50} time: [{} {} {}]",
+                format_ns(min),
+                format_ns(median),
+                format_ns(max)
+            );
+        }
+        b.result_ns
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        Self::run_one(&self.opts, name.as_ref(), &mut f);
+        self
+    }
+
+    /// Opens a named group; benches inside report as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        let mut opts = self.criterion.opts.clone();
+        if let Some(n) = self.sample_size {
+            opts.sample_size = n;
+        }
+        Criterion::run_one(&opts, &full, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(test_mode: bool) -> Options {
+        Options {
+            test_mode,
+            filter: None,
+            sample_size: 3,
+            min_batch_time: Duration::from_micros(50),
+        }
+    }
+
+    #[test]
+    fn iter_produces_a_sane_measurement() {
+        let o = opts(false);
+        let mut b = Bencher { opts: &o, result_ns: None };
+        b.iter(|| black_box(41u64) + 1);
+        let (median, min, max) = b.result_ns.expect("measured");
+        assert!(min <= median && median <= max);
+        assert!(median > 0.0 && median < 1e6, "median {median} ns for an add");
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let o = opts(false);
+        let mut b = Bencher { opts: &o, result_ns: None };
+        b.iter_batched(
+            || vec![0u8; 1024],
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.result_ns.is_some());
+    }
+
+    #[test]
+    fn test_mode_runs_once_without_measuring() {
+        let o = opts(true);
+        let mut b = Bencher { opts: &o, result_ns: None };
+        let mut runs = 0;
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 1);
+        assert!(b.result_ns.is_none());
+    }
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+    }
+}

@@ -1,7 +1,7 @@
 //! Shared last-level cache: set-associative, LRU, write-back/write-allocate
 //! with MSHR merging.
 
-use std::collections::HashMap;
+use mithril::fasthash::FastHashMap;
 
 /// LLC geometry and latency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,7 +58,7 @@ pub struct Llc {
     set_mask: u64,
     ways: usize,
     /// Outstanding fills: line address → dirty-on-fill flag.
-    mshr: HashMap<u64, bool>,
+    mshr: FastHashMap<u64, bool>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -78,7 +78,7 @@ impl Llc {
             sets: vec![Vec::with_capacity(config.ways); sets],
             set_mask: sets as u64 - 1,
             ways: config.ways,
-            mshr: HashMap::new(),
+            mshr: FastHashMap::default(),
             clock: 0,
             hits: 0,
             misses: 0,

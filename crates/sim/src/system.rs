@@ -1,7 +1,6 @@
 //! Full-system composition and the simulation loop.
 
-use std::collections::HashMap;
-
+use mithril::fasthash::FastHashMap;
 use mithril::{MithrilConfig, MithrilScheme};
 use mithril_baselines::{
     parfm_analysis, BlockHammer, BlockHammerConfig, Cbt, CbtConfig, Graphene, GrapheneConfig,
@@ -145,9 +144,11 @@ pub struct System {
     mcs: Vec<MemoryController>,
     mapping: AddressMapping,
     next_req_id: u64,
-    requests: HashMap<u64, ReqKind>,
+    requests: FastHashMap<u64, ReqKind>,
     /// line address → threads waiting for the fill.
-    waiters: HashMap<u64, Vec<usize>>,
+    waiters: FastHashMap<u64, Vec<usize>>,
+    /// Reusable completion buffer for [`MemoryController::advance_until_into`].
+    completions_scratch: Vec<mithril_memctrl::Completion>,
 }
 
 impl System {
@@ -174,8 +175,9 @@ impl System {
             mcs,
             mapping: config.mapping(),
             next_req_id: 0,
-            requests: HashMap::new(),
-            waiters: HashMap::new(),
+            requests: FastHashMap::default(),
+            waiters: FastHashMap::default(),
+            completions_scratch: Vec::new(),
             config,
         })
     }
@@ -340,8 +342,10 @@ impl System {
     fn drain_memory(&mut self, fence: TimePs) -> bool {
         let mut any = false;
         for ch in 0..self.mcs.len() {
-            let completions = self.mcs[ch].advance_until(fence);
-            for c in completions {
+            let mut completions = std::mem::take(&mut self.completions_scratch);
+            completions.clear();
+            self.mcs[ch].advance_until_into(fence, &mut completions);
+            for &c in &completions {
                 any = true;
                 match self.requests.remove(&c.request_id) {
                     Some(ReqKind::Fill { line_addr }) => {
@@ -363,6 +367,7 @@ impl System {
                     Some(ReqKind::Writeback) | None => {}
                 }
             }
+            self.completions_scratch = completions;
         }
         any
     }

@@ -200,7 +200,7 @@ mod tests {
             s.record(i + 100);
         }
         let est = s.estimate(42);
-        assert!(est >= 1_000 && est <= 1_200, "estimate {est} too loose");
+        assert!((1_000..=1_200).contains(&est), "estimate {est} too loose");
     }
 
     #[test]

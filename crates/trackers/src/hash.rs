@@ -1,67 +1,14 @@
 //! Cheap, deterministic hash functions for sketch data structures.
 //!
 //! Hardware sketches (Count-Min Sketch, counting Bloom filters) use simple
-//! universal hash families rather than cryptographic hashes. We use the
-//! multiply-shift family (Dietzfelbinger et al.), which is 2-universal for
-//! power-of-two ranges, preceded by a 64-bit finalizer so that nearby row
-//! addresses do not collide systematically.
+//! universal hash families rather than cryptographic hashes. The
+//! implementation lives in the shared [`mithril_fasthash`] crate — the same
+//! multiply-shift family (Dietzfelbinger et al.), 2-universal for
+//! power-of-two ranges, preceded by a splitmix64 finalizer so that nearby
+//! row addresses do not collide systematically. This module re-exports it
+//! under the historical `mithril_trackers` paths.
 
-/// A member of the multiply-shift universal hash family.
-///
-/// Maps a `u64` key to a bucket in `[0, 2^out_bits)`.
-///
-/// # Example
-///
-/// ```
-/// use mithril_trackers::MultiplyShiftHasher;
-///
-/// let h = MultiplyShiftHasher::new(42, 10);
-/// let b = h.bucket(0xDEAD_BEEF);
-/// assert!(b < 1024);
-/// // Deterministic:
-/// assert_eq!(b, MultiplyShiftHasher::new(42, 10).bucket(0xDEAD_BEEF));
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct MultiplyShiftHasher {
-    multiplier: u64,
-    out_bits: u32,
-}
-
-impl MultiplyShiftHasher {
-    /// Creates a hasher for range `[0, 2^out_bits)` seeded by `seed`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `out_bits` is 0 or greater than 63.
-    pub fn new(seed: u64, out_bits: u32) -> Self {
-        assert!(out_bits > 0 && out_bits < 64, "out_bits must be in 1..=63");
-        // Derive an odd multiplier from the seed with a splitmix64 round so
-        // that consecutive seeds give unrelated hash functions.
-        let multiplier = splitmix64(seed) | 1;
-        Self { multiplier, out_bits }
-    }
-
-    /// Hashes `key` into `[0, 2^out_bits)`.
-    pub fn bucket(&self, key: u64) -> usize {
-        let mixed = splitmix64(key);
-        (mixed.wrapping_mul(self.multiplier) >> (64 - self.out_bits)) as usize
-    }
-
-    /// The number of output buckets, `2^out_bits`.
-    pub fn range(&self) -> usize {
-        1usize << self.out_bits
-    }
-}
-
-/// One round of the splitmix64 mixing function.
-///
-/// Used both as a seed expander and a pre-hash finalizer.
-pub(crate) fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
+pub use mithril_fasthash::MultiplyShiftHasher;
 
 #[cfg(test)]
 mod tests {
@@ -82,14 +29,6 @@ mod tests {
     }
 
     #[test]
-    fn different_seeds_differ() {
-        let a = MultiplyShiftHasher::new(1, 16);
-        let b = MultiplyShiftHasher::new(2, 16);
-        let differing = (0..1000u64).filter(|&k| a.bucket(k) != b.bucket(k)).count();
-        assert!(differing > 900, "seeds should give mostly different buckets");
-    }
-
-    #[test]
     fn spreads_sequential_keys() {
         // Row addresses arrive sequentially; the finalizer must spread them.
         let h = MultiplyShiftHasher::new(3, 8);
@@ -101,8 +40,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out_bits")]
-    fn zero_bits_panics() {
-        let _ = MultiplyShiftHasher::new(0, 0);
+    fn different_seeds_differ() {
+        let a = MultiplyShiftHasher::new(1, 16);
+        let b = MultiplyShiftHasher::new(2, 16);
+        let differing = (0..1000u64).filter(|&k| a.bucket(k) != b.bucket(k)).count();
+        assert!(differing > 900, "seeds should give mostly different buckets");
     }
 }

@@ -14,7 +14,7 @@
 //!   cold items awaiting pruning, which is why Fig. 6 of the paper shows a
 //!   larger table than CbS for the same protection level.
 
-use std::collections::HashMap;
+use mithril_fasthash::FastHashMap;
 
 use crate::FrequencyTracker;
 
@@ -55,7 +55,7 @@ impl LossyEntry {
 #[derive(Debug, Clone)]
 pub struct LossyCounting {
     width: u64,
-    entries: HashMap<u64, LossyEntry>,
+    entries: FastHashMap<u64, LossyEntry>,
     n: u64,
     current_bucket: u64,
     /// High-water mark of the table population (the hardware would have to
@@ -73,7 +73,7 @@ impl LossyCounting {
         assert!(width > 0, "width must be non-zero");
         Self {
             width,
-            entries: HashMap::new(),
+            entries: FastHashMap::default(),
             n: 0,
             current_bucket: 1,
             peak_entries: 0,
@@ -135,7 +135,7 @@ impl FrequencyTracker for LossyCounting {
                 self.peak_entries = self.peak_entries.max(self.entries.len());
             }
         }
-        if self.n % self.width == 0 {
+        if self.n.is_multiple_of(self.width) {
             self.prune();
             self.current_bucket += 1;
         }

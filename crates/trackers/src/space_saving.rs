@@ -18,8 +18,21 @@
 //! where `min` is the minimum counter value in the table (`0` while the
 //! table still has free entries) and `estimate(x)` is the written counter
 //! for on-table addresses or `min` for off-table addresses.
+//!
+//! # Implementation: Stream-Summary buckets
+//!
+//! [`SpaceSaving`] uses the doubly-linked bucket layout of the original
+//! Space-Saving paper (Metwally et al.): entries are grouped into buckets
+//! by counter value, buckets form a list ordered by value, and an
+//! increment moves an entry to the adjacent bucket — O(1) amortized per
+//! `record`, O(1) min/max queries. Ties are broken by *age at the current
+//! value*: the oldest entry at the minimum is evicted first and the first
+//! entry to reach the maximum is selected first. [`NaiveSpaceSaving`]
+//! retains the O(capacity) linear-scan implementation of the same policy
+//! for differential testing (`tests/differential.rs`) and benchmarking.
 
-use std::collections::HashMap;
+use mithril_fasthash::{fast_map_with_capacity, FastHashMap};
+use mithril_streamsummary::BucketList;
 
 use crate::FrequencyTracker;
 
@@ -65,13 +78,10 @@ pub struct SpaceSaving {
     items: Vec<u64>,
     counts: Vec<u64>,
     /// item -> slot index
-    index: HashMap<u64, usize>,
-    /// Cached minimum counter value over occupied slots (0 while not full).
-    min: u64,
-    /// Number of occupied slots whose count equals `min` (valid when full).
-    at_min: usize,
-    /// Slot holding the maximum counter value (undefined when empty).
-    max_slot: usize,
+    index: FastHashMap<u64, u32>,
+    /// The shared Stream-Summary bucket list over the slots.
+    list: BucketList<u64>,
+    capacity: usize,
     total_recorded: u64,
 }
 
@@ -86,13 +96,22 @@ impl SpaceSaving {
         Self {
             items: Vec::with_capacity(capacity),
             counts: Vec::with_capacity(capacity),
-            index: HashMap::with_capacity(capacity),
-            min: 0,
-            at_min: 0,
-            max_slot: 0,
+            index: fast_map_with_capacity(capacity),
+            list: BucketList::with_capacity(capacity),
+            capacity,
             total_recorded: 0,
         }
     }
+
+    /// Moves `slot` to the bucket for `count + 1`. O(1) via the shared
+    /// [`BucketList`].
+    fn increment(&mut self, slot: u32) {
+        let v1 = self.counts[slot as usize] + 1;
+        self.counts[slot as usize] = v1;
+        self.list.advance(slot, v1);
+    }
+
+    // ------------------------------------------------------------- tracking
 
     /// Records `item` and reports what happened to the table.
     pub fn record_outcome(&mut self, item: u64) -> RecordOutcome {
@@ -101,27 +120,22 @@ impl SpaceSaving {
             self.increment(slot);
             return RecordOutcome::Hit;
         }
-        if self.items.len() < self.items.capacity() {
-            // Free entry: insert with count 1.
-            let slot = self.items.len();
+        if self.items.len() < self.capacity {
+            let slot = self.items.len() as u32;
             self.items.push(item);
             self.counts.push(1);
             self.index.insert(item, slot);
-            if self.counts[self.max_slot] < 1 || self.items.len() == 1 {
-                self.max_slot = slot;
-            }
-            if self.items.len() == self.items.capacity() {
-                self.recompute_min();
-            }
+            self.list.push_slot();
+            self.list.place_fresh(slot, 0, 1);
             return RecordOutcome::Inserted;
         }
-        // Replace the minimum entry.
-        let slot = self.find_min_slot();
-        let evicted = self.items[slot];
+        // Replace the entry that has held the minimum longest.
+        let victim = self.list.oldest_min_slot().expect("full table is non-empty");
+        let evicted = self.items[victim as usize];
         self.index.remove(&evicted);
-        self.items[slot] = item;
-        self.index.insert(item, slot);
-        self.increment(slot);
+        self.items[victim as usize] = item;
+        self.index.insert(item, victim);
+        self.increment(victim);
         RecordOutcome::Evicted(evicted)
     }
 
@@ -129,23 +143,21 @@ impl SpaceSaving {
     ///
     /// This is the off-table estimate and the error bound of inequality (2).
     pub fn min_count(&self) -> u64 {
-        if self.items.len() < self.items.capacity() {
+        if self.items.len() < self.capacity {
             0
         } else {
-            self.min
+            self.list.min_value().expect("full table has a min bucket")
         }
     }
 
-    /// The entry with the maximum counter value, if any.
+    /// The entry with the maximum counter value, if any. On ties, the entry
+    /// that reached the maximum first.
     pub fn max_entry(&self) -> Option<TrackedEntry> {
-        if self.items.is_empty() {
-            None
-        } else {
-            Some(TrackedEntry {
-                item: self.items[self.max_slot],
-                count: self.counts[self.max_slot],
-            })
-        }
+        let slot = self.list.oldest_max_slot()?;
+        Some(TrackedEntry {
+            item: self.items[slot as usize],
+            count: self.list.max_value().expect("non-empty"),
+        })
     }
 
     /// `max - min` over the table counters — Mithril's adaptive-refresh
@@ -169,19 +181,12 @@ impl SpaceSaving {
             return false;
         };
         let floor = self.min_count();
-        if self.counts[slot] == self.min && self.items.len() == self.items.capacity() {
-            // Already at min; nothing to do.
+        if self.counts[slot as usize] == floor {
+            // Already at the floor; nothing to do (and no reordering).
             return true;
         }
-        self.counts[slot] = floor;
-        if self.items.len() == self.items.capacity() {
-            if floor == self.min {
-                self.at_min += 1;
-            }
-        }
-        if slot == self.max_slot {
-            self.recompute_max();
-        }
+        self.counts[slot as usize] = floor;
+        self.list.drop_to_floor(slot, floor);
         true
     }
 
@@ -218,50 +223,192 @@ impl SpaceSaving {
 
     /// Returns the tracked count for `item`, or `None` if off-table.
     pub fn tracked_count(&self, item: u64) -> Option<u64> {
-        self.index.get(&item).map(|&slot| self.counts[slot])
-    }
-
-    fn increment(&mut self, slot: usize) {
-        let was_min = self.counts[slot] == self.min;
-        self.counts[slot] += 1;
-        if self.counts[slot] > self.counts[self.max_slot] {
-            self.max_slot = slot;
-        }
-        if self.items.len() == self.items.capacity() && was_min {
-            self.at_min -= 1;
-            if self.at_min == 0 {
-                self.recompute_min();
-            }
-        }
-    }
-
-    fn find_min_slot(&self) -> usize {
-        // The hardware analogue is the MinPtr register; we scan for the
-        // first slot holding the cached minimum.
-        self.counts
-            .iter()
-            .position(|&c| c == self.min)
-            .expect("cached min must exist in a full table")
-    }
-
-    fn recompute_min(&mut self) {
-        debug_assert_eq!(self.items.len(), self.items.capacity());
-        self.min = *self.counts.iter().min().expect("non-empty");
-        self.at_min = self.counts.iter().filter(|&&c| c == self.min).count();
-    }
-
-    fn recompute_max(&mut self) {
-        self.max_slot = self
-            .counts
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &c)| c)
-            .map(|(i, _)| i)
-            .unwrap_or(0);
+        self.index.get(&item).map(|&slot| self.counts[slot as usize])
     }
 }
 
 impl FrequencyTracker for SpaceSaving {
+    fn record(&mut self, item: u64) {
+        let _ = self.record_outcome(item);
+    }
+
+    fn estimate(&self, item: u64) -> u64 {
+        match self.index.get(&item) {
+            Some(&slot) => self.counts[slot as usize],
+            None => self.min_count(),
+        }
+    }
+
+    fn counter_slots(&self) -> usize {
+        self.capacity
+    }
+
+    fn clear(&mut self) {
+        self.items.clear();
+        self.counts.clear();
+        self.index.clear();
+        self.list.clear();
+        self.total_recorded = 0;
+    }
+}
+
+/// The retained O(capacity) linear-scan Space-Saving reference.
+///
+/// Implements the same tie-breaking policy as [`SpaceSaving`] — oldest at
+/// the minimum evicted first, first to reach the maximum selected first —
+/// with explicit sequence numbers and full scans. Used by the differential
+/// property tests and the `tracker_compare` benchmark.
+#[derive(Debug, Clone)]
+pub struct NaiveSpaceSaving {
+    items: Vec<u64>,
+    counts: Vec<u64>,
+    /// Sequence number of the entry's last counter change.
+    seqs: Vec<u64>,
+    index: std::collections::HashMap<u64, usize>,
+    next_seq: u64,
+    capacity: usize,
+    total_recorded: u64,
+}
+
+impl NaiveSpaceSaving {
+    /// Creates a tracker with `capacity` counter entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be non-zero");
+        Self {
+            items: Vec::with_capacity(capacity),
+            counts: Vec::with_capacity(capacity),
+            seqs: Vec::with_capacity(capacity),
+            index: std::collections::HashMap::with_capacity(capacity),
+            next_seq: 0,
+            capacity,
+            total_recorded: 0,
+        }
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    fn min_slot(&self) -> usize {
+        (0..self.counts.len())
+            .min_by_key(|&i| (self.counts[i], self.seqs[i]))
+            .expect("non-empty")
+    }
+
+    fn max_slot(&self) -> usize {
+        (0..self.counts.len())
+            .min_by_key(|&i| (std::cmp::Reverse(self.counts[i]), self.seqs[i]))
+            .expect("non-empty")
+    }
+
+    /// Records `item` and reports what happened to the table.
+    pub fn record_outcome(&mut self, item: u64) -> RecordOutcome {
+        self.total_recorded += 1;
+        if let Some(&slot) = self.index.get(&item) {
+            self.counts[slot] += 1;
+            self.seqs[slot] = self.bump_seq();
+            return RecordOutcome::Hit;
+        }
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+            self.counts.push(1);
+            let seq = self.bump_seq();
+            self.seqs.push(seq);
+            self.index.insert(item, self.items.len() - 1);
+            return RecordOutcome::Inserted;
+        }
+        let slot = self.min_slot();
+        let evicted = self.items[slot];
+        self.index.remove(&evicted);
+        self.items[slot] = item;
+        self.index.insert(item, slot);
+        self.counts[slot] += 1;
+        self.seqs[slot] = self.bump_seq();
+        RecordOutcome::Evicted(evicted)
+    }
+
+    /// The minimum counter value (0 while entries are free).
+    pub fn min_count(&self) -> u64 {
+        if self.items.len() < self.capacity {
+            0
+        } else {
+            self.counts.iter().copied().min().unwrap_or(0)
+        }
+    }
+
+    /// The entry with the maximum counter value, if any.
+    pub fn max_entry(&self) -> Option<TrackedEntry> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let slot = self.max_slot();
+        Some(TrackedEntry { item: self.items[slot], count: self.counts[slot] })
+    }
+
+    /// `max - min` over the table counters.
+    pub fn spread(&self) -> u64 {
+        match self.max_entry() {
+            Some(max) => max.count - self.min_count(),
+            None => 0,
+        }
+    }
+
+    /// Resets the counter of a tracked `item` to the table minimum.
+    pub fn reset_to_min(&mut self, item: u64) -> bool {
+        let Some(&slot) = self.index.get(&item) else {
+            return false;
+        };
+        let floor = self.min_count();
+        if self.counts[slot] != floor {
+            self.counts[slot] = floor;
+            self.seqs[slot] = self.bump_seq();
+        }
+        true
+    }
+
+    /// Greedy select-max + reset-to-min.
+    pub fn take_max_reset_to_min(&mut self) -> Option<TrackedEntry> {
+        let max = self.max_entry()?;
+        self.reset_to_min(max.item);
+        Some(max)
+    }
+
+    /// Iterates over tracked `(item, count)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = TrackedEntry> + '_ {
+        self.items
+            .iter()
+            .zip(self.counts.iter())
+            .map(|(&item, &count)| TrackedEntry { item, count })
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if no entries are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total `record` calls since the last clear.
+    pub fn total_recorded(&self) -> u64 {
+        self.total_recorded
+    }
+
+    /// The tracked count for `item`, or `None` if off-table.
+    pub fn tracked_count(&self, item: u64) -> Option<u64> {
+        self.index.get(&item).map(|&slot| self.counts[slot])
+    }
+}
+
+impl FrequencyTracker for NaiveSpaceSaving {
     fn record(&mut self, item: u64) {
         let _ = self.record_outcome(item);
     }
@@ -274,16 +421,15 @@ impl FrequencyTracker for SpaceSaving {
     }
 
     fn counter_slots(&self) -> usize {
-        self.items.capacity()
+        self.capacity
     }
 
     fn clear(&mut self) {
         self.items.clear();
         self.counts.clear();
+        self.seqs.clear();
         self.index.clear();
-        self.min = 0;
-        self.at_min = 0;
-        self.max_slot = 0;
+        self.next_seq = 0;
         self.total_recorded = 0;
     }
 }
@@ -392,6 +538,18 @@ mod tests {
     }
 
     #[test]
+    fn eviction_prefers_oldest_min_entry() {
+        let mut t = SpaceSaving::new(3);
+        t.record(1);
+        t.record(2);
+        t.record(3);
+        // All at count 1; item 1 has held the minimum longest.
+        assert_eq!(t.record_outcome(4), RecordOutcome::Evicted(1));
+        // Now 2 is the oldest entry at the minimum.
+        assert_eq!(t.record_outcome(5), RecordOutcome::Evicted(2));
+    }
+
+    #[test]
     fn spread_tracks_max_minus_min() {
         let mut t = SpaceSaving::new(2);
         assert_eq!(t.spread(), 0);
@@ -450,8 +608,31 @@ mod tests {
     }
 
     #[test]
+    fn naive_matches_bucket_on_smoke_stream() {
+        let mut fast = SpaceSaving::new(6);
+        let mut naive = NaiveSpaceSaving::new(6);
+        let mut x = 7u64;
+        for i in 0..30_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let item = (x >> 33) % 14;
+            assert_eq!(fast.record_outcome(item), naive.record_outcome(item), "at {i}");
+            if i % 23 == 22 {
+                assert_eq!(fast.take_max_reset_to_min(), naive.take_max_reset_to_min());
+            }
+            assert_eq!(fast.min_count(), naive.min_count());
+            assert_eq!(fast.max_entry(), naive.max_entry());
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "capacity")]
     fn zero_capacity_panics() {
         let _ = SpaceSaving::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn naive_zero_capacity_panics() {
+        let _ = NaiveSpaceSaving::new(0);
     }
 }

@@ -1,0 +1,163 @@
+//! Differential tests: the bucket-based [`SpaceSaving`] must make
+//! decisions identical to the retained [`NaiveSpaceSaving`] linear-scan
+//! reference — same record outcomes (including *which* item each eviction
+//! removes), same greedy selections, same estimates — on random and
+//! adversarial streams of at least 10^5 records.
+
+use mithril_trackers::{FrequencyTracker, NaiveSpaceSaving, SpaceSaving};
+use proptest::prelude::*;
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+fn assert_final_state_equal(fast: &SpaceSaving, naive: &NaiveSpaceSaving) {
+    assert_eq!(fast.len(), naive.len());
+    assert_eq!(fast.min_count(), naive.min_count());
+    assert_eq!(fast.max_entry(), naive.max_entry());
+    assert_eq!(fast.spread(), naive.spread());
+    let mut a: Vec<_> = fast.iter().map(|e| (e.item, e.count)).collect();
+    let mut b: Vec<_> = naive.iter().map(|e| (e.item, e.count)).collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "final table contents diverged");
+}
+
+/// 10^5-record random stream with periodic greedy resets, across
+/// capacities; every record outcome and selection must match.
+#[test]
+fn random_stream_100k_identical_decisions() {
+    for &(cap, universe) in &[(2usize, 5u64), (8, 20), (32, 128), (256, 640)] {
+        let mut fast = SpaceSaving::new(cap);
+        let mut naive = NaiveSpaceSaving::new(cap);
+        let mut rng = Lcg(0xBEEF ^ cap as u64);
+        for i in 0..100_000u64 {
+            let item = rng.next() % universe;
+            assert_eq!(
+                fast.record_outcome(item),
+                naive.record_outcome(item),
+                "cap {cap}: outcome diverged at record {i}"
+            );
+            if i % 64 == 63 {
+                assert_eq!(
+                    fast.take_max_reset_to_min(),
+                    naive.take_max_reset_to_min(),
+                    "cap {cap}: selection diverged at record {i}"
+                );
+            }
+            if i % 101 == 0 {
+                let probe = rng.next() % universe;
+                assert_eq!(fast.estimate(probe), naive.estimate(probe));
+                assert_eq!(fast.tracked_count(probe), naive.tracked_count(probe));
+            }
+        }
+        assert_final_state_equal(&fast, &naive);
+    }
+}
+
+/// Adversarial streams: round-robin churn over capacity + 1 items, a
+/// hot/cold hammer, and interleaved targeted resets.
+#[test]
+fn attack_streams_100k_identical_decisions() {
+    // Round-robin over cap + 1: every miss evicts, the Space-Saving worst
+    // case for eviction-order agreement.
+    {
+        let cap = 64usize;
+        let mut fast = SpaceSaving::new(cap);
+        let mut naive = NaiveSpaceSaving::new(cap);
+        for i in 0..110_000u64 {
+            let item = i % (cap as u64 + 1);
+            assert_eq!(fast.record_outcome(item), naive.record_outcome(item), "at {i}");
+        }
+        assert_final_state_equal(&fast, &naive);
+    }
+    // Double-sided hammer with camouflage and frequent greedy resets.
+    {
+        let mut fast = SpaceSaving::new(16);
+        let mut naive = NaiveSpaceSaving::new(16);
+        let mut rng = Lcg(99);
+        for i in 0..120_000u64 {
+            let item = match i % 4 {
+                0 => 499,
+                1 => 501,
+                _ => 1_000 + rng.next() % 40,
+            };
+            assert_eq!(fast.record_outcome(item), naive.record_outcome(item), "at {i}");
+            if i % 32 == 31 {
+                assert_eq!(fast.take_max_reset_to_min(), naive.take_max_reset_to_min());
+            }
+        }
+        assert_final_state_equal(&fast, &naive);
+    }
+    // Targeted resets of arbitrary tracked items (the Mithril feedback
+    // path), not just the maximum.
+    {
+        let mut fast = SpaceSaving::new(24);
+        let mut naive = NaiveSpaceSaving::new(24);
+        let mut rng = Lcg(1234);
+        for i in 0..100_000u64 {
+            let item = rng.next() % 60;
+            assert_eq!(fast.record_outcome(item), naive.record_outcome(item), "at {i}");
+            if i % 17 == 16 {
+                let target = rng.next() % 60;
+                assert_eq!(fast.reset_to_min(target), naive.reset_to_min(target), "at {i}");
+            }
+        }
+        assert_final_state_equal(&fast, &naive);
+    }
+}
+
+proptest! {
+    /// Random record/reset interleavings stay in lockstep for any capacity.
+    #[test]
+    fn proptest_lockstep(
+        stream in prop::collection::vec(
+            prop_oneof![
+                6 => 0u64..48,
+                1 => 5_000u64..5_016,
+            ],
+            1..2500,
+        ),
+        cap in 1usize..40,
+        reset_every in 1usize..40,
+    ) {
+        let mut fast = SpaceSaving::new(cap);
+        let mut naive = NaiveSpaceSaving::new(cap);
+        for (i, &item) in stream.iter().enumerate() {
+            prop_assert_eq!(fast.record_outcome(item), naive.record_outcome(item));
+            if i % reset_every == reset_every - 1 {
+                prop_assert_eq!(fast.take_max_reset_to_min(), naive.take_max_reset_to_min());
+            }
+            prop_assert_eq!(fast.min_count(), naive.min_count());
+            prop_assert_eq!(fast.max_entry(), naive.max_entry());
+        }
+    }
+
+    /// The bucket tracker also keeps the paper's two-sided error bounds
+    /// (inequalities (1)/(2)) — independently of the naive comparison.
+    #[test]
+    fn bucket_tracker_keeps_error_bounds(
+        stream in prop::collection::vec(0u64..64, 1..2000),
+        cap in 1usize..32,
+    ) {
+        let mut t = SpaceSaving::new(cap);
+        let mut exact = std::collections::HashMap::new();
+        for &x in &stream {
+            t.record(x);
+            *exact.entry(x).or_insert(0u64) += 1;
+        }
+        let min = t.min_count();
+        for (&x, &actual) in &exact {
+            prop_assert!(t.estimate(x) >= actual);
+        }
+        for e in t.iter() {
+            let actual = exact.get(&e.item).copied().unwrap_or(0);
+            prop_assert!(e.count <= actual + min);
+        }
+    }
+}

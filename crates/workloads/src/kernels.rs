@@ -56,7 +56,7 @@ impl TraceSource for StreamSweep {
         // instantaneous working set is a few rows (Fig. 8(b)).
         let line = self.bases[s] + self.offsets[s];
         self.offsets[s] += 1;
-        if self.offsets[s] % 8 == 0 {
+        if self.offsets[s].is_multiple_of(8) {
             self.cursor = (self.cursor + 1) % self.bases.len();
         }
         if self.offsets[s] >= self.footprint_lines {
@@ -199,7 +199,7 @@ impl TraceSource for BlockedFft {
         };
         if self.pair {
             self.index += 1;
-            if self.index % stride == 0 {
+            if self.index.is_multiple_of(stride) {
                 self.index += stride; // skip the partner half of the block
             }
             if self.index >= self.n_lines {

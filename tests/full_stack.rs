@@ -4,7 +4,7 @@
 
 use mithril_repro::baselines::parfm_analysis;
 use mithril_repro::core::{bounds, MithrilConfig, MithrilScheme};
-use mithril_repro::dram::{AttackHarness, Ddr5Timing, DramMitigation};
+use mithril_repro::dram::{AttackHarness, Ddr5Timing};
 use mithril_repro::sim::{Scheme, System, SystemConfig};
 use mithril_repro::workloads::{
     attack_mix, bh_cover_attack_mix, mix_blend, mix_high, multithreaded,
