@@ -22,9 +22,9 @@
 //! memory-intensive threads (Fig. 10(a)).
 
 use mithril_dram::{BankId, Ddr5Timing, RowId, TimePs};
+use mithril_fasthash::FastHashMap;
 use mithril_memctrl::{McAction, McMitigation};
 use mithril_trackers::{CountingBloomFilter, FrequencyTracker};
-use mithril_fasthash::FastHashMap;
 
 /// BlockHammer configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,7 +158,10 @@ impl BlockHammer {
     ///
     /// Panics if `cbf_counters` is not a power of two.
     pub fn new(config: BlockHammerConfig, banks: usize) -> Self {
-        assert!(config.cbf_counters.is_power_of_two(), "CBF size must be a power of two");
+        assert!(
+            config.cbf_counters.is_power_of_two(),
+            "CBF size must be a power of two"
+        );
         let bits = config.cbf_counters.trailing_zeros();
         let mk = |seed: u64| CountingBloomFilter::new(bits, config.cbf_hashes, seed);
         Self {
@@ -188,7 +191,12 @@ impl BlockHammer {
     /// The rolling-window estimate for a row (max over the two CBFs).
     pub fn estimate(&self, bank: BankId, row: RowId) -> u64 {
         let key = Self::key(bank, row);
-        self.banks[bank].cbfs.iter().map(|c| c.estimate(key)).max().unwrap_or(0)
+        self.banks[bank]
+            .cbfs
+            .iter()
+            .map(|c| c.estimate(key))
+            .max()
+            .unwrap_or(0)
     }
 
     /// True if `row` on `bank` is currently blacklisted.
@@ -269,7 +277,12 @@ impl McMitigation for BlockHammer {
         for cbf in &mut state.cbfs {
             cbf.record(key);
         }
-        let est = state.cbfs.iter().map(|c| c.estimate(key)).max().unwrap_or(0);
+        let est = state
+            .cbfs
+            .iter()
+            .map(|c| c.estimate(key))
+            .max()
+            .unwrap_or(0);
         if est >= self.config.nbl {
             if est == self.config.nbl {
                 self.throttled_rows += 1;
@@ -330,7 +343,10 @@ mod tests {
         // cannot push a shared victim past FlipTH.
         let cfg = small_config();
         let acts_possible = cfg.nbl + (cfg.t_cbf - cfg.nbl * cfg.trc) / cfg.t_delay();
-        assert!(acts_possible <= cfg.flip_th / 2 + 1, "acts possible = {acts_possible}");
+        assert!(
+            acts_possible <= cfg.flip_th / 2 + 1,
+            "acts possible = {acts_possible}"
+        );
     }
 
     #[test]
@@ -425,7 +441,10 @@ mod tests {
                 bh.on_activate(0, r, 0, i * 50_000);
             }
         }
-        assert!(bh.is_blacklisted(0, victim), "victim must inherit the blacklist");
+        assert!(
+            bh.is_blacklisted(0, victim),
+            "victim must inherit the blacklist"
+        );
     }
 
     #[test]
@@ -434,7 +453,11 @@ mod tests {
         let cfg = BlockHammerConfig::for_flip_threshold(1_500, &t);
         let scaled = cfg.with_nbl_scaled(6);
         assert_eq!(scaled.nbl, cfg.nbl / 6);
-        assert_eq!(scaled.t_delay(), cfg.t_delay(), "delay must stay paper-scale");
+        assert_eq!(
+            scaled.t_delay(),
+            cfg.t_delay(),
+            "delay must stay paper-scale"
+        );
     }
 
     #[test]

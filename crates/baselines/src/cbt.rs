@@ -95,7 +95,11 @@ impl Cbt {
         Self {
             trees: (0..banks)
                 .map(|_| {
-                    CounterTree::new(config.rows_per_bank, config.counters, config.split_threshold)
+                    CounterTree::new(
+                        config.rows_per_bank,
+                        config.counters,
+                        config.split_threshold,
+                    )
                 })
                 .collect(),
             next_reset: config.reset_period,
@@ -166,8 +170,16 @@ mod tests {
         let c1_5 = CbtConfig::for_flip_threshold(1_500, &t);
         assert!(c1_5.counters > 10 * c50.counters);
         // Table IV scale: 0.47 KB at 50K growing to ~17.5 KB at 1.5K.
-        assert!((0.1..1.2).contains(&c50.table_kib()), "k50 = {}", c50.table_kib());
-        assert!((5.0..30.0).contains(&c1_5.table_kib()), "k1.5 = {}", c1_5.table_kib());
+        assert!(
+            (0.1..1.2).contains(&c50.table_kib()),
+            "k50 = {}",
+            c50.table_kib()
+        );
+        assert!(
+            (5.0..30.0).contains(&c1_5.table_kib()),
+            "k1.5 = {}",
+            c1_5.table_kib()
+        );
     }
 
     #[test]
@@ -185,7 +197,10 @@ mod tests {
                 acts_between_refreshes = 0;
             }
         }
-        assert!(worst <= flip / 2, "victims must refresh within FlipTH/2 ACTs, got {worst}");
+        assert!(
+            worst <= flip / 2,
+            "victims must refresh within FlipTH/2 ACTs, got {worst}"
+        );
         assert!(cbt.group_refreshes() >= 9);
     }
 
@@ -236,6 +251,9 @@ mod tests {
                 widest = widest.max(victims.len());
             }
         }
-        assert!(widest > 8, "root-level refresh must cover many rows, got {widest}");
+        assert!(
+            widest > 8,
+            "root-level refresh must cover many rows, got {widest}"
+        );
     }
 }

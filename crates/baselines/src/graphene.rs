@@ -75,7 +75,10 @@ struct GrapheneBank {
 
 impl GrapheneBank {
     fn new(nentry: usize) -> Self {
-        Self { table: SpaceSaving::new(nentry), fired: mithril_fasthash::FastHashMap::default() }
+        Self {
+            table: SpaceSaving::new(nentry),
+            fired: mithril_fasthash::FastHashMap::default(),
+        }
     }
 
     /// Returns victims to ARR if the activation crossed a threshold.
@@ -139,7 +142,9 @@ impl Graphene {
     /// Creates per-bank Graphene tables for `banks` banks.
     pub fn new(config: GrapheneConfig, banks: usize) -> Self {
         Self {
-            banks: (0..banks).map(|_| GrapheneBank::new(config.nentry)).collect(),
+            banks: (0..banks)
+                .map(|_| GrapheneBank::new(config.nentry))
+                .collect(),
             next_reset: config.reset_period,
             config,
             arrs: 0,
@@ -311,10 +316,13 @@ mod tests {
         for _ in 0..99 {
             assert_eq!(g.on_activate(0, 7, 0, after_reset), McAction::None);
         }
-        assert_eq!(g.on_activate(0, 7, 0, after_reset), McAction::Arr {
-            bank: 0,
-            victims: vec![6, 8]
-        });
+        assert_eq!(
+            g.on_activate(0, 7, 0, after_reset),
+            McAction::Arr {
+                bank: 0,
+                victims: vec![6, 8]
+            }
+        );
     }
 
     #[test]
@@ -328,7 +336,10 @@ mod tests {
             g.on_activate(1, 7, 0, 0);
         }
         // The 10th ACT on bank 1 fires only bank 1's trigger.
-        assert!(matches!(g.on_activate(1, 7, 0, 0), McAction::Arr { bank: 1, .. }));
+        assert!(matches!(
+            g.on_activate(1, 7, 0, 0),
+            McAction::Arr { bank: 1, .. }
+        ));
     }
 
     #[test]

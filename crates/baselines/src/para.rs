@@ -43,7 +43,10 @@ impl ParaConfig {
         // campaigns * (1-p)^half <= target
         let per_campaign = target / campaigns;
         let p = 1.0 - per_campaign.powf(1.0 / half);
-        Self { probability: p.clamp(0.0, 1.0), rows_per_bank: 65_536 }
+        Self {
+            probability: p.clamp(0.0, 1.0),
+            rows_per_bank: 65_536,
+        }
     }
 }
 
@@ -73,7 +76,11 @@ pub struct Para {
 impl Para {
     /// Creates a PARA instance with a deterministic RNG seed.
     pub fn new(config: ParaConfig, seed: u64) -> Self {
-        Self { config, rng: SmallRng::seed_from_u64(seed), arrs_issued: 0 }
+        Self {
+            config,
+            rng: SmallRng::seed_from_u64(seed),
+            arrs_issued: 0,
+        }
     }
 
     /// ARRs issued so far.
@@ -97,7 +104,10 @@ impl McMitigation for Para {
     fn on_activate(&mut self, bank: BankId, row: RowId, _thread: usize, _now: TimePs) -> McAction {
         if self.rng.random::<f64>() < self.config.probability {
             self.arrs_issued += 1;
-            McAction::Arr { bank, victims: self.victims(row) }
+            McAction::Arr {
+                bank,
+                victims: self.victims(row),
+            }
         } else {
             McAction::None
         }
@@ -114,7 +124,13 @@ mod tests {
 
     #[test]
     fn probability_one_always_refreshes() {
-        let mut p = Para::new(ParaConfig { probability: 1.0, rows_per_bank: 100 }, 1);
+        let mut p = Para::new(
+            ParaConfig {
+                probability: 1.0,
+                rows_per_bank: 100,
+            },
+            1,
+        );
         for i in 0..50 {
             assert!(matches!(p.on_activate(0, 10, 0, i), McAction::Arr { .. }));
         }
@@ -123,7 +139,13 @@ mod tests {
 
     #[test]
     fn probability_zero_never_refreshes() {
-        let mut p = Para::new(ParaConfig { probability: 0.0, rows_per_bank: 100 }, 1);
+        let mut p = Para::new(
+            ParaConfig {
+                probability: 0.0,
+                rows_per_bank: 100,
+            },
+            1,
+        );
         for i in 0..50 {
             assert_eq!(p.on_activate(0, 10, 0, i), McAction::None);
         }
@@ -131,7 +153,13 @@ mod tests {
 
     #[test]
     fn refresh_rate_tracks_probability() {
-        let mut p = Para::new(ParaConfig { probability: 0.05, rows_per_bank: 100 }, 7);
+        let mut p = Para::new(
+            ParaConfig {
+                probability: 0.05,
+                rows_per_bank: 100,
+            },
+            7,
+        );
         let n = 200_000;
         for i in 0..n {
             p.on_activate(0, 10, 0, i);
@@ -147,7 +175,10 @@ mod tests {
         let p_high = ParaConfig::for_failure_target(50_000, 1e-15, budget, 22).probability;
         assert!(p_low > p_high, "lower FlipTH needs more aggressive refresh");
         // Sanity: PARA probabilities land in the classic ~0.001..0.1 range.
-        assert!(p_high > 1e-4 && p_low < 0.2, "p_high={p_high} p_low={p_low}");
+        assert!(
+            p_high > 1e-4 && p_low < 0.2,
+            "p_high={p_high} p_low={p_low}"
+        );
     }
 
     #[test]
@@ -163,7 +194,13 @@ mod tests {
 
     #[test]
     fn edge_rows_clamp_victims() {
-        let mut p = Para::new(ParaConfig { probability: 1.0, rows_per_bank: 100 }, 1);
+        let mut p = Para::new(
+            ParaConfig {
+                probability: 1.0,
+                rows_per_bank: 100,
+            },
+            1,
+        );
         match p.on_activate(0, 0, 0, 0) {
             McAction::Arr { victims, .. } => assert_eq!(victims, vec![1]),
             other => panic!("{other:?}"),
@@ -176,7 +213,10 @@ mod tests {
 
     #[test]
     fn deterministic_under_same_seed() {
-        let cfg = ParaConfig { probability: 0.3, rows_per_bank: 100 };
+        let cfg = ParaConfig {
+            probability: 0.3,
+            rows_per_bank: 100,
+        };
         let mut a = Para::new(cfg, 99);
         let mut b = Para::new(cfg, 99);
         for i in 0..1000 {

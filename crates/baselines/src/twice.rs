@@ -14,8 +14,8 @@
 //! feedback-augmented command, as in the paper's classification (Table I).
 
 use mithril_dram::{BankId, Ddr5Timing, RowId, TimePs};
-use mithril_memctrl::{McAction, McMitigation};
 use mithril_fasthash::FastHashMap;
+use mithril_memctrl::{McAction, McMitigation};
 
 /// TWiCe configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,8 +61,7 @@ impl TwiCeConfig {
     /// `N ≈ (budget_per_ckpt / pruning_th) × H(window_checkpoints)` — the
     /// order-of-magnitude-over-Graphene result of Table IV.
     pub fn table_kib(&self, timing: &Ddr5Timing) -> f64 {
-        let budget_per_ckpt =
-            timing.act_budget_per_trefw() as f64 / self.window_checkpoints as f64;
+        let budget_per_ckpt = timing.act_budget_per_trefw() as f64 / self.window_checkpoints as f64;
         let harmonic: f64 = (1..=self.window_checkpoints).map(|k| 1.0 / k as f64).sum();
         let entries = budget_per_ckpt / self.pruning_th * harmonic;
         // Entry: row address + count (up to twice_th) + life counter.
@@ -152,7 +151,10 @@ impl McMitigation for TwiCe {
             self.next_checkpoint += self.config.checkpoint_period;
         }
         let table = &mut self.tables[bank];
-        let entry = table.entry(row).or_insert(Entry { act_cnt: 0, life: 1 });
+        let entry = table.entry(row).or_insert(Entry {
+            act_cnt: 0,
+            life: 1,
+        });
         entry.act_cnt += 1;
         let fire = entry.act_cnt >= self.config.twice_th;
         if fire {
@@ -208,7 +210,10 @@ mod tests {
         let tw = TwiCeConfig::for_flip_threshold(50_000, &t).table_kib(&t);
         assert!((1.5..6.0).contains(&tw), "twice = {tw}");
         let tw_low = TwiCeConfig::for_flip_threshold(1_500, &t).table_kib(&t);
-        assert!(tw_low > 10.0 * tw, "low FlipTH must cost much more: {tw_low}");
+        assert!(
+            tw_low > 10.0 * tw,
+            "low FlipTH must cost much more: {tw_low}"
+        );
     }
 
     #[test]
@@ -217,7 +222,11 @@ mod tests {
         let mut tw = TwiCe::new(TwiCeConfig::for_flip_threshold(6_250, &t), 1);
         let th = tw.config().twice_th;
         for i in 1..th {
-            assert_eq!(tw.on_activate(0, 9, 0, 0), McAction::None, "fired early at {i}");
+            assert_eq!(
+                tw.on_activate(0, 9, 0, 0),
+                McAction::None,
+                "fired early at {i}"
+            );
         }
         assert!(matches!(tw.on_activate(0, 9, 0, 0), McAction::Arr { .. }));
         // Entry restarted: counting begins again.
@@ -237,7 +246,11 @@ mod tests {
         // survives only while 1 >= 0.19*life, i.e. life <= 5.
         let after = cfg.checkpoint_period * 8;
         tw.on_activate(0, 50_000, 0, after);
-        assert!(tw.tables[0].len() <= 2, "stale entries kept: {}", tw.tables[0].len());
+        assert!(
+            tw.tables[0].len() <= 2,
+            "stale entries kept: {}",
+            tw.tables[0].len()
+        );
     }
 
     #[test]
@@ -272,6 +285,9 @@ mod tests {
         }
         // Bank 1 has no history: its row 9 must not fire.
         assert_eq!(tw.on_activate(1, 9, 0, 0), McAction::None);
-        assert!(matches!(tw.on_activate(0, 9, 0, 0), McAction::Arr { bank: 0, .. }));
+        assert!(matches!(
+            tw.on_activate(0, 9, 0, 0),
+            McAction::Arr { bank: 0, .. }
+        ));
     }
 }

@@ -35,7 +35,12 @@ fn hammer_through_controller(
         // minimalist-open close policy).
         for k in 0..24u64 {
             let row = if k % 2 == 0 { 999 } else { 1001 };
-            let addr = MappedAddr { bank: 0, row, col: k % 2 };
+            let addr = MappedAddr {
+                channel: mithril_dram::ChannelId(0),
+                bank: 0,
+                row,
+                col: k % 2,
+            };
             mc.enqueue(MemRequest::read(id, addr, 0, now));
             id += 1;
         }

@@ -81,5 +81,10 @@ fn bench_solver(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_table_ops, bench_engine_interval, bench_solver);
+criterion_group!(
+    benches,
+    bench_table_ops,
+    bench_engine_interval,
+    bench_solver
+);
 criterion_main!(benches);

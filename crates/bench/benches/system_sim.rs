@@ -26,7 +26,11 @@ fn bench_system(c: &mut Criterion) {
     g.bench_function("mithril_128", |b| {
         b.iter(|| {
             black_box(run(
-                Scheme::Mithril { rfm_th: 128, ad_th: Some(200), plus: false },
+                Scheme::Mithril {
+                    rfm_th: 128,
+                    ad_th: Some(200),
+                    plus: false,
+                },
                 10_000,
             ))
         })

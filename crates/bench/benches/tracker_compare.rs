@@ -36,7 +36,11 @@ fn bench_compare(c: &mut Criterion) {
     let mut g = c.benchmark_group("tracker_compare");
     for &k in &[128usize, 512, 2048] {
         g.bench_function(format!("space_saving_bucket_{k}"), |b| {
-            b.iter_batched(|| SpaceSaving::new(k), |t| record_all(t, &ops), BatchSize::SmallInput)
+            b.iter_batched(
+                || SpaceSaving::new(k),
+                |t| record_all(t, &ops),
+                BatchSize::SmallInput,
+            )
         });
         g.bench_function(format!("space_saving_naive_{k}"), |b| {
             b.iter_batched(
@@ -47,7 +51,11 @@ fn bench_compare(c: &mut Criterion) {
         });
     }
     g.bench_function("lossy_counting_w512", |b| {
-        b.iter_batched(|| LossyCounting::new(512), |t| record_all(t, &ops), BatchSize::SmallInput)
+        b.iter_batched(
+            || LossyCounting::new(512),
+            |t| record_all(t, &ops),
+            BatchSize::SmallInput,
+        )
     });
     g.bench_function("count_min_4x1024", |b| {
         b.iter_batched(

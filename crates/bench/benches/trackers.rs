@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mithril_trackers::{
-    CounterTree, CountingBloomFilter, CountMinSketch, FrequencyTracker, LossyCounting,
-    SpaceSaving,
+    CountMinSketch, CounterTree, CountingBloomFilter, FrequencyTracker, LossyCounting, SpaceSaving,
 };
 use std::hint::black_box;
 

@@ -10,9 +10,13 @@
 //!    reset-to-zero (which breaks the upper-bound property (2));
 //! 3. **table size from Theorem 1** → halved and quartered.
 //!
+//! The variant battery fans out on the runner's sharded engine
+//! (`--threads N`); each variant's attack battery is independent.
+//!
 //! Run: `cargo run --release -p mithril-bench --bin ablation`
 
 use mithril::{MithrilConfig, MithrilScheme, MithrilTable};
+use mithril_bench::{run_sharded, BinArgs};
 use mithril_dram::{AttackHarness, Ddr5Timing, DramMitigation, RfmOutcome, RowId};
 
 const FLIP: u64 = 6_250;
@@ -26,7 +30,7 @@ struct Variant {
     rows: u64,
 }
 
-#[derive(Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 enum Policy {
     /// Refresh table rows round-robin regardless of counts. (The paper's
     /// greedy policy itself runs through the real [`MithrilScheme`].)
@@ -37,7 +41,12 @@ enum Policy {
 
 impl Variant {
     fn new(nentry: usize, policy: Policy) -> Self {
-        Self { table: MithrilTable::new(nentry), policy, rr_cursor: 0, rows: 65_536 }
+        Self {
+            table: MithrilTable::new(nentry),
+            policy,
+            rr_cursor: 0,
+            rows: 65_536,
+        }
     }
 
     fn victims(&self, row: RowId) -> Vec<RowId> {
@@ -98,11 +107,11 @@ impl DramMitigation for Variant {
 fn worst_case(engine: impl Fn() -> Box<dyn DramMitigation>, nentry: u64) -> u64 {
     let timing = Ddr5Timing::ddr5_4800();
     let patterns: Vec<Box<dyn Fn(u64) -> u64>> = vec![
-        Box::new(|_| 1_000),                               // single row
-        Box::new(|i| 999 + 2 * (i % 2)),                   // double-sided
-        Box::new(|i| 5_000 + 2 * (i % 32)),                // multi-sided
-        Box::new(move |i| 100 + 2 * (i % (nentry + 7))),   // table thrash
-        Box::new(move |i| 100 + 2 * (i % (2 * nentry))),   // 2x thrash
+        Box::new(|_| 1_000),                             // single row
+        Box::new(|i| 999 + 2 * (i % 2)),                 // double-sided
+        Box::new(|i| 5_000 + 2 * (i % 32)),              // multi-sided
+        Box::new(move |i| 100 + 2 * (i % (nentry + 7))), // table thrash
+        Box::new(move |i| 100 + 2 * (i % (2 * nentry))), // 2x thrash
     ];
     let mut worst = 0;
     for p in &patterns {
@@ -116,42 +125,70 @@ fn worst_case(engine: impl Fn() -> Box<dyn DramMitigation>, nentry: u64) -> u64 
     worst
 }
 
+#[derive(Debug, Clone, Copy)]
+enum Knockout {
+    /// The paper's mechanism, optionally with a shrunken table.
+    Greedy { nentry_div: usize },
+    /// Selection policy replaced.
+    Policy(Policy),
+}
+
 fn main() {
+    let args = BinArgs::parse();
     let timing = Ddr5Timing::ddr5_4800();
     let cfg = MithrilConfig::for_flip_threshold(FLIP, RFM, &timing).unwrap();
     let n = cfg.nentry;
     println!("# Ablation at FlipTH = {FLIP}, RFMTH = {RFM}, solved Nentry = {n}");
+    println!("# ({} engine threads)", args.threads);
     println!("variant,nentry,worst_disturbance,safe(<{FLIP})");
 
-    let report = |label: &str, nentry: usize, worst: u64| {
-        println!("{label},{nentry},{worst},{}", if worst < FLIP { "yes" } else { "NO" });
-    };
-
-    // 1. Selection policy.
-    report("greedy (paper)", n, worst_case(|| Box::new(MithrilScheme::new(cfg)), n as u64));
-    report(
-        "round-robin selection",
-        n,
-        worst_case(|| Box::new(Variant::new(n, Policy::RoundRobin)), n as u64),
+    // 1. selection policy knockouts; 2. table sizing below Theorem 1.
+    let variants: Vec<(&str, Knockout)> = vec![
+        ("greedy (paper)", Knockout::Greedy { nentry_div: 1 }),
+        (
+            "round-robin selection",
+            Knockout::Policy(Policy::RoundRobin),
+        ),
+        (
+            "greedy w/o decrement",
+            Knockout::Policy(Policy::NoDecrement),
+        ),
+        ("greedy, Nentry/2", Knockout::Greedy { nentry_div: 2 }),
+        ("greedy, Nentry/4", Knockout::Greedy { nentry_div: 4 }),
+    ];
+    let rows = run_sharded(
+        &variants,
+        args.pool(),
+        args.seed,
+        |&(label, knockout), _| {
+            let (nentry, worst) = match knockout {
+                Knockout::Greedy { nentry_div } => {
+                    let small = (n / nentry_div).max(1);
+                    let small_cfg = MithrilConfig {
+                        nentry: small,
+                        ..cfg
+                    };
+                    (
+                        small,
+                        worst_case(
+                            move || Box::new(MithrilScheme::new(small_cfg)),
+                            small as u64,
+                        ),
+                    )
+                }
+                Knockout::Policy(policy) => (
+                    n,
+                    worst_case(|| Box::new(Variant::new(n, policy)), n as u64),
+                ),
+            };
+            format!(
+                "{label},{nentry},{worst},{}",
+                if worst < FLIP { "yes" } else { "NO" }
+            )
+        },
     );
-    report(
-        "greedy w/o decrement",
-        n,
-        worst_case(|| Box::new(Variant::new(n, Policy::NoDecrement)), n as u64),
-    );
-
-    // 2. Table sizing below the Theorem-1 requirement.
-    for div in [2usize, 4] {
-        let small = (n / div).max(1);
-        let small_cfg = MithrilConfig {
-            nentry: small,
-            ..cfg
-        };
-        report(
-            &format!("greedy, Nentry/{div}"),
-            small,
-            worst_case(move || Box::new(MithrilScheme::new(small_cfg)), small as u64),
-        );
+    for row in rows {
+        println!("{row}");
     }
 
     println!();

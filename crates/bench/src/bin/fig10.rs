@@ -10,6 +10,10 @@
 //! * **(d)** relative dynamic energy, normal workloads;
 //! * **(e)** per-bank table size (KB).
 //!
+//! The scheme panel comes from the shared scenario registry
+//! ([`mithril_bench::rfm_compatible_schemes`]); the (FlipTH × scheme) grid
+//! fans out on the sharded engine (`--threads N`).
+//!
 //! Expected shape (paper): Mithril+ ≈ 100% everywhere; Mithril ≥ ~98%;
 //! PARFM degrades at low FlipTH (tiny solved RFMTH); BlockHammer collapses
 //! under its adversarial pattern (double-digit % loss) and throttles benign
@@ -22,25 +26,15 @@ use std::collections::HashMap;
 
 use mithril::MithrilConfig;
 use mithril_baselines::{BlockHammerConfig, FLIP_TH_SWEEP};
-use mithril_bench::{default_rfm_th, run_one, BinArgs};
+use mithril_bench::{
+    default_rfm_th, rfm_compatible_schemes, run_one, run_sharded, BinArgs, NORMAL_WORKLOADS,
+};
 use mithril_sim::{geomean, Metrics, Scheme, SystemConfig};
-
-const NORMAL: [&str; 5] = ["mix-high", "mix-blend", "fft", "radix", "pagerank"];
 
 /// Short-slice NBL calibration (see `BlockHammerConfig::with_nbl_scaled`):
 /// our slice exposes one ~128-ACT sweep burst per row where the full
 /// window accumulates ~700 ACTs.
 const NBL_SCALE: u64 = 6;
-
-fn schemes_for(flip: u64) -> Vec<(&'static str, Scheme)> {
-    let rfm = default_rfm_th(flip);
-    vec![
-        ("parfm", Scheme::Parfm),
-        ("blockhammer", Scheme::BlockHammer { nbl_scale: NBL_SCALE }),
-        ("mithril", Scheme::Mithril { rfm_th: rfm, ad_th: Some(200), plus: false }),
-        ("mithril+", Scheme::Mithril { rfm_th: rfm, ad_th: Some(200), plus: true }),
-    ]
-}
 
 fn main() {
     let args = BinArgs::parse();
@@ -48,47 +42,78 @@ fn main() {
     cfg.cores = args.cores;
     let timing = cfg.timing;
 
-    // Baselines depend only on the workload.
-    let mut baselines: HashMap<&str, Metrics> = HashMap::new();
+    // Baselines depend only on the workload: fan them out first.
+    let baseline_names: Vec<&str> = NORMAL_WORKLOADS
+        .iter()
+        .chain(["attack-multi", "attack-bh"].iter())
+        .copied()
+        .collect();
     cfg.scheme = Scheme::None;
-    for name in NORMAL.iter().chain(["attack-multi", "attack-bh"].iter()) {
-        baselines.insert(name, run_one(cfg, name, args.insts, args.seed));
-    }
+    let baseline_runs = run_sharded(&baseline_names, args.pool(), args.seed, |name, _| {
+        run_one(cfg, name, args.insts, args.seed)
+    });
+    let baselines: HashMap<&str, Metrics> = baseline_names.into_iter().zip(baseline_runs).collect();
 
-    println!("# Figure 10 (insts/core = {})", args.insts);
+    println!(
+        "# Figure 10 (insts/core = {}, {} engine threads)",
+        args.insts, args.threads
+    );
     println!("panel,flip_th,scheme,value");
-    for flip in FLIP_TH_SWEEP {
-        cfg.flip_th = flip;
-        for (label, scheme) in schemes_for(flip) {
+
+    let combos: Vec<(u64, &'static str, Scheme)> = FLIP_TH_SWEEP
+        .iter()
+        .flat_map(|&flip| {
+            rfm_compatible_schemes(flip, NBL_SCALE)
+                .into_iter()
+                .map(move |(label, scheme)| (flip, label, scheme))
+        })
+        .collect();
+    let rows = run_sharded(
+        &combos,
+        args.pool(),
+        args.seed,
+        |&(flip, label, scheme), _| {
+            let mut cfg = cfg;
+            cfg.flip_th = flip;
             cfg.scheme = scheme;
+            let mut out = String::new();
             // (a)+(d): normal workloads.
             let mut ipcs = Vec::new();
             let mut energies = Vec::new();
-            for name in NORMAL {
+            for name in NORMAL_WORKLOADS {
                 let m = run_one(cfg, name, args.insts, args.seed);
                 let b = &baselines[name];
                 ipcs.push(m.normalized_ipc(b));
                 energies.push(m.relative_energy(b));
             }
-            println!("a_perf_normal_pct,{flip},{label},{:.2}", geomean(&ipcs) * 100.0);
-            println!(
-                "d_energy_overhead_pct,{flip},{label},{:.3}",
+            out.push_str(&format!(
+                "a_perf_normal_pct,{flip},{label},{:.2}\n",
+                geomean(&ipcs) * 100.0
+            ));
+            out.push_str(&format!(
+                "d_energy_overhead_pct,{flip},{label},{:.3}\n",
                 (geomean(&energies) - 1.0) * 100.0
-            );
+            ));
             // (b): multi-sided RH attack.
             let m = run_one(cfg, "attack-multi", args.insts, args.seed);
-            println!(
-                "b_perf_multisided_pct,{flip},{label},{:.2}",
+            out.push_str(&format!(
+                "b_perf_multisided_pct,{flip},{label},{:.2}\n",
                 m.normalized_ipc(&baselines["attack-multi"]) * 100.0
-            );
+            ));
             // (c): BlockHammer-adversarial pattern.
             let m = run_one(cfg, "attack-bh", args.insts, args.seed);
-            println!(
+            out.push_str(&format!(
                 "c_perf_adversarial_pct,{flip},{label},{:.2}",
                 m.normalized_ipc(&baselines["attack-bh"]) * 100.0
-            );
-        }
-        // (e): table sizes.
+            ));
+            out
+        },
+    );
+    for row in rows {
+        println!("{row}");
+    }
+    // (e): table sizes, analytic.
+    for flip in FLIP_TH_SWEEP {
         let bh = BlockHammerConfig::for_flip_threshold(flip, &timing).table_kib();
         let mith = MithrilConfig::solve(flip, default_rfm_th(flip), 1, Some(200), &timing)
             .map(|c| c.table_kib())

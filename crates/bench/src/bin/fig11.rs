@@ -7,6 +7,10 @@
 //! * **(b)** relative performance under the multi-sided RH attack;
 //! * **(c)** relative dynamic energy, normal workloads.
 //!
+//! The scheme panel comes from the shared scenario registry
+//! ([`mithril_bench::arr_schemes`]); the (FlipTH × scheme) grid fans out
+//! on the sharded engine (`--threads N`).
+//!
 //! Expected shape (paper): Mithril+ within ~0.2% of Graphene/TWiCe/CBT;
 //! Mithril ≤ ~2% worse even at FlipTH 1.5K; energy overheads of Mithril/
 //! TWiCe/Graphene all ≤ ~1%, PARA growing as FlipTH falls.
@@ -16,59 +20,68 @@
 use std::collections::HashMap;
 
 use mithril_baselines::FLIP_TH_SWEEP;
-use mithril_bench::{default_rfm_th, run_one, BinArgs};
+use mithril_bench::{arr_schemes, run_one, run_sharded, BinArgs, NORMAL_WORKLOADS};
 use mithril_sim::{geomean, Metrics, Scheme, SystemConfig};
-
-const NORMAL: [&str; 5] = ["mix-high", "mix-blend", "fft", "radix", "pagerank"];
-
-fn schemes_for(flip: u64) -> Vec<(&'static str, Scheme)> {
-    let rfm = default_rfm_th(flip);
-    vec![
-        ("para", Scheme::Para),
-        ("cbt", Scheme::Cbt),
-        ("twice", Scheme::TwiCe),
-        ("graphene", Scheme::Graphene),
-        ("mithril", Scheme::Mithril { rfm_th: rfm, ad_th: Some(200), plus: false }),
-        ("mithril+", Scheme::Mithril { rfm_th: rfm, ad_th: Some(200), plus: true }),
-    ]
-}
 
 fn main() {
     let args = BinArgs::parse();
     let mut cfg = SystemConfig::table_iii();
     cfg.cores = args.cores;
 
-    let mut baselines: HashMap<&str, Metrics> = HashMap::new();
+    let baseline_names: Vec<&str> = NORMAL_WORKLOADS
+        .iter()
+        .chain(["attack-multi"].iter())
+        .copied()
+        .collect();
     cfg.scheme = Scheme::None;
-    for name in NORMAL.iter().chain(["attack-multi"].iter()) {
-        baselines.insert(name, run_one(cfg, name, args.insts, args.seed));
-    }
+    let baseline_runs = run_sharded(&baseline_names, args.pool(), args.seed, |name, _| {
+        run_one(cfg, name, args.insts, args.seed)
+    });
+    let baselines: HashMap<&str, Metrics> = baseline_names.into_iter().zip(baseline_runs).collect();
 
-    println!("# Figure 11 (insts/core = {})", args.insts);
+    println!(
+        "# Figure 11 (insts/core = {}, {} engine threads)",
+        args.insts, args.threads
+    );
     println!("panel,flip_th,scheme,value");
-    for flip in FLIP_TH_SWEEP {
-        cfg.flip_th = flip;
-        for (label, scheme) in schemes_for(flip) {
+
+    let combos: Vec<(u64, &'static str, Scheme)> = FLIP_TH_SWEEP
+        .iter()
+        .flat_map(|&flip| {
+            arr_schemes(flip)
+                .into_iter()
+                .map(move |(label, scheme)| (flip, label, scheme))
+        })
+        .collect();
+    let rows = run_sharded(
+        &combos,
+        args.pool(),
+        args.seed,
+        |&(flip, label, scheme), _| {
+            let mut cfg = cfg;
+            cfg.flip_th = flip;
             cfg.scheme = scheme;
             let mut ipcs = Vec::new();
             let mut energies = Vec::new();
-            for name in NORMAL {
+            for name in NORMAL_WORKLOADS {
                 let m = run_one(cfg, name, args.insts, args.seed);
                 let b = &baselines[name];
                 ipcs.push(m.normalized_ipc(b));
                 energies.push(m.relative_energy(b));
             }
-            println!("a_perf_normal_pct,{flip},{label},{:.2}", geomean(&ipcs) * 100.0);
-            println!(
-                "c_energy_overhead_pct,{flip},{label},{:.3}",
-                (geomean(&energies) - 1.0) * 100.0
-            );
-            let m = run_one(cfg, "attack-multi", args.insts, args.seed);
-            println!(
-                "b_perf_multisided_pct,{flip},{label},{:.2}",
-                m.normalized_ipc(&baselines["attack-multi"]) * 100.0
-            );
-        }
+            let attack = run_one(cfg, "attack-multi", args.insts, args.seed);
+            format!(
+                "a_perf_normal_pct,{flip},{label},{:.2}\n\
+             c_energy_overhead_pct,{flip},{label},{:.3}\n\
+             b_perf_multisided_pct,{flip},{label},{:.2}",
+                geomean(&ipcs) * 100.0,
+                (geomean(&energies) - 1.0) * 100.0,
+                attack.normalized_ipc(&baselines["attack-multi"]) * 100.0
+            )
+        },
+    );
+    for row in rows {
+        println!("{row}");
     }
     println!();
     println!("# Expected: mithril+ tracks graphene/twice/cbt within fractions of a");

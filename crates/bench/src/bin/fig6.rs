@@ -57,13 +57,23 @@ fn main() {
     println!();
     println!("# Cross-checks against the paper:");
     let c = MithrilConfig::for_flip_threshold(6_250, 128, &timing).unwrap();
-    println!("#   Mithril-128 @ 6.25K: {} entries, {:.2} KiB (paper: 0.84 KB)", c.nentry, c.table_kib());
+    println!(
+        "#   Mithril-128 @ 6.25K: {} entries, {:.2} KiB (paper: 0.84 KB)",
+        c.nentry,
+        c.table_kib()
+    );
     let c = MithrilConfig::for_flip_threshold(1_500, 32, &timing).unwrap();
-    println!("#   Mithril-32  @ 1.5K:  {} entries, {:.2} KiB (paper: 4.64 KB)", c.nentry, c.table_kib());
+    println!(
+        "#   Mithril-32  @ 1.5K:  {} entries, {:.2} KiB (paper: 4.64 KB)",
+        c.nentry,
+        c.table_kib()
+    );
     println!(
         "#   Lossy-Counting @ 50K: {:.2} KiB vs CbS {:.2} KiB — LC needs the larger table",
         lossy_counting_kib(50_000, &timing),
-        MithrilConfig::for_flip_threshold(50_000, 256, &timing).unwrap().table_kib()
+        MithrilConfig::for_flip_threshold(50_000, 256, &timing)
+            .unwrap()
+            .table_kib()
     );
     let _ = area::UM2_PER_CAM_BIT;
 }

@@ -33,7 +33,9 @@ fn main() {
     println!("flip_th,rfm_th,ad_th,add_nentry_pct,mp_energy_overhead_pct,mt_energy_overhead_pct");
     for (flip, rfm) in [(3_125u64, 16u64), (6_250, 64)] {
         cfg.flip_th = flip;
-        let base_n = MithrilConfig::for_flip_threshold(flip, rfm, &timing).unwrap().nentry;
+        let base_n = MithrilConfig::for_flip_threshold(flip, rfm, &timing)
+            .unwrap()
+            .nentry;
 
         // Baselines are scheme-independent: compute once per workload.
         cfg.scheme = Scheme::None;
@@ -45,17 +47,26 @@ fn main() {
 
         for ad in [0u64, 50, 100, 150, 200] {
             let ad_opt = if ad == 0 { None } else { Some(ad) };
-            let n = MithrilConfig::solve(flip, rfm, 1, ad_opt, &timing).unwrap().nentry;
+            let n = MithrilConfig::solve(flip, rfm, 1, ad_opt, &timing)
+                .unwrap()
+                .nentry;
             let add_pct = (n as f64 / base_n as f64 - 1.0) * 100.0;
 
-            cfg.scheme = Scheme::Mithril { rfm_th: rfm, ad_th: ad_opt, plus: false };
+            cfg.scheme = Scheme::Mithril {
+                rfm_th: rfm,
+                ad_th: ad_opt,
+                plus: false,
+            };
             let overhead = |names: &[&str]| -> f64 {
                 let ratios: Vec<f64> = names
                     .iter()
                     .map(|&name| {
                         let m = run_one(cfg, name, args.insts, args.seed);
-                        let base =
-                            base_energy.iter().find(|(n, _)| *n == name).expect("baseline").1;
+                        let base = base_energy
+                            .iter()
+                            .find(|(n, _)| *n == name)
+                            .expect("baseline")
+                            .1;
                         m.energy_pj / base
                     })
                     .collect();

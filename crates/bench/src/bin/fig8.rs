@@ -14,14 +14,18 @@
 //!
 //! Run: `cargo run --release -p mithril-bench --bin fig8`
 
+use mithril_dram::ChannelId;
 use mithril_memctrl::AddressMapping;
 use mithril_sim::{Llc, LlcAccess, LlcConfig};
 use mithril_workloads::{StreamSweep, TraceSource};
 
 fn main() {
-    let mapping = AddressMapping::new(mithril_dram::Geometry::default());
+    let mapping = AddressMapping::new(mithril_dram::Geometry::table_iii_system());
     let mut sweep = StreamSweep::new(4, 1 << 18, 7);
-    let mut llc = Llc::new(LlcConfig { size_bytes: 2 << 20, ..Default::default() });
+    let mut llc = Llc::new(LlcConfig {
+        size_bytes: 2 << 20,
+        ..Default::default()
+    });
 
     let total_ops = 400_000usize;
     let small_lo = 200_000usize;
@@ -33,45 +37,73 @@ fn main() {
 
     for i in 0..total_ops {
         let op = sweep.next_op();
-        let addr = mapping.map_line(op.line_addr / 2); // channel-0 view
-        accesses.push((i, addr.row));
+        let addr = mapping.map_line(op.line_addr);
+        // The panels plot one channel's banks, but the LLC must see every
+        // op — channel-1 lines compete for the same cache capacity.
+        let on_channel_0 = addr.channel == ChannelId(0);
+        if on_channel_0 {
+            accesses.push((i, addr.row));
+        }
         if matches!(llc.access(op.line_addr, op.is_write), LlcAccess::Miss) {
             llc.fill(op.line_addr);
-            if open_rows[addr.bank] != addr.row {
+            if on_channel_0 && open_rows[addr.bank] != addr.row {
                 open_rows[addr.bank] = addr.row;
                 acts.push((i, addr.row));
             }
         }
     }
 
-    // (a) Large window, uniformly subsampled.
+    // (a) Large window, uniformly subsampled. `accesses` holds only the
+    // channel-0 share of the ops, so sample by vector length, not op
+    // count.
     println!("# Fig 8(a): accessed row vs op index (large window, subsampled)");
     println!("panel,op_index,row");
-    for (i, row) in accesses.iter().step_by(total_ops / 200) {
+    for (i, row) in accesses.iter().step_by((accesses.len() / 200).max(1)) {
         println!("a,{i},{row}");
     }
     // (b) Small window.
     println!("# Fig 8(b): accessed row vs op index (small window)");
-    for (i, row) in accesses.iter().filter(|(i, _)| (small_lo..small_hi).contains(i)).step_by(10)
+    for (i, row) in accesses
+        .iter()
+        .filter(|(i, _)| (small_lo..small_hi).contains(i))
+        .step_by(10)
     {
         println!("b,{i},{row}");
     }
     // (c) Activations in the small window.
     println!("# Fig 8(c): activated row vs op index (small window)");
-    for (i, row) in acts.iter().filter(|(i, _)| (small_lo..small_hi).contains(i)) {
+    for (i, row) in acts
+        .iter()
+        .filter(|(i, _)| (small_lo..small_hi).contains(i))
+    {
         println!("c,{i},{row}");
     }
 
     // Summary statistics backing the AdTH discussion (Section V-A).
-    let distinct_small: std::collections::HashSet<u64> = accesses
-        [small_lo..small_hi]
+    // Filter by op index: vector positions no longer track op indices
+    // after the channel-0 filter above.
+    let small_accesses: Vec<u64> = accesses
         .iter()
+        .filter(|(i, _)| (small_lo..small_hi).contains(i))
         .map(|&(_, r)| r)
         .collect();
-    let acts_small = acts.iter().filter(|(i, _)| (small_lo..small_hi).contains(i)).count();
+    let distinct_small: std::collections::HashSet<u64> = small_accesses.iter().copied().collect();
+    let acts_small = acts
+        .iter()
+        .filter(|(i, _)| (small_lo..small_hi).contains(i))
+        .count();
     println!();
-    println!("# small-window rows touched: {} (concentration, panel b)", distinct_small.len());
-    println!("# small-window activations: {acts_small} over {} accesses", small_hi - small_lo);
-    println!("# lines per 8KB row: {} -> benign per-row ACT bursts stay ~O(128),", mapping.geometry().lines_per_row());
+    println!(
+        "# small-window rows touched: {} (concentration, panel b)",
+        distinct_small.len()
+    );
+    println!(
+        "# small-window activations: {acts_small} over {} channel-0 accesses",
+        small_accesses.len()
+    );
+    println!(
+        "# lines per 8KB row: {} -> benign per-row ACT bursts stay ~O(128),",
+        mapping.geometry().lines_per_row()
+    );
     println!("# matching the effective AdTH range of 100-200 (paper Section V-A).");
 }

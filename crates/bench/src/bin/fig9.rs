@@ -4,6 +4,7 @@
 //! For each configuration of the paper's sweep (FlipTH 12.5K → 1.5K with
 //! RFMTH 512 → 32), reports the normalized aggregate IPC (%) of Mithril and
 //! Mithril+ over the normal-workload set and the per-bank table size.
+//! Sweep points fan out on the sharded engine (`--threads N`).
 //!
 //! Expected shape (paper Fig. 9): Mithril loses more performance as RFMTH
 //! shrinks (more RFM head-of-line blocking), up to ~2% at (1.5K, 32);
@@ -12,7 +13,7 @@
 //! Run: `cargo run --release -p mithril-bench --bin fig9`
 
 use mithril::MithrilConfig;
-use mithril_bench::{normal_workload_overheads, BinArgs, MITHRIL_SWEEP};
+use mithril_bench::{normal_workload_overheads, run_sharded, BinArgs, MITHRIL_SWEEP};
 use mithril_sim::{Scheme, SystemConfig};
 
 fn main() {
@@ -22,20 +23,41 @@ fn main() {
     let timing = cfg.timing;
 
     println!("# Figure 9: Mithril / Mithril+ relative performance and area");
-    println!("# (insts/core = {}, AdTH = 200)", args.insts);
+    println!(
+        "# (insts/core = {}, AdTH = 200, {} engine threads)",
+        args.insts, args.threads
+    );
     println!("flip_th,rfm_th,table_kib,mithril_norm_ipc_pct,mithril_plus_norm_ipc_pct");
-    for (flip, rfm) in MITHRIL_SWEEP {
+
+    let points: Vec<(u64, u64)> = MITHRIL_SWEEP.to_vec();
+    let rows = run_sharded(&points, args.pool(), args.seed, |&(flip, rfm), _| {
+        let mut cfg = cfg;
         cfg.flip_th = flip;
         let kib = MithrilConfig::solve(flip, rfm, 1, Some(200), &timing)
             .map(|c| c.table_kib())
             .unwrap_or(f64::NAN);
 
-        cfg.scheme = Scheme::Mithril { rfm_th: rfm, ad_th: Some(200), plus: false };
+        cfg.scheme = Scheme::Mithril {
+            rfm_th: rfm,
+            ad_th: Some(200),
+            plus: false,
+        };
         let (ipc_m, _) = normal_workload_overheads(cfg, args.insts, args.seed);
-        cfg.scheme = Scheme::Mithril { rfm_th: rfm, ad_th: Some(200), plus: true };
+        cfg.scheme = Scheme::Mithril {
+            rfm_th: rfm,
+            ad_th: Some(200),
+            plus: true,
+        };
         let (ipc_p, _) = normal_workload_overheads(cfg, args.insts, args.seed);
 
-        println!("{flip},{rfm},{kib:.2},{:.2},{:.2}", ipc_m * 100.0, ipc_p * 100.0);
+        format!(
+            "{flip},{rfm},{kib:.2},{:.2},{:.2}",
+            ipc_m * 100.0,
+            ipc_p * 100.0
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
     println!();
     println!("# Expected: the Mithril column dips (≤ ~2%) at small RFMTH / low");

@@ -85,7 +85,11 @@ fn bench_tables() -> Vec<TableRow> {
                 }
                 std::hint::black_box(t.spread());
             });
-            TableRow { k, bucket_ops_per_sec: bucket, naive_ops_per_sec: naive }
+            TableRow {
+                k,
+                bucket_ops_per_sec: bucket,
+                naive_ops_per_sec: naive,
+            }
         })
         .collect()
 }
@@ -111,7 +115,11 @@ fn bench_trackers() -> Vec<TableRow> {
                 }
                 std::hint::black_box(t.min_count());
             });
-            TableRow { k, bucket_ops_per_sec: bucket, naive_ops_per_sec: naive }
+            TableRow {
+                k,
+                bucket_ops_per_sec: bucket,
+                naive_ops_per_sec: naive,
+            }
         })
         .collect()
 }
@@ -143,7 +151,10 @@ fn main() {
         .unwrap_or_else(|| "BENCH_table.json".to_string());
 
     println!("# Mithril table hot path: bucket vs naive ({OPS} ACTs, RFM every {RFM_EVERY})");
-    println!("{:>6} {:>18} {:>18} {:>9}", "K", "bucket ops/s", "naive ops/s", "speedup");
+    println!(
+        "{:>6} {:>18} {:>18} {:>9}",
+        "K", "bucket ops/s", "naive ops/s", "speedup"
+    );
     let tables = bench_tables();
     for r in &tables {
         println!(
@@ -155,7 +166,10 @@ fn main() {
         );
     }
     println!("\n# Space-Saving tracker: bucket vs naive (record-only)");
-    println!("{:>6} {:>18} {:>18} {:>9}", "K", "bucket ops/s", "naive ops/s", "speedup");
+    println!(
+        "{:>6} {:>18} {:>18} {:>9}",
+        "K", "bucket ops/s", "naive ops/s", "speedup"
+    );
     let trackers = bench_trackers();
     for r in &trackers {
         println!(

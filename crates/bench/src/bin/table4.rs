@@ -4,11 +4,15 @@
 //! Mithril-{256,128,64,32} @ DRAM (dash = infeasible pair, as in the
 //! paper).
 //!
+//! The scheme/area catalog lives in the shared scenario registry
+//! (`mithril_runner::scenarios::table_area_rows`).
+//!
 //! Run: `cargo run --release -p mithril-bench --bin table4`
 
 use mithril::MithrilConfig;
-use mithril_baselines::{BlockHammerConfig, CbtConfig, GrapheneConfig, TwiCeConfig, FLIP_TH_SWEEP};
+use mithril_baselines::FLIP_TH_SWEEP;
 use mithril_dram::Ddr5Timing;
+use mithril_runner::scenarios::table_area_rows;
 
 fn main() {
     let timing = Ddr5Timing::ddr5_4800();
@@ -18,32 +22,15 @@ fn main() {
     }
     println!();
 
-    let row = |name: &str, f: &dyn Fn(u64) -> Option<f64>| {
+    for (name, cells) in table_area_rows(&timing) {
         print!("{name:<24}");
-        for flip in FLIP_TH_SWEEP {
-            match f(flip) {
+        for cell in cells {
+            match cell {
                 Some(kib) => print!("{kib:>10.2}"),
                 None => print!("{:>10}", "-"),
             }
         }
         println!();
-    };
-
-    row("CBT @ MC", &|flip| Some(CbtConfig::for_flip_threshold(flip, &timing).table_kib()));
-    row("Graphene @ MC", &|flip| {
-        Some(GrapheneConfig::for_flip_threshold(flip, &timing).table_kib(&timing))
-    });
-    row("BlockHammer @ MC", &|flip| {
-        Some(BlockHammerConfig::for_flip_threshold(flip, &timing).table_kib())
-    });
-    row("TWiCe @ buffer chip", &|flip| {
-        Some(TwiCeConfig::for_flip_threshold(flip, &timing).table_kib(&timing))
-    });
-    for rfm in [256u64, 128, 64, 32] {
-        let name = format!("Mithril-{rfm} @ DRAM");
-        row(&name, &|flip| {
-            MithrilConfig::for_flip_threshold(flip, rfm, &timing).ok().map(|c| c.table_kib())
-        });
     }
 
     println!();

@@ -2,121 +2,25 @@
 //!
 //! Each binary under `src/bin/` regenerates one table or figure of the
 //! paper's evaluation (see `DESIGN.md` for the index) and prints CSV-style
-//! rows to stdout. This library holds the pieces they share: the standard
-//! sweeps, run helpers and output formatting.
+//! rows to stdout. The scenario substance — workload registry, scheme
+//! catalogs, run helpers, standard sweeps — lives in
+//! [`mithril_runner::scenarios`] and is re-exported here; the binaries
+//! fan their runs out on the runner's sharded engine
+//! ([`mithril_runner::engine`]), so `--threads N` parallelizes every
+//! figure.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use mithril_sim::{geomean, Metrics, Scheme, System, SystemConfig};
-use mithril_workloads::{
-    attack_mix, bh_cover_attack_mix, mix_blend, mix_high, multithreaded, ThreadSet,
+pub use mithril_runner::engine::{default_threads, run_sharded, PoolConfig};
+pub use mithril_runner::scenarios::{
+    arr_schemes, default_rfm_th, normal_workload_overheads, rfm_compatible_schemes, run_one,
+    workload, MITHRIL_SWEEP, NORMAL_WORKLOADS,
 };
 
-/// The `(FlipTH, RFMTH)` pairs of paper Fig. 9 (one point per column).
-pub const MITHRIL_SWEEP: [(u64, u64); 8] = [
-    (12_500, 512),
-    (12_500, 256),
-    (12_500, 128),
-    (6_250, 256),
-    (6_250, 128),
-    (6_250, 64),
-    (3_125, 128),
-    (1_500, 32),
-];
-
-/// The Mithril RFMTH the paper pairs with each FlipTH in Figs. 10/11.
-pub fn default_rfm_th(flip_th: u64) -> u64 {
-    match flip_th {
-        50_000 | 25_000 => 256,
-        12_500 => 256,
-        6_250 => 128,
-        3_125 => 64,
-        1_500 => 32,
-        other => panic!("no default RFMTH for FlipTH {other}"),
-    }
-}
-
-/// Instantiates a workload set by name for `cores` threads.
-///
-/// Names: `mix-high`, `mix-blend`, `fft`, `radix`, `pagerank`, and attack
-/// sets `attack-double`, `attack-multi`, `attack-bh` (profiled CBF
-/// collisions) and `attack-bh-pollution`, all on a mix-high background.
-///
-/// # Panics
-///
-/// Panics on an unknown name.
-pub fn workload(name: &str, cores: usize, cfg: &SystemConfig, seed: u64) -> ThreadSet {
-    match name {
-        "mix-high" => mix_high(cores, seed),
-        "mix-blend" => mix_blend(cores, seed),
-        "fft" | "radix" | "pagerank" => multithreaded(name, cores, seed),
-        "attack-double" => attack_mix("double", cores, cfg.mapping(), cfg.channels, seed),
-        "attack-multi" => attack_mix("multi", cores, cfg.mapping(), cfg.channels, seed),
-        // The profiled CBF-collision pattern of Fig. 10(c): victims are the
-        // rows the mix-high sweeps hammer first (offsets 0/249/499/748).
-        // Concentrated enough that the attacker's budget pushes every
-        // cover row past the (scaled) blacklist threshold within a slice.
-        "attack-bh" => bh_cover_attack_mix(
-            cores,
-            cfg.mapping(),
-            cfg.channels,
-            cfg.flip_th,
-            &cfg.timing,
-            &[0, 1, 249, 250],
-            2,
-            seed,
-        ),
-        "attack-bh-pollution" => {
-            attack_mix("bh-adversarial", cores, cfg.mapping(), cfg.channels, seed)
-        }
-        other => panic!("unknown workload {other}"),
-    }
-}
-
-/// Runs one configuration over one workload for `insts_per_core`.
-///
-/// # Panics
-///
-/// Panics if the scheme cannot be configured at `cfg.flip_th`.
-pub fn run_one(cfg: SystemConfig, workload_name: &str, insts_per_core: u64, seed: u64) -> Metrics {
-    let threads = workload(workload_name, cfg.cores, &cfg, seed);
-    let mut sys = System::new(cfg, threads)
-        .unwrap_or_else(|e| panic!("{} @ FlipTH {}: {e}", cfg.scheme.name(), cfg.flip_th));
-    // Cap the simulated time at several times the benign runtime so a
-    // heavily throttled thread (BlockHammer vs an attacker) cannot stretch
-    // one run to seconds of simulated time; its depressed IPC still shows
-    // in the metrics.
-    let max_time = insts_per_core.saturating_mul(4_000);
-    sys.run(insts_per_core, max_time)
-}
-
-/// Runs scheme and baseline over the normal-workload set and returns
-/// `(geomean normalized IPC, geomean relative energy)` — the paper's
-/// "normal workloads" aggregation (geo-mean over multi-programmed and
-/// multi-threaded sets).
-pub fn normal_workload_overheads(
-    mut cfg: SystemConfig,
-    insts_per_core: u64,
-    seed: u64,
-) -> (f64, f64) {
-    let names = ["mix-high", "mix-blend", "fft", "radix", "pagerank"];
-    let scheme = cfg.scheme;
-    let mut ipcs = Vec::new();
-    let mut energies = Vec::new();
-    for name in names {
-        cfg.scheme = Scheme::None;
-        let base = run_one(cfg, name, insts_per_core, seed);
-        cfg.scheme = scheme;
-        let run = run_one(cfg, name, insts_per_core, seed);
-        ipcs.push(run.normalized_ipc(&base));
-        energies.push(run.relative_energy(&base));
-    }
-    (geomean(&ipcs), geomean(&energies))
-}
-
 /// Parses `--key value`-style CLI overrides shared by the bins:
-/// `--insts N` (instructions per core), `--cores N` and `--seed N`.
+/// `--insts N` (instructions per core), `--cores N`, `--seed N` and
+/// `--threads N` (sweep-engine workers).
 #[derive(Debug, Clone, Copy)]
 pub struct BinArgs {
     /// Instructions per core per run.
@@ -125,13 +29,20 @@ pub struct BinArgs {
     pub cores: usize,
     /// Seed.
     pub seed: u64,
+    /// Worker threads for the sharded engine.
+    pub threads: usize,
 }
 
 impl BinArgs {
     /// Parses from `std::env::args`, with defaults sized for minutes-scale
     /// release runs (`insts = 100_000`, `cores = 16`).
     pub fn parse() -> Self {
-        let mut out = Self { insts: 100_000, cores: 16, seed: 1 };
+        let mut out = Self {
+            insts: 100_000,
+            cores: 16,
+            seed: 1,
+            threads: default_threads(),
+        };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i + 1 < args.len() {
@@ -139,11 +50,20 @@ impl BinArgs {
                 "--insts" => out.insts = args[i + 1].parse().expect("--insts N"),
                 "--cores" => out.cores = args[i + 1].parse().expect("--cores N"),
                 "--seed" => out.seed = args[i + 1].parse().expect("--seed N"),
+                "--threads" => out.threads = args[i + 1].parse().expect("--threads N"),
                 _ => {}
             }
             i += 2;
         }
         out
+    }
+
+    /// The engine pool this invocation asked for.
+    pub fn pool(&self) -> PoolConfig {
+        PoolConfig {
+            threads: self.threads,
+            shard_size: 1,
+        }
     }
 }
 
@@ -151,27 +71,17 @@ impl BinArgs {
 mod tests {
     use super::*;
 
+    // The workload/scheme registry tests live with the registry in
+    // crates/runner/src/scenarios.rs; here we only cover what this crate
+    // adds on top of the re-exports.
     #[test]
-    fn default_rfmth_covers_sweep() {
-        for flip in mithril_baselines::FLIP_TH_SWEEP {
-            assert!(default_rfm_th(flip) >= 32);
-        }
-    }
-
-    #[test]
-    fn workloads_resolve_by_name() {
-        let cfg = SystemConfig::table_iii();
-        for name in ["mix-high", "mix-blend", "fft", "radix", "pagerank", "attack-double"] {
-            let set = workload(name, 4, &cfg, 1);
-            assert_eq!(set.threads.len(), 4);
-        }
-    }
-
-    #[test]
-    fn run_one_produces_metrics() {
-        let mut cfg = SystemConfig::table_iii();
-        cfg.cores = 2;
-        let m = run_one(cfg, "mix-blend", 5_000, 1);
-        assert!(m.total_insts >= 10_000);
+    fn bin_args_pool_uses_thread_count() {
+        let args = BinArgs {
+            insts: 1,
+            cores: 1,
+            seed: 1,
+            threads: 3,
+        };
+        assert_eq!(args.pool().threads, 3);
     }
 }

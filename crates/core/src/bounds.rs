@@ -100,8 +100,7 @@ pub fn theorem2_bound(nentry: usize, rfm_th: u64, ad_th: u64, timing: &Ddr5Timin
     // n* = ceil(N·RFMTH / (RFMTH + AdTH)), clamped to [1, N].
     let n_star = ((n * rfm) / (rfm + ad)).ceil().clamp(1.0, n);
     let n_star_usize = n_star as usize;
-    rfm * harmonic(n_star_usize)
-        + ((w - n_star + n - 2.0) * rfm + (n - n_star) * ad) / n
+    rfm * harmonic(n_star_usize) + ((w - n_star + n - 2.0) * rfm + (n - n_star) * ad) / n
 }
 
 /// Smallest `Nentry` such that the Theorem-1 bound satisfies
@@ -137,7 +136,10 @@ pub fn min_entries(
     timing: &Ddr5Timing,
 ) -> Option<usize> {
     assert!(rfm_th > 0, "rfm_th must be non-zero");
-    assert!(aggregated_effect > 0.0, "aggregated_effect must be positive");
+    assert!(
+        aggregated_effect > 0.0,
+        "aggregated_effect must be positive"
+    );
     let target = flip_th as f64 / aggregated_effect;
     let w = rfm_intervals(rfm_th, timing) as usize;
     // M(N) decreases while N < W − 2 and increases afterwards; scan the

@@ -38,7 +38,10 @@ impl std::fmt::Display for ConfigError {
                 "no table size can protect FlipTH {flip_th} at RFMTH {rfm_th}; lower RFMTH"
             ),
             ConfigError::InvalidParameter(p) => write!(f, "invalid parameter: {p}"),
-            ConfigError::CounterOverflow { required_bits, available_bits } => write!(
+            ConfigError::CounterOverflow {
+                required_bits,
+                available_bits,
+            } => write!(
                 f,
                 "bound needs {required_bits}-bit counters but only {available_bits} provisioned"
             ),
@@ -151,8 +154,13 @@ impl MithrilConfig {
     ///
     /// [`ConfigError::Infeasible`] if the adjusted bound cannot be met.
     pub fn with_adaptive(self, ad_th: u64, timing: &Ddr5Timing) -> Result<Self, ConfigError> {
-        let mut solved =
-            Self::solve(self.flip_th, self.rfm_th, self.blast_radius, Some(ad_th), timing)?;
+        let mut solved = Self::solve(
+            self.flip_th,
+            self.rfm_th,
+            self.blast_radius,
+            Some(ad_th),
+            timing,
+        )?;
         solved.rows_per_bank = self.rows_per_bank;
         Ok(solved)
     }
@@ -183,11 +191,17 @@ impl MithrilConfig {
     pub fn validate(&self, timing: &Ddr5Timing) -> Result<(), ConfigError> {
         let m = self.bound(timing);
         if m >= self.flip_th as f64 / Self::aggregated_effect(self.blast_radius) {
-            return Err(ConfigError::Infeasible { flip_th: self.flip_th, rfm_th: self.rfm_th });
+            return Err(ConfigError::Infeasible {
+                flip_th: self.flip_th,
+                rfm_th: self.rfm_th,
+            });
         }
         let required = area::counter_bits(m, self.rfm_th);
         if required > 16 {
-            return Err(ConfigError::CounterOverflow { required_bits: required, available_bits: 16 });
+            return Err(ConfigError::CounterOverflow {
+                required_bits: required,
+                available_bits: 16,
+            });
         }
         Ok(())
     }
@@ -326,7 +340,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = ConfigError::CounterOverflow { required_bits: 17, available_bits: 16 };
+        let e = ConfigError::CounterOverflow {
+            required_bits: 17,
+            available_bits: 16,
+        };
         assert!(e.to_string().contains("17"));
         let e = ConfigError::InvalidParameter("rfm_th");
         assert!(e.to_string().contains("rfm_th"));

@@ -60,7 +60,11 @@ pub struct MithrilScheme {
 impl MithrilScheme {
     /// Creates an engine from a solved configuration.
     pub fn new(config: MithrilConfig) -> Self {
-        Self { table: MithrilTable::new(config.nentry), config, stats: SchemeStats::default() }
+        Self {
+            table: MithrilTable::new(config.nentry),
+            config,
+            stats: SchemeStats::default(),
+        }
     }
 
     /// The configuration this engine was built with.
@@ -220,7 +224,10 @@ mod tests {
         // With AdTH=100 > RFMTH=64 the spread crosses AdTH every other
         // interval: half the RFMs refresh, which is exactly what Theorem 2
         // accounts for. The attack must never be *persistently* skipped.
-        assert!(s.refreshes >= s.rfms / 3, "attack persistently skipped: {s:?}");
+        assert!(
+            s.refreshes >= s.rfms / 3,
+            "attack persistently skipped: {s:?}"
+        );
         assert!(s.refreshes > 0);
     }
 

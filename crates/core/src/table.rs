@@ -201,7 +201,10 @@ impl<C: Counter> MithrilTable<C> {
         if self.addrs.is_empty() {
             return 0;
         }
-        self.list.max_value().expect("non-empty").diff(self.min_value())
+        self.list
+            .max_value()
+            .expect("non-empty")
+            .diff(self.min_value())
     }
 
     /// Estimated count of `row` above the table minimum (`0` for off-table
@@ -238,12 +241,16 @@ impl<C: Counter> MithrilTable<C> {
             self.counts.push(C::zero().incremented());
             self.index.insert(row, slot);
             self.list.push_slot();
-            self.list.place_fresh(slot, C::zero(), C::zero().incremented());
+            self.list
+                .place_fresh(slot, C::zero(), C::zero().incremented());
             return;
         }
         // Miss on a full table: replace the entry that has held the
         // minimum longest (the MinPtr entry, Fig. 3) and increment it.
-        let victim = self.list.oldest_min_slot().expect("full table is non-empty");
+        let victim = self
+            .list
+            .oldest_min_slot()
+            .expect("full table is non-empty");
         let old = self.addrs[victim as usize];
         self.index.remove(&old);
         self.addrs[victim as usize] = row;
@@ -270,13 +277,23 @@ impl<C: Counter> MithrilTable<C> {
             self.counts[slot as usize] = floor;
             self.list.drop_to_floor(slot, floor);
         }
-        Some(Selection { row, count_above_min: above })
+        Some(Selection {
+            row,
+            count_above_min: above,
+        })
     }
 
     /// Iterates over `(row, count_above_min)` pairs.
     pub fn iter_relative(&self) -> impl Iterator<Item = (RowId, u64)> + '_ {
-        let min = if self.addrs.is_empty() { C::zero() } else { self.min_value() };
-        self.addrs.iter().zip(self.counts.iter()).map(move |(&a, &c)| (a, c.diff(min)))
+        let min = if self.addrs.is_empty() {
+            C::zero()
+        } else {
+            self.min_value()
+        };
+        self.addrs
+            .iter()
+            .zip(self.counts.iter())
+            .map(move |(&a, &c)| (a, c.diff(min)))
     }
 
     /// Number of live value buckets (diagnostics; at most `len()`).
@@ -427,13 +444,23 @@ impl NaiveTable {
             self.counts[slot] = if self.len() == self.capacity { min } else { 0 };
             self.seqs[slot] = self.bump_seq();
         }
-        Some(Selection { row, count_above_min: above })
+        Some(Selection {
+            row,
+            count_above_min: above,
+        })
     }
 
     /// Iterates over `(row, count_above_min)` pairs.
     pub fn iter_relative(&self) -> impl Iterator<Item = (RowId, u64)> + '_ {
-        let min = if self.addrs.is_empty() { 0 } else { self.min_value() };
-        self.addrs.iter().zip(self.counts.iter()).map(move |(&a, &c)| (a, c - min))
+        let min = if self.addrs.is_empty() {
+            0
+        } else {
+            self.min_value()
+        };
+        self.addrs
+            .iter()
+            .zip(self.counts.iter())
+            .map(move |(&a, &c)| (a, c - min))
     }
 }
 
@@ -457,7 +484,7 @@ mod tests {
         // ① ACT 0xA0 → 10.
         t.on_activate(0xA0);
         assert_eq!(t.estimate_above_min(0xA0), 9); // 10 above min 1
-        // ② ACT 0xE0 → replaces 0xD0 (min 1) and becomes 2.
+                                                   // ② ACT 0xE0 → replaces 0xD0 (min 1) and becomes 2.
         t.on_activate(0xE0);
         assert!(!t.contains(0xD0));
         assert!(t.contains(0xE0));
@@ -572,7 +599,9 @@ mod tests {
         let mut naive = NaiveTable::new(4);
         let mut x = 99u64;
         for i in 0..20_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let row = (x >> 33) % 10;
             fast.on_activate(row);
             naive.on_activate(row);

@@ -53,7 +53,10 @@ struct Lcg(u64);
 
 impl Lcg {
     fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.0 >> 33
     }
 }
@@ -62,9 +65,12 @@ impl Lcg {
 /// capacities. Also checks per-step selections and estimates.
 #[test]
 fn random_stream_100k_identical_decisions() {
-    for &(cap, universe, rfm_every) in
-        &[(4usize, 10u64, 16u64), (16, 48, 32), (64, 256, 64), (128, 96, 24)]
-    {
+    for &(cap, universe, rfm_every) in &[
+        (4usize, 10u64, 16u64),
+        (16, 48, 32),
+        (64, 256, 64),
+        (128, 96, 24),
+    ] {
         let mut fast: MithrilTable<u16> = MithrilTable::new(cap);
         let mut naive = NaiveTable::new(cap);
         let mut rng = Lcg(0xC0FFEE ^ cap as u64);
@@ -84,7 +90,10 @@ fn random_stream_100k_identical_decisions() {
             }
             if step.is_multiple_of(97) {
                 let probe = rng.next() % universe;
-                assert_eq!(fast.estimate_above_min(probe), naive.estimate_above_min(probe));
+                assert_eq!(
+                    fast.estimate_above_min(probe),
+                    naive.estimate_above_min(probe)
+                );
                 assert_eq!(fast.spread(), naive.spread());
             }
             step += 1;

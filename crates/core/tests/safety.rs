@@ -36,7 +36,10 @@ fn run_attack(
 fn single_row_hammer_never_flips() {
     for (flip, rfm) in [(6_250u64, 128u64), (3_125, 64), (1_500, 32)] {
         let (max, flips) = run_attack(flip, rfm, None, false, |_| 1000, 1);
-        assert_eq!(flips, 0, "FlipTH {flip}: flipped with max disturbance {max}");
+        assert_eq!(
+            flips, 0,
+            "FlipTH {flip}: flipped with max disturbance {max}"
+        );
         assert!(max < flip, "FlipTH {flip}: max {max}");
     }
 }
@@ -84,9 +87,9 @@ fn adaptive_refresh_still_protects_under_attack() {
     // AdTH = 200 skips benign RFMs but must keep the Theorem-2 guarantee.
     for pattern in [0usize, 1, 2] {
         let f: Box<dyn Fn(u64) -> u64> = match pattern {
-            0 => Box::new(|_| 1000),                    // single row
-            1 => Box::new(|i| 999 + 2 * (i % 2)),       // double-sided
-            _ => Box::new(|i| 5_000 + 2 * (i % 32)),    // multi-sided
+            0 => Box::new(|_| 1000),                 // single row
+            1 => Box::new(|i| 999 + 2 * (i % 2)),    // double-sided
+            _ => Box::new(|i| 5_000 + 2 * (i % 32)), // multi-sided
         };
         let (max, flips) = run_attack(3_125, 64, Some(200), false, f, 1);
         assert_eq!(flips, 0, "pattern {pattern}: max {max}");

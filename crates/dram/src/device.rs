@@ -62,6 +62,10 @@ pub struct DramDevice {
 
 impl DramDevice {
     /// Builds a device; `engine_for` constructs the per-bank mitigation.
+    ///
+    /// A device always models exactly one channel: a multi-channel
+    /// [`Geometry`] is narrowed to its [`Geometry::channel_view`], and the
+    /// system layer (see `mithril-sim`) instantiates one device per channel.
     pub fn new(
         geometry: Geometry,
         timing: Ddr5Timing,
@@ -69,12 +73,15 @@ impl DramDevice {
         blast_radius: u64,
         engine_for: impl Fn(BankId) -> Box<dyn DramMitigation>,
     ) -> Self {
+        let geometry = geometry.channel_view();
         let n = geometry.banks_total();
         Self {
             geometry,
             timing,
             banks: (0..n).map(|_| Bank::new(timing)).collect(),
-            ranks: (0..geometry.ranks).map(|_| RankTiming::new(timing)).collect(),
+            ranks: (0..geometry.ranks)
+                .map(|_| RankTiming::new(timing))
+                .collect(),
             engines: (0..n).map(engine_for).collect(),
             oracles: (0..n)
                 .map(|_| RowHammerOracle::new(flip_th.max(1), blast_radius, geometry.rows_per_bank))
@@ -118,7 +125,11 @@ impl DramDevice {
 
     /// Worst victim disturbance across all banks (safety metric).
     pub fn max_disturbance(&self) -> u64 {
-        self.oracles.iter().map(|o| o.max_disturbance()).max().unwrap_or(0)
+        self.oracles
+            .iter()
+            .map(|o| o.max_disturbance())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total detected bit flips across banks.
@@ -150,14 +161,17 @@ impl DramDevice {
     /// Earliest time an ACT to `bank` may issue, at or after `now`.
     pub fn earliest_activate(&self, bank: BankId, now: TimePs) -> TimePs {
         let (rank, _) = self.geometry.split_bank(bank);
-        self.banks[bank].earliest_activate().max(self.ranks[rank].earliest_activate(now)).max(now)
+        self.banks[bank]
+            .earliest_activate()
+            .max(self.ranks[rank.0].earliest_activate(now))
+            .max(now)
     }
 
     /// True if an ACT to `bank` is legal at `now`.
     pub fn can_activate(&self, bank: BankId, now: TimePs) -> bool {
         self.banks[bank].can_activate(now) && {
             let (rank, _) = self.geometry.split_bank(bank);
-            self.ranks[rank].can_activate(now)
+            self.ranks[rank.0].can_activate(now)
         }
     }
 
@@ -169,7 +183,7 @@ impl DramDevice {
     pub fn issue_activate(&mut self, bank: BankId, row: RowId, now: TimePs) {
         let (rank, _) = self.geometry.split_bank(bank);
         self.banks[bank].issue_activate(row, now);
-        self.ranks[rank].record_activate(now);
+        self.ranks[rank.0].record_activate(now);
         self.engines[bank].on_activate(row);
         self.oracles[bank].on_activate(row);
         self.counters.acts += 1;
@@ -207,7 +221,8 @@ impl DramDevice {
 
     /// True if every bank of `rank` can start a REF at `now`.
     pub fn can_refresh_rank(&self, rank: RankId, now: TimePs) -> bool {
-        self.rank_banks(rank).all(|b| self.banks[b].can_refresh(now))
+        self.rank_banks(rank)
+            .all(|b| self.banks[b].can_refresh(now))
     }
 
     /// Issues an all-bank REF to `rank`: every bank refreshes its next row
@@ -233,7 +248,11 @@ impl DramDevice {
             self.oracles[b].on_rows_refreshed(lo, hi);
             self.engines[b].on_auto_refresh(lo, hi);
             self.counters.auto_refresh_rows += hi - lo;
-            self.ref_ptrs[b] = if hi >= self.geometry.rows_per_bank { 0 } else { hi };
+            self.ref_ptrs[b] = if hi >= self.geometry.rows_per_bank {
+                0
+            } else {
+                hi
+            };
             ranges.push((b, lo, hi));
         }
         self.stats.ref_commands += 1;
@@ -297,7 +316,7 @@ impl DramDevice {
 
     fn rank_banks(&self, rank: RankId) -> impl Iterator<Item = BankId> {
         let per = self.geometry.banks_per_rank;
-        (rank * per)..(rank * per + per)
+        (rank.0 * per)..(rank.0 * per + per)
     }
 }
 
@@ -358,8 +377,8 @@ mod tests {
         d.issue_precharge(0, t.tras);
         // First REF covers rows [0, rows_per_ref), clearing row 1.
         let now = t.trc + t.trp;
-        assert!(d.can_refresh_rank(0, now));
-        let (_, ranges) = d.issue_refresh_rank(0, now);
+        assert!(d.can_refresh_rank(crate::types::RankId(0), now));
+        let (_, ranges) = d.issue_refresh_rank(crate::types::RankId(0), now);
         assert_eq!(d.oracle(0).disturbance(1), 0);
         assert_eq!(ranges.len(), 32);
         assert_eq!(ranges[0], (0, 0, rows_per_ref));

@@ -138,7 +138,12 @@ mod tests {
     use super::*;
 
     fn counters(acts: u64) -> EnergyCounters {
-        EnergyCounters { acts, pres: acts, reads: acts * 4, ..Default::default() }
+        EnergyCounters {
+            acts,
+            pres: acts,
+            reads: acts * 4,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -160,7 +165,10 @@ mod tests {
     #[test]
     fn preventive_refresh_costs_a_row_cycle() {
         let m = EnergyModel::ddr5_default();
-        let c = EnergyCounters { preventive_rows: 1, ..Default::default() };
+        let c = EnergyCounters {
+            preventive_rows: 1,
+            ..Default::default()
+        };
         let e = m.dynamic_energy_pj(&c);
         assert!((e - m.refresh_row_fj / 1000.0).abs() < 1e-9);
     }

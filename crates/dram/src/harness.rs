@@ -250,7 +250,11 @@ mod tests {
         let w = t.rfm_intervals_per_trefw(64);
         let lo = (w - 2) * 64;
         let hi = w * 64 + 64;
-        assert!(acts >= lo && acts <= hi, "acts = {acts}, expected ~{}", w * 64);
+        assert!(
+            acts >= lo && acts <= hi,
+            "acts = {acts}, expected ~{}",
+            w * 64
+        );
     }
 
     #[test]
@@ -319,7 +323,10 @@ mod tests {
     #[test]
     fn single_row_hammer_vs_one_entry_tracker_is_bounded() {
         let t = Ddr5Timing::ddr5_4800();
-        let engine = OneEntry { row: None, count: 0 };
+        let engine = OneEntry {
+            row: None,
+            count: 0,
+        };
         let mut h = AttackHarness::new(t, Box::new(engine), 64, u64::MAX);
         while h.try_activate(1000) {}
         // Disturbance on rows 999/1001 is reset every RFM: bounded by ~64.

@@ -50,4 +50,4 @@ pub use mitigation::{DramMitigation, NoMitigation, RfmOutcome};
 pub use oracle::{FlipEvent, RowHammerOracle};
 pub use rank::RankTiming;
 pub use timing::{Ddr5Timing, PS_PER_MS, PS_PER_NS, PS_PER_US};
-pub use types::{BankId, Geometry, RankId, RowId, TimePs};
+pub use types::{BankId, ChannelId, Geometry, RankId, RowId, TimePs};

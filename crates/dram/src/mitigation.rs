@@ -23,12 +23,20 @@ pub struct RfmOutcome {
 impl RfmOutcome {
     /// An outcome representing a deliberately skipped RFM window.
     pub fn skipped() -> Self {
-        Self { refreshed_victims: Vec::new(), selected_aggressor: None, skipped: true }
+        Self {
+            refreshed_victims: Vec::new(),
+            selected_aggressor: None,
+            skipped: true,
+        }
     }
 
     /// An outcome refreshing the victims of `aggressor`.
     pub fn refresh(aggressor: RowId, victims: Vec<RowId>) -> Self {
-        Self { refreshed_victims: victims, selected_aggressor: Some(aggressor), skipped: false }
+        Self {
+            refreshed_victims: victims,
+            selected_aggressor: Some(aggressor),
+            skipped: false,
+        }
     }
 
     /// Resets this outcome to "skipped" **without freeing** the victim

@@ -96,7 +96,11 @@ impl RowHammerOracle {
                 self.max_observed = *d;
             }
             if *d == self.flip_threshold {
-                self.flips.push(FlipEvent { victim, aggressor, disturbance: *d });
+                self.flips.push(FlipEvent {
+                    victim,
+                    aggressor,
+                    disturbance: *d,
+                });
             }
         }
     }
@@ -268,7 +272,7 @@ mod tests {
         assert!(o.flips().is_empty());
         o.on_activate(7);
         assert_eq!(o.flips().len(), 2); // rows 6 and 8
-        // Further ACTs do not duplicate the flip event.
+                                        // Further ACTs do not duplicate the flip event.
         o.on_activate(7);
         assert_eq!(o.flips().len(), 2);
     }

@@ -40,7 +40,12 @@ pub struct RankTiming {
 impl RankTiming {
     /// Creates an idle rank timing tracker.
     pub fn new(timing: Ddr5Timing) -> Self {
-        Self { timing, recent_acts: VecDeque::with_capacity(4), last_act: None, total_acts: 0 }
+        Self {
+            timing,
+            recent_acts: VecDeque::with_capacity(4),
+            last_act: None,
+            total_acts: 0,
+        }
     }
 
     /// The earliest time at or after `now` an ACT may issue on this rank.
@@ -67,7 +72,10 @@ impl RankTiming {
     ///
     /// Panics (debug builds) if the ACT violates tRRD/tFAW.
     pub fn record_activate(&mut self, now: TimePs) {
-        debug_assert!(self.can_activate(now), "rank ACT at {now} violates tRRD/tFAW");
+        debug_assert!(
+            self.can_activate(now),
+            "rank ACT at {now} violates tRRD/tFAW"
+        );
         if self.recent_acts.len() == 4 {
             self.recent_acts.pop_front();
         }

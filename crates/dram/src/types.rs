@@ -10,17 +10,54 @@ pub type TimePs = u64;
 /// A DRAM row index within one bank.
 pub type RowId = u64;
 
-/// A rank index within a channel.
-pub type RankId = usize;
+/// A memory-channel index at the system level.
+///
+/// Channels are fully independent command/data paths: each owns one memory
+/// controller and one [`struct@crate::DramDevice`]. The newtype keeps
+/// channel indices from being confused with rank or bank indices at API
+/// boundaries; unwrap with `.0` where a flat index is needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ChannelId(pub usize);
+
+impl std::fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// A rank index within one channel.
+///
+/// Ranks share the channel's command/data bus but have independent
+/// tFAW/tRRD activation windows and are refreshed as a unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RankId(pub usize);
+
+impl std::fmt::Display for RankId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rk{}", self.0)
+    }
+}
 
 /// A flat bank index within a channel (`rank * banks_per_rank + bank`).
+///
+/// This stays a plain `usize` deliberately: it is the hot index of the
+/// per-activation path (bank queues, engines, oracles are all `Vec`s
+/// indexed by it), and the flat form avoids a divide on every lookup.
 pub type BankId = usize;
 
-/// Physical organization of one memory channel.
+/// Physical organization of a memory subsystem: channels × ranks × banks.
 ///
-/// Defaults follow the paper's Table III system: 1 rank of 32 banks per
-/// channel (DDR5, 2 channels at the system level) and 64K rows of 8 KB per
-/// bank.
+/// A `Geometry` describes the whole hierarchy the simulator composes:
+/// `channels` independent channels, each with `ranks` ranks of
+/// `banks_per_rank` banks. Per-channel components (devices, controllers)
+/// operate on the [`Geometry::channel_view`], which is the same geometry
+/// restricted to one channel.
+///
+/// Defaults follow the paper's Table III *per channel*: 1 rank of 32 banks
+/// and 64K rows of 8 KB per bank, with a single channel so that
+/// channel-oblivious uses (harnesses, per-bank experiments) see exactly the
+/// classic layout. The Table III *system* is two of these channels — see
+/// [`Geometry::table_iii_system`].
 ///
 /// # Example
 ///
@@ -28,14 +65,21 @@ pub type BankId = usize;
 /// use mithril_dram::Geometry;
 ///
 /// let g = Geometry::default();
+/// assert_eq!(g.channels, 1);
 /// assert_eq!(g.banks_total(), 32);
 /// assert_eq!(g.rows_per_bank, 65_536);
 /// // 8 KB rows and 64 B cache lines: 128 column bursts per row.
 /// assert_eq!(g.row_bytes / g.line_bytes, 128);
+///
+/// let sys = Geometry::table_iii_system();
+/// assert_eq!(sys.channels, 2);
+/// assert_eq!(sys.banks_system_total(), 64);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Geometry {
-    /// Ranks on the channel.
+    /// Independent memory channels at the system level.
+    pub channels: usize,
+    /// Ranks per channel.
     pub ranks: usize,
     /// Banks per rank.
     pub banks_per_rank: usize,
@@ -48,9 +92,52 @@ pub struct Geometry {
 }
 
 impl Geometry {
-    /// Total banks on the channel.
+    /// The paper's Table III system geometry: 2 channels × 1 rank × 32
+    /// banks of 64K × 8 KB rows.
+    pub fn table_iii_system() -> Self {
+        Self {
+            channels: 2,
+            ..Self::default()
+        }
+    }
+
+    /// This geometry with a different channel count.
+    pub fn with_channels(self, channels: usize) -> Self {
+        Self { channels, ..self }
+    }
+
+    /// This geometry with a different rank count.
+    pub fn with_ranks(self, ranks: usize) -> Self {
+        Self { ranks, ..self }
+    }
+
+    /// Total banks on one channel.
     pub fn banks_total(&self) -> usize {
         self.ranks * self.banks_per_rank
+    }
+
+    /// Total banks across every channel of the system.
+    pub fn banks_system_total(&self) -> usize {
+        self.channels * self.banks_total()
+    }
+
+    /// The single-channel view of this geometry, as seen by one memory
+    /// controller and its DRAM device.
+    pub fn channel_view(&self) -> Geometry {
+        Geometry {
+            channels: 1,
+            ..*self
+        }
+    }
+
+    /// Iterates over the system's channel ids.
+    pub fn channel_ids(&self) -> impl Iterator<Item = ChannelId> {
+        (0..self.channels).map(ChannelId)
+    }
+
+    /// Iterates over one channel's rank ids.
+    pub fn rank_ids(&self) -> impl Iterator<Item = RankId> {
+        (0..self.ranks).map(RankId)
     }
 
     /// Cache lines (column bursts) per row.
@@ -67,16 +154,34 @@ impl Geometry {
     ///
     /// # Panics
     ///
-    /// Panics if `bank` is out of range.
+    /// Panics if `bank` is out of range for one channel.
     pub fn split_bank(&self, bank: BankId) -> (RankId, usize) {
         assert!(bank < self.banks_total(), "bank {bank} out of range");
-        (bank / self.banks_per_rank, bank % self.banks_per_rank)
+        (
+            RankId(bank / self.banks_per_rank),
+            bank % self.banks_per_rank,
+        )
+    }
+
+    /// The flat bank id of `(rank, bank-within-rank)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is out of range.
+    pub fn bank_of(&self, rank: RankId, bank_in_rank: usize) -> BankId {
+        assert!(rank.0 < self.ranks, "rank {rank} out of range");
+        assert!(
+            bank_in_rank < self.banks_per_rank,
+            "bank {bank_in_rank} out of range"
+        );
+        rank.0 * self.banks_per_rank + bank_in_rank
     }
 }
 
 impl Default for Geometry {
     fn default() -> Self {
         Self {
+            channels: 1,
             ranks: 1,
             banks_per_rank: 32,
             rows_per_bank: 65_536,
@@ -91,28 +196,63 @@ mod tests {
     use super::*;
 
     #[test]
-    fn default_matches_table_iii() {
+    fn default_matches_table_iii_channel() {
         let g = Geometry::default();
+        assert_eq!(g.channels, 1);
         assert_eq!(g.ranks, 1);
         assert_eq!(g.banks_per_rank, 32);
         assert_eq!(g.banks_total(), 32);
     }
 
     #[test]
+    fn table_iii_system_has_two_channels() {
+        let g = Geometry::table_iii_system();
+        assert_eq!(g.channels, 2);
+        assert_eq!(g.banks_total(), 32);
+        assert_eq!(g.banks_system_total(), 64);
+        assert_eq!(g.channel_view(), Geometry::default());
+    }
+
+    #[test]
+    fn builders_override_hierarchy_counts() {
+        let g = Geometry::default().with_channels(4).with_ranks(2);
+        assert_eq!(g.channels, 4);
+        assert_eq!(g.ranks, 2);
+        assert_eq!(g.banks_total(), 64);
+        assert_eq!(g.banks_system_total(), 256);
+        assert_eq!(g.channel_ids().count(), 4);
+        assert_eq!(g.rank_ids().count(), 2);
+    }
+
+    #[test]
     fn row_bits_for_power_of_two() {
-        let g = Geometry { rows_per_bank: 65_536, ..Geometry::default() };
+        let g = Geometry {
+            rows_per_bank: 65_536,
+            ..Geometry::default()
+        };
         assert_eq!(g.row_bits(), 16);
-        let g = Geometry { rows_per_bank: 131_072, ..Geometry::default() };
+        let g = Geometry {
+            rows_per_bank: 131_072,
+            ..Geometry::default()
+        };
         assert_eq!(g.row_bits(), 17);
     }
 
     #[test]
     fn split_bank_round_trips() {
-        let g = Geometry { ranks: 2, banks_per_rank: 16, ..Geometry::default() };
-        assert_eq!(g.split_bank(0), (0, 0));
-        assert_eq!(g.split_bank(15), (0, 15));
-        assert_eq!(g.split_bank(16), (1, 0));
-        assert_eq!(g.split_bank(31), (1, 15));
+        let g = Geometry {
+            ranks: 2,
+            banks_per_rank: 16,
+            ..Geometry::default()
+        };
+        assert_eq!(g.split_bank(0), (RankId(0), 0));
+        assert_eq!(g.split_bank(15), (RankId(0), 15));
+        assert_eq!(g.split_bank(16), (RankId(1), 0));
+        assert_eq!(g.split_bank(31), (RankId(1), 15));
+        for bank in 0..g.banks_total() {
+            let (rank, within) = g.split_bank(bank);
+            assert_eq!(g.bank_of(rank, within), bank);
+        }
     }
 
     #[test]
@@ -125,5 +265,11 @@ mod tests {
     #[test]
     fn lines_per_row_default() {
         assert_eq!(Geometry::default().lines_per_row(), 128);
+    }
+
+    #[test]
+    fn ids_display_compactly() {
+        assert_eq!(ChannelId(3).to_string(), "ch3");
+        assert_eq!(RankId(1).to_string(), "rk1");
     }
 }

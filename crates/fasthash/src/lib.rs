@@ -161,7 +161,10 @@ impl MultiplyShiftHasher {
         // Derive an odd multiplier from the seed with a splitmix64 round so
         // that consecutive seeds give unrelated hash functions.
         let multiplier = splitmix64(seed) | 1;
-        Self { multiplier, out_bits }
+        Self {
+            multiplier,
+            out_bits,
+        }
     }
 
     /// Hashes `key` into `[0, 2^out_bits)`.
@@ -231,7 +234,10 @@ mod tests {
         let a = MultiplyShiftHasher::new(1, 16);
         let b = MultiplyShiftHasher::new(2, 16);
         let differing = (0..1000u64).filter(|&k| a.bucket(k) != b.bucket(k)).count();
-        assert!(differing > 900, "seeds should give mostly different buckets");
+        assert!(
+            differing > 900,
+            "seeds should give mostly different buckets"
+        );
     }
 
     #[test]

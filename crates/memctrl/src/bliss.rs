@@ -23,7 +23,11 @@ pub struct BlissConfig {
 
 impl Default for BlissConfig {
     fn default() -> Self {
-        Self { streak_threshold: 4, clearing_interval: 2_800_000, threads: 16 }
+        Self {
+            streak_threshold: 4,
+            clearing_interval: 2_800_000,
+            threads: 16,
+        }
     }
 }
 
@@ -101,7 +105,10 @@ mod tests {
     use super::*;
 
     fn bliss() -> Bliss {
-        Bliss::new(BlissConfig { threads: 4, ..Default::default() })
+        Bliss::new(BlissConfig {
+            threads: 4,
+            ..Default::default()
+        })
     }
 
     #[test]

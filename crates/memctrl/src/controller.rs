@@ -10,7 +10,7 @@
 
 use std::collections::VecDeque;
 
-use mithril_dram::{BankId, DramDevice, RowId, TimePs};
+use mithril_dram::{BankId, DramDevice, RankId, RowId, TimePs};
 
 use crate::bliss::{Bliss, BlissConfig};
 use crate::mitigation::{McAction, McMitigation};
@@ -77,7 +77,8 @@ pub struct McStats {
     pub total_read_latency: TimePs,
     /// ACT commands issued.
     pub acts: u64,
-    /// Column commands that hit an open row.
+    /// Column commands that reused an already-open row (i.e. columns
+    /// beyond the first one served by each activation).
     pub row_hits: u64,
     /// Rank REF commands issued.
     pub refs: u64,
@@ -103,7 +104,10 @@ impl McStats {
         }
     }
 
-    /// Row-buffer hit rate over column commands.
+    /// Row-buffer hit rate: the fraction of column commands that reused
+    /// an open row instead of paying for the activation that opened it.
+    /// 0.0 = every column needed its own ACT (no locality); values near
+    /// 1.0 mean long same-row bursts.
     pub fn row_hit_rate(&self) -> f64 {
         let cols = self.reads_done + self.writes_done;
         if cols == 0 {
@@ -125,13 +129,30 @@ struct BankQueue {
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Action {
-    Ref { rank: usize },
-    MaintPre { bank: BankId },
-    Rfm { bank: BankId },
-    Arr { bank: BankId },
-    Column { bank: BankId, pos: usize },
-    Pre { bank: BankId },
-    Act { bank: BankId, pos: usize, throttled: bool },
+    Ref {
+        rank: RankId,
+    },
+    MaintPre {
+        bank: BankId,
+    },
+    Rfm {
+        bank: BankId,
+    },
+    Arr {
+        bank: BankId,
+    },
+    Column {
+        bank: BankId,
+        pos: usize,
+    },
+    Pre {
+        bank: BankId,
+    },
+    Act {
+        bank: BankId,
+        pos: usize,
+        throttled: bool,
+    },
 }
 
 impl Action {
@@ -167,11 +188,7 @@ pub struct MemoryController {
 impl MemoryController {
     /// Creates a controller over `device` with the given MC-side
     /// mitigation (use [`crate::NoMcMitigation`] for DRAM-side schemes).
-    pub fn new(
-        device: DramDevice,
-        config: McConfig,
-        mitigation: Box<dyn McMitigation>,
-    ) -> Self {
+    pub fn new(device: DramDevice, config: McConfig, mitigation: Box<dyn McMitigation>) -> Self {
         let nbanks = device.geometry().banks_total();
         let nranks = device.geometry().ranks;
         let trefi = device.timing().trefi;
@@ -182,7 +199,9 @@ impl MemoryController {
             bliss: config.bliss.map(Bliss::new),
             banks: (0..nbanks).map(|_| BankQueue::default()).collect(),
             // Stagger rank refreshes to avoid lock-step tRFC stalls.
-            next_ref: (0..nranks).map(|r| trefi + (r as TimePs) * (trefi / nranks.max(1) as TimePs)).collect(),
+            next_ref: (0..nranks)
+                .map(|r| trefi + (r as TimePs) * (trefi / nranks.max(1) as TimePs))
+                .collect(),
             bus_free: 0,
             clock: 0,
             stats: McStats::default(),
@@ -196,7 +215,11 @@ impl MemoryController {
     ///
     /// Panics if the request's bank is out of range.
     pub fn enqueue(&mut self, req: MemRequest) {
-        assert!(req.addr.bank < self.banks.len(), "bank {} out of range", req.addr.bank);
+        assert!(
+            req.addr.bank < self.banks.len(),
+            "bank {} out of range",
+            req.addr.bank
+        );
         self.banks[req.addr.bank].queue.push_back(req);
     }
 
@@ -283,11 +306,11 @@ impl MemoryController {
         let timing = *self.device.timing();
         let geometry = *self.device.geometry();
 
-        for rank in 0..geometry.ranks {
-            let due = self.next_ref[rank];
+        for rank in geometry.rank_ids() {
+            let due = self.next_ref[rank.0];
             if self.clock >= due {
                 // Refresh overdue: close rows, then REF.
-                let lo = rank * geometry.banks_per_rank;
+                let lo = rank.0 * geometry.banks_per_rank;
                 let hi = lo + geometry.banks_per_rank;
                 let mut all_ready = true;
                 let mut ready_at = self.clock.max(due);
@@ -295,7 +318,10 @@ impl MemoryController {
                     let bank = self.device.bank(b);
                     if bank.open_row().is_some() {
                         all_ready = false;
-                        consider(self.clock.max(bank.earliest_precharge()), Action::MaintPre { bank: b });
+                        consider(
+                            self.clock.max(bank.earliest_precharge()),
+                            Action::MaintPre { bank: b },
+                        );
                     } else {
                         ready_at = ready_at.max(bank.earliest_activate());
                     }
@@ -310,7 +336,7 @@ impl MemoryController {
             // waiting for external events when queues are empty).
             consider(due, Action::Ref { rank });
 
-            for b in (rank * geometry.banks_per_rank)..((rank + 1) * geometry.banks_per_rank) {
+            for b in (rank.0 * geometry.banks_per_rank)..((rank.0 + 1) * geometry.banks_per_rank) {
                 self.bank_candidates(b, &timing, &mut consider);
             }
         }
@@ -335,12 +361,18 @@ impl MemoryController {
                     // are serviceable we close the row.
                     if let Some(pos) = self.best_hit(bq, open.unwrap()) {
                         if bq.hits_served < self.config.max_row_hits {
-                            consider(self.column_time(bank, timing), Action::Column { bank: b, pos });
+                            consider(
+                                self.column_time(bank, timing),
+                                Action::Column { bank: b, pos },
+                            );
                             return;
                         }
                         let _ = pos;
                     }
-                    consider(self.clock.max(bank.earliest_precharge()), Action::MaintPre { bank: b });
+                    consider(
+                        self.clock.max(bank.earliest_precharge()),
+                        Action::MaintPre { bank: b },
+                    );
                 }
                 None => {
                     let t = self.clock.max(bank.earliest_activate());
@@ -358,17 +390,30 @@ impl MemoryController {
             Some(row) => {
                 if bq.hits_served < self.config.max_row_hits {
                     if let Some(pos) = self.best_hit(bq, row) {
-                        consider(self.column_time(bank, timing), Action::Column { bank: b, pos });
+                        consider(
+                            self.column_time(bank, timing),
+                            Action::Column { bank: b, pos },
+                        );
                         return;
                     }
                 }
                 // Minimalist-open: no serviceable hit (or hit budget spent):
                 // close the row.
-                consider(self.clock.max(bank.earliest_precharge()), Action::Pre { bank: b });
+                consider(
+                    self.clock.max(bank.earliest_precharge()),
+                    Action::Pre { bank: b },
+                );
             }
             None => {
                 if let Some((pos, t, throttled)) = self.best_activation(b, bq) {
-                    consider(t, Action::Act { bank: b, pos, throttled });
+                    consider(
+                        t,
+                        Action::Act {
+                            bank: b,
+                            pos,
+                            throttled,
+                        },
+                    );
                 }
             }
         }
@@ -395,9 +440,16 @@ impl MemoryController {
         let mut best: Option<(TimePs, bool, TimePs, usize, bool)> = None;
         for (i, req) in bq.queue.iter().enumerate() {
             let release =
-                self.mitigation.activate_allowed_at(b, req.addr.row, req.thread, self.clock);
+                self.mitigation
+                    .activate_allowed_at(b, req.addr.row, req.thread, self.clock);
             let t = base.max(release);
-            let key = (t, self.is_blacklisted(req.thread), req.arrival, i, release > base);
+            let key = (
+                t,
+                self.is_blacklisted(req.thread),
+                req.arrival,
+                i,
+                release > base,
+            );
             if best.is_none_or(|b| (key.0, key.1, key.2, key.3) < (b.0, b.1, b.2, b.3)) {
                 best = Some(key);
             }
@@ -406,7 +458,9 @@ impl MemoryController {
     }
 
     fn is_blacklisted(&self, thread: usize) -> bool {
-        self.bliss.as_ref().is_some_and(|b| b.is_blacklisted(thread))
+        self.bliss
+            .as_ref()
+            .is_some_and(|b| b.is_blacklisted(thread))
     }
 
     /// Earliest time a column command may issue on `bank`, considering the
@@ -431,7 +485,7 @@ impl MemoryController {
                 for (bank, lo, hi) in ranges {
                     self.mitigation.on_auto_refresh(bank, lo, hi);
                 }
-                self.next_ref[rank] += self.device.timing().trefi;
+                self.next_ref[rank.0] += self.device.timing().trefi;
                 self.stats.refs += 1;
             }
             Action::MaintPre { bank } | Action::Pre { bank } => {
@@ -463,7 +517,10 @@ impl MemoryController {
                 self.stats.arrs += 1;
             }
             Action::Column { bank, pos } => {
-                let req = self.banks[bank].queue.remove(pos).expect("valid queue position");
+                let req = self.banks[bank]
+                    .queue
+                    .remove(pos)
+                    .expect("valid queue position");
                 let done = if req.is_write {
                     self.stats.writes_done += 1;
                     self.device.issue_write(bank, req.addr.row, now)
@@ -471,7 +528,12 @@ impl MemoryController {
                     self.stats.reads_done += 1;
                     self.device.issue_read(bank, req.addr.row, now)
                 };
-                self.stats.row_hits += 1;
+                // Only columns beyond the first per activation are
+                // row-buffer *reuse*; counting the ACT's own column would
+                // pin the hit rate at 1.0.
+                if self.banks[bank].hits_served > 0 {
+                    self.stats.row_hits += 1;
+                }
                 self.banks[bank].hits_served += 1;
                 let timing = self.device.timing();
                 self.bus_free = now + timing.tcl + timing.tbl;
@@ -488,7 +550,11 @@ impl MemoryController {
                     is_write: req.is_write,
                 });
             }
-            Action::Act { bank, pos, throttled } => {
+            Action::Act {
+                bank,
+                pos,
+                throttled,
+            } => {
                 let req = self.banks[bank].queue[pos];
                 self.device.issue_activate(bank, req.addr.row, now);
                 self.stats.acts += 1;
@@ -502,9 +568,15 @@ impl MemoryController {
                         self.banks[bank].rfm_pending = true;
                     }
                 }
-                match self.mitigation.on_activate(bank, req.addr.row, req.thread, now) {
+                match self
+                    .mitigation
+                    .on_activate(bank, req.addr.row, req.thread, now)
+                {
                     McAction::None => {}
-                    McAction::Arr { bank: target, victims } => {
+                    McAction::Arr {
+                        bank: target,
+                        victims,
+                    } => {
                         self.banks[target].arr_queue.push_back(victims);
                     }
                 }
@@ -535,7 +607,10 @@ mod tests {
         let device = DramDevice::new(geometry, Ddr5Timing::ddr5_4800(), 100_000, 1, |_| {
             Box::new(NoMitigation)
         });
-        (MemoryController::new(device, config, Box::new(NoMcMitigation)), AddressMapping::new(geometry))
+        (
+            MemoryController::new(device, config, Box::new(NoMcMitigation)),
+            AddressMapping::new(geometry),
+        )
     }
 
     #[test]
@@ -553,8 +628,18 @@ mod tests {
     fn row_hits_are_serviced_back_to_back() {
         let (mut mc, _) = controller(McConfig::default());
         // Two lines in the same row, same bank: second is a row hit.
-        let a = crate::mapping::MappedAddr { bank: 0, row: 10, col: 0 };
-        let b = crate::mapping::MappedAddr { bank: 0, row: 10, col: 1 };
+        let a = crate::mapping::MappedAddr {
+            channel: mithril_dram::ChannelId(0),
+            bank: 0,
+            row: 10,
+            col: 0,
+        };
+        let b = crate::mapping::MappedAddr {
+            channel: mithril_dram::ChannelId(0),
+            bank: 0,
+            row: 10,
+            col: 1,
+        };
         mc.enqueue(MemRequest::read(1, a, 0, 0));
         mc.enqueue(MemRequest::read(2, b, 0, 0));
         let done = mc.advance_until(PS_PER_US);
@@ -566,7 +651,12 @@ mod tests {
     fn minimalist_open_caps_row_hits() {
         let (mut mc, _) = controller(McConfig::default());
         for i in 0..6u64 {
-            let addr = crate::mapping::MappedAddr { bank: 0, row: 10, col: i };
+            let addr = crate::mapping::MappedAddr {
+                channel: mithril_dram::ChannelId(0),
+                bank: 0,
+                row: 10,
+                col: i,
+            };
             mc.enqueue(MemRequest::read(i, addr, 0, 0));
         }
         let done = mc.advance_until(10 * PS_PER_US);
@@ -578,8 +668,18 @@ mod tests {
     #[test]
     fn different_rows_conflict_in_bank() {
         let (mut mc, _) = controller(McConfig::default());
-        let a = crate::mapping::MappedAddr { bank: 0, row: 10, col: 0 };
-        let b = crate::mapping::MappedAddr { bank: 0, row: 20, col: 0 };
+        let a = crate::mapping::MappedAddr {
+            channel: mithril_dram::ChannelId(0),
+            bank: 0,
+            row: 10,
+            col: 0,
+        };
+        let b = crate::mapping::MappedAddr {
+            channel: mithril_dram::ChannelId(0),
+            bank: 0,
+            row: 20,
+            col: 0,
+        };
         mc.enqueue(MemRequest::read(1, a, 0, 0));
         mc.enqueue(MemRequest::read(2, b, 0, 0));
         let done = mc.advance_until(PS_PER_US);
@@ -599,11 +699,20 @@ mod tests {
 
     #[test]
     fn rfm_issued_every_rfmth_acts() {
-        let cfg = McConfig { rfm_mode: RfmMode::Standard, rfm_th: 4, ..Default::default() };
+        let cfg = McConfig {
+            rfm_mode: RfmMode::Standard,
+            rfm_th: 4,
+            ..Default::default()
+        };
         let (mut mc, _) = controller(cfg);
         // 8 activations to bank 0 (different rows → all ACTs).
         for i in 0..8u64 {
-            let addr = crate::mapping::MappedAddr { bank: 0, row: 10 + i, col: 0 };
+            let addr = crate::mapping::MappedAddr {
+                channel: mithril_dram::ChannelId(0),
+                bank: 0,
+                row: 10 + i,
+                col: 0,
+            };
             mc.enqueue(MemRequest::read(i, addr, 0, 0));
         }
         let done = mc.advance_until(PS_PER_MS);
@@ -615,10 +724,19 @@ mod tests {
     #[test]
     fn mrr_elision_skips_rfm_for_idle_engine() {
         // NoMitigation reports refresh_pending() = false → every RFM elided.
-        let cfg = McConfig { rfm_mode: RfmMode::MrrElision, rfm_th: 4, ..Default::default() };
+        let cfg = McConfig {
+            rfm_mode: RfmMode::MrrElision,
+            rfm_th: 4,
+            ..Default::default()
+        };
         let (mut mc, _) = controller(cfg);
         for i in 0..8u64 {
-            let addr = crate::mapping::MappedAddr { bank: 0, row: 10 + i, col: 0 };
+            let addr = crate::mapping::MappedAddr {
+                channel: mithril_dram::ChannelId(0),
+                bank: 0,
+                row: 10 + i,
+                col: 0,
+            };
             mc.enqueue(MemRequest::read(i, addr, 0, 0));
         }
         mc.advance_until(PS_PER_MS);
@@ -639,7 +757,10 @@ mod tests {
                 _thread: usize,
                 _now: TimePs,
             ) -> McAction {
-                McAction::Arr { bank, victims: vec![row.saturating_sub(1), row + 1] }
+                McAction::Arr {
+                    bank,
+                    victims: vec![row.saturating_sub(1), row + 1],
+                }
             }
             fn name(&self) -> &'static str {
                 "arr-every"
@@ -650,7 +771,12 @@ mod tests {
             Box::new(NoMitigation)
         });
         let mut mc = MemoryController::new(device, McConfig::default(), Box::new(ArrEvery));
-        let addr = crate::mapping::MappedAddr { bank: 3, row: 100, col: 0 };
+        let addr = crate::mapping::MappedAddr {
+            channel: mithril_dram::ChannelId(0),
+            bank: 3,
+            row: 100,
+            col: 0,
+        };
         mc.enqueue(MemRequest::read(1, addr, 0, 0));
         mc.advance_until(PS_PER_US);
         assert_eq!(mc.stats().arrs, 1);
@@ -696,8 +822,18 @@ mod tests {
             Box::new(NoMitigation)
         });
         let mut mc = MemoryController::new(device, McConfig::default(), Box::new(DelayThread0));
-        let a = crate::mapping::MappedAddr { bank: 0, row: 1, col: 0 };
-        let b = crate::mapping::MappedAddr { bank: 1, row: 2, col: 0 };
+        let a = crate::mapping::MappedAddr {
+            channel: mithril_dram::ChannelId(0),
+            bank: 0,
+            row: 1,
+            col: 0,
+        };
+        let b = crate::mapping::MappedAddr {
+            channel: mithril_dram::ChannelId(0),
+            bank: 1,
+            row: 2,
+            col: 0,
+        };
         mc.enqueue(MemRequest::read(1, a, 0, 0));
         mc.enqueue(MemRequest::read(2, b, 1, 0));
         let done = mc.advance_until(10 * PS_PER_US);
@@ -715,21 +851,39 @@ mod tests {
         // Thread 0 floods bank 0 with row hits; thread 1 queues one
         // request behind them on the same bank, different row.
         for i in 0..4u64 {
-            let addr = crate::mapping::MappedAddr { bank: 0, row: 10, col: i };
+            let addr = crate::mapping::MappedAddr {
+                channel: mithril_dram::ChannelId(0),
+                bank: 0,
+                row: 10,
+                col: i,
+            };
             mc.enqueue(MemRequest::read(i, addr, 0, 0));
         }
         for i in 0..4u64 {
-            let addr = crate::mapping::MappedAddr { bank: 0, row: 10, col: 4 + i };
+            let addr = crate::mapping::MappedAddr {
+                channel: mithril_dram::ChannelId(0),
+                bank: 0,
+                row: 10,
+                col: 4 + i,
+            };
             mc.enqueue(MemRequest::read(100 + i, addr, 0, 0));
         }
-        let addr1 = crate::mapping::MappedAddr { bank: 0, row: 20, col: 0 };
+        let addr1 = crate::mapping::MappedAddr {
+            channel: mithril_dram::ChannelId(0),
+            bank: 0,
+            row: 20,
+            col: 0,
+        };
         mc.enqueue(MemRequest::read(999, addr1, 1, 0));
         let done = mc.advance_until(PS_PER_MS);
         assert_eq!(done.len(), 9);
         // After 4 consecutive services, thread 0 is blacklisted and thread
         // 1's row-miss request wins the next activation.
         let pos_t1 = done.iter().position(|c| c.request_id == 999).unwrap();
-        assert!(pos_t1 < 8, "blacklisted stream must not starve thread 1 (pos {pos_t1})");
+        assert!(
+            pos_t1 < 8,
+            "blacklisted stream must not starve thread 1 (pos {pos_t1})"
+        );
     }
 
     #[test]

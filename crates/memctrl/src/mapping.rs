@@ -1,16 +1,23 @@
-//! Physical-address interleaving across banks, rows and columns.
+//! Physical-address interleaving across channels, banks, rows and columns.
 //!
 //! The mapping follows the usual high-performance layout: consecutive cache
-//! lines stripe across banks (bank bits above the column bits, XOR-hashed
-//! with low row bits to break power-of-two conflict patterns), so streaming
-//! workloads exploit bank-level parallelism while a row's lines stay in one
-//! row buffer.
+//! lines stripe across channels first (channel bits at the very bottom of
+//! the line address, XOR-hashed with low row bits), then across banks (bank
+//! bits above the channel bits, likewise XOR-hashed to break power-of-two
+//! conflict patterns). Streaming workloads therefore exploit channel- and
+//! bank-level parallelism while a row's lines stay in one row buffer.
+//!
+//! With a single-channel [`Geometry`] the channel field is constant zero
+//! and the layout reduces bit-for-bit to the classic bank | column | row
+//! interleaving.
 
-use mithril_dram::{BankId, Geometry, RowId};
+use mithril_dram::{BankId, ChannelId, Geometry, RowId};
 
 /// A request's DRAM coordinates after interleaving.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MappedAddr {
+    /// The memory channel servicing the line.
+    pub channel: ChannelId,
     /// Flat bank index within the channel.
     pub bank: BankId,
     /// Row within the bank.
@@ -19,7 +26,8 @@ pub struct MappedAddr {
     pub col: u64,
 }
 
-/// Line-address → (bank, row, column) interleaving for one channel.
+/// Line-address → (channel, bank, row, column) interleaving for a whole
+/// memory subsystem.
 ///
 /// # Example
 ///
@@ -27,16 +35,18 @@ pub struct MappedAddr {
 /// use mithril_dram::Geometry;
 /// use mithril_memctrl::AddressMapping;
 ///
-/// let m = AddressMapping::new(Geometry::default());
+/// let m = AddressMapping::new(Geometry::table_iii_system());
 /// let a = m.map_line(0);
-/// let b = m.map_line(1); // next line: same row, different bank
-/// assert_ne!(a.bank, b.bank);
-/// // Lines map deterministically.
+/// let b = m.map_line(1); // next line: the other channel
+/// assert_ne!(a.channel, b.channel);
+/// // Lines map deterministically and invert exactly.
 /// assert_eq!(m.map_line(12345), m.map_line(12345));
+/// assert_eq!(m.line_for(m.map_line(12345)), 12345);
 /// ```
 #[derive(Debug, Clone, Copy)]
 pub struct AddressMapping {
     geometry: Geometry,
+    channel_bits: u32,
     bank_bits: u32,
     col_bits: u32,
 }
@@ -46,14 +56,24 @@ impl AddressMapping {
     ///
     /// # Panics
     ///
-    /// Panics if the bank count or lines-per-row is not a power of two.
+    /// Panics if the channel count, per-channel bank count or
+    /// lines-per-row is not a power of two.
     pub fn new(geometry: Geometry) -> Self {
+        let channels = geometry.channels;
+        assert!(
+            channels.is_power_of_two(),
+            "channel count must be a power of two"
+        );
         let banks = geometry.banks_total();
         assert!(banks.is_power_of_two(), "bank count must be a power of two");
         let lines = geometry.lines_per_row();
-        assert!(lines.is_power_of_two(), "lines per row must be a power of two");
+        assert!(
+            lines.is_power_of_two(),
+            "lines per row must be a power of two"
+        );
         Self {
             geometry,
+            channel_bits: channels.trailing_zeros(),
             bank_bits: banks.trailing_zeros(),
             col_bits: lines.trailing_zeros(),
         }
@@ -62,17 +82,26 @@ impl AddressMapping {
     /// Maps a cache-line address (line index, i.e. byte address / 64) to
     /// DRAM coordinates.
     pub fn map_line(&self, line_addr: u64) -> MappedAddr {
-        // Layout (LSB → MSB): bank | column | row.
+        // Layout (LSB → MSB): channel | bank | column | row.
+        let ch_mask = (1u64 << self.channel_bits) - 1;
         let bank_mask = (1u64 << self.bank_bits) - 1;
         let col_mask = (1u64 << self.col_bits) - 1;
-        let bank_raw = line_addr & bank_mask;
-        let col = (line_addr >> self.bank_bits) & col_mask;
-        let row = (line_addr >> (self.bank_bits + self.col_bits))
-            % self.geometry.rows_per_bank;
-        // XOR-hash the bank with low row bits (permutation-based
-        // interleaving) so same-bank strides don't always conflict.
+        let ch_raw = line_addr & ch_mask;
+        let rest = line_addr >> self.channel_bits;
+        let bank_raw = rest & bank_mask;
+        let col = (rest >> self.bank_bits) & col_mask;
+        let row = (rest >> (self.bank_bits + self.col_bits)) % self.geometry.rows_per_bank;
+        // XOR-hash channel and bank with low row bits (permutation-based
+        // interleaving) so power-of-two strides don't always conflict on
+        // one channel or bank.
+        let channel = (ch_raw ^ (row & ch_mask)) & ch_mask;
         let bank = (bank_raw ^ (row & bank_mask)) & bank_mask;
-        MappedAddr { bank: bank as BankId, row, col }
+        MappedAddr {
+            channel: ChannelId(channel as usize),
+            bank: bank as BankId,
+            row,
+            col,
+        }
     }
 
     /// The geometry this mapping was built for.
@@ -80,21 +109,37 @@ impl AddressMapping {
         &self.geometry
     }
 
-    /// Inverse mapping: the line address landing on `(bank, row, col)`.
+    /// The number of channels lines interleave over.
+    pub fn channels(&self) -> usize {
+        self.geometry.channels
+    }
+
+    /// Inverse mapping: the line address landing on
+    /// `(channel, bank, row, col)`.
     ///
     /// Attackers reverse-engineer exactly this function to aim at specific
-    /// DRAM rows; the attack-trace generators use it for the same purpose.
+    /// DRAM rows of a specific channel; the attack-trace generators use it
+    /// for the same purpose.
     ///
     /// # Panics
     ///
     /// Panics if any coordinate is out of range.
     pub fn line_for(&self, addr: MappedAddr) -> u64 {
+        let ch_mask = (1u64 << self.channel_bits) - 1;
         let bank_mask = (1u64 << self.bank_bits) - 1;
+        assert!(
+            addr.channel.0 < self.geometry.channels,
+            "channel out of range"
+        );
         assert!(addr.bank < self.geometry.banks_total(), "bank out of range");
         assert!(addr.row < self.geometry.rows_per_bank, "row out of range");
         assert!(addr.col < self.geometry.lines_per_row(), "col out of range");
+        let ch_raw = (addr.channel.0 as u64 ^ (addr.row & ch_mask)) & ch_mask;
         let bank_raw = (addr.bank as u64 ^ (addr.row & bank_mask)) & bank_mask;
-        bank_raw | (addr.col << self.bank_bits) | (addr.row << (self.bank_bits + self.col_bits))
+        let rest = bank_raw
+            | (addr.col << self.bank_bits)
+            | (addr.row << (self.bank_bits + self.col_bits));
+        ch_raw | (rest << self.channel_bits)
     }
 }
 
@@ -106,12 +151,45 @@ mod tests {
         AddressMapping::new(Geometry::default())
     }
 
+    fn mapping2ch() -> AddressMapping {
+        AddressMapping::new(Geometry::table_iii_system())
+    }
+
     #[test]
     fn consecutive_lines_stripe_banks() {
         let m = mapping();
         let banks: Vec<_> = (0..32u64).map(|i| m.map_line(i).bank).collect();
         let unique: std::collections::HashSet<_> = banks.iter().collect();
         assert_eq!(unique.len(), 32, "32 consecutive lines must hit 32 banks");
+    }
+
+    #[test]
+    fn single_channel_layout_matches_classic_mapping() {
+        // With one channel the new layout must be bit-identical to the
+        // historical bank | column | row interleaving.
+        let m = mapping();
+        for i in (0..1_000_000u64).step_by(997) {
+            let a = m.map_line(i);
+            assert_eq!(a.channel, ChannelId(0));
+            let bank_mask = 31u64;
+            let row = (i >> (5 + 7)) % m.geometry().rows_per_bank;
+            assert_eq!(a.row, row);
+            assert_eq!(a.col, (i >> 5) & 127);
+            assert_eq!(a.bank as u64, (i & bank_mask) ^ (row & bank_mask));
+        }
+    }
+
+    #[test]
+    fn consecutive_lines_stripe_channels_then_banks() {
+        let m = mapping2ch();
+        let a = m.map_line(0);
+        let b = m.map_line(1);
+        assert_ne!(a.channel, b.channel);
+        assert_eq!(a.bank, b.bank);
+        // Two lines apart: same channel, next bank.
+        let c = m.map_line(2);
+        assert_eq!(a.channel, c.channel);
+        assert_ne!(a.bank, c.bank);
     }
 
     #[test]
@@ -136,40 +214,66 @@ mod tests {
 
     #[test]
     fn mapping_is_total_and_in_range() {
-        let m = mapping();
-        let g = *m.geometry();
-        for i in (0..1_000_000u64).step_by(7919) {
-            let a = m.map_line(i);
-            assert!(a.bank < g.banks_total());
-            assert!(a.row < g.rows_per_bank);
-            assert!(a.col < g.lines_per_row());
+        for g in [
+            Geometry::default(),
+            Geometry::table_iii_system(),
+            Geometry::default().with_channels(4).with_ranks(2),
+        ] {
+            let m = AddressMapping::new(g);
+            for i in (0..1_000_000u64).step_by(7919) {
+                let a = m.map_line(i);
+                assert!(a.channel.0 < g.channels);
+                assert!(a.bank < g.banks_total());
+                assert!(a.row < g.rows_per_bank);
+                assert!(a.col < g.lines_per_row());
+            }
         }
     }
 
     #[test]
     fn xor_hash_breaks_stride_conflicts() {
-        // A power-of-two stride that would always hit bank 0 without
-        // hashing must spread across banks with it.
-        let m = mapping();
-        let stride = 32 * 128; // one full row of lines across banks
-        let banks: std::collections::HashSet<_> =
-            (0..64u64).map(|i| m.map_line(i * stride).bank).collect();
-        assert!(banks.len() > 1, "XOR hash failed to spread strided accesses");
+        // A power-of-two stride that would always hit bank 0 (and channel
+        // 0) without hashing must spread across banks and channels with it.
+        let m = mapping2ch();
+        let stride = 2 * 32 * 128; // one full row of lines across channels+banks
+        let mut banks = std::collections::HashSet::new();
+        let mut channels = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            let a = m.map_line(i * stride);
+            banks.insert(a.bank);
+            channels.insert(a.channel);
+        }
+        assert!(
+            banks.len() > 1,
+            "XOR hash failed to spread strided accesses"
+        );
+        assert_eq!(channels.len(), 2, "XOR hash failed to spread channels");
     }
 
     #[test]
     fn line_for_inverts_map_line() {
-        let m = mapping();
-        for i in (0..2_000_000u64).step_by(4391) {
-            let a = m.map_line(i);
-            assert_eq!(m.line_for(a), i, "line {i} did not round-trip");
+        for g in [
+            Geometry::default(),
+            Geometry::table_iii_system(),
+            Geometry::default().with_channels(2).with_ranks(2),
+        ] {
+            let m = AddressMapping::new(g);
+            for i in (0..2_000_000u64).step_by(4391) {
+                let a = m.map_line(i);
+                assert_eq!(m.line_for(a), i, "line {i} did not round-trip");
+            }
         }
     }
 
     #[test]
     fn line_for_targets_requested_row() {
-        let m = mapping();
-        let addr = MappedAddr { bank: 5, row: 1234, col: 7 };
+        let m = mapping2ch();
+        let addr = MappedAddr {
+            channel: ChannelId(1),
+            bank: 5,
+            row: 1234,
+            col: 7,
+        };
         let line = m.line_for(addr);
         assert_eq!(m.map_line(line), addr);
     }
@@ -177,7 +281,29 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_banks_panics() {
-        let g = Geometry { banks_per_rank: 24, ..Geometry::default() };
+        let g = Geometry {
+            banks_per_rank: 24,
+            ..Geometry::default()
+        };
         let _ = AddressMapping::new(g);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count")]
+    fn non_power_of_two_channels_panics() {
+        let g = Geometry::default().with_channels(3);
+        let _ = AddressMapping::new(g);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel out of range")]
+    fn line_for_checks_channel_range() {
+        let m = mapping();
+        let _ = m.line_for(MappedAddr {
+            channel: ChannelId(1),
+            bank: 0,
+            row: 0,
+            col: 0,
+        });
     }
 }

@@ -62,13 +62,7 @@ pub trait McMitigation {
 
     /// Earliest time the controller may activate `row` on `bank` for
     /// `thread` — the throttling hook. Non-throttling schemes return `now`.
-    fn activate_allowed_at(
-        &self,
-        bank: BankId,
-        row: RowId,
-        thread: usize,
-        now: TimePs,
-    ) -> TimePs {
+    fn activate_allowed_at(&self, bank: BankId, row: RowId, thread: usize, now: TimePs) -> TimePs {
         let _ = (bank, row, thread);
         now
     }

@@ -33,12 +33,24 @@ pub struct MemRequest {
 impl MemRequest {
     /// A demand read.
     pub fn read(id: u64, addr: MappedAddr, thread: usize, arrival: TimePs) -> Self {
-        Self { id, addr, is_write: false, thread, arrival }
+        Self {
+            id,
+            addr,
+            is_write: false,
+            thread,
+            arrival,
+        }
     }
 
     /// A writeback.
     pub fn write(id: u64, addr: MappedAddr, thread: usize, arrival: TimePs) -> Self {
-        Self { id, addr, is_write: true, thread, arrival }
+        Self {
+            id,
+            addr,
+            is_write: true,
+            thread,
+            arrival,
+        }
     }
 }
 

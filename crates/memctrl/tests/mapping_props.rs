@@ -1,0 +1,122 @@
+//! Property tests for the channel-interleaved [`AddressMapping`]:
+//! exact round-trips over the whole hierarchy and uniformity of channel
+//! interleaving across access strides.
+
+use std::collections::HashMap;
+
+use mithril_dram::{ChannelId, Geometry};
+use mithril_memctrl::{AddressMapping, MappedAddr};
+use proptest::prelude::*;
+
+/// The geometry family the properties quantify over: channels × ranks ×
+/// banks drawn from the power-of-two configurations the sweep engine runs.
+fn geometry_strategy() -> impl Strategy<Value = Geometry> {
+    (0u32..3, 0u32..2, prop_oneof![Just(16usize), Just(32usize)]).prop_map(
+        |(ch_bits, rk_bits, banks_per_rank)| Geometry {
+            banks_per_rank,
+            ..Geometry::default()
+                .with_channels(1 << ch_bits)
+                .with_ranks(1 << rk_bits)
+        },
+    )
+}
+
+fn capacity_lines(g: &Geometry) -> u64 {
+    g.channels as u64 * g.banks_total() as u64 * g.lines_per_row() * g.rows_per_bank
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// line → (channel, bank, row, col) → line is the identity for any
+    /// line within the mapped capacity, on every hierarchy shape.
+    #[test]
+    fn map_line_round_trips(
+        g in geometry_strategy(),
+        lines in prop::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let m = AddressMapping::new(g);
+        let capacity = capacity_lines(&g);
+        for &raw in &lines {
+            let line = raw % capacity;
+            let a = m.map_line(line);
+            prop_assert!(a.channel.0 < g.channels);
+            prop_assert!(a.bank < g.banks_total());
+            prop_assert!(a.row < g.rows_per_bank);
+            prop_assert!(a.col < g.lines_per_row());
+            prop_assert_eq!(m.line_for(a), line);
+        }
+    }
+
+    /// (channel, bank, row, col) → line → same coordinates: the inverse
+    /// also round-trips from the coordinate side.
+    #[test]
+    fn line_for_round_trips(
+        g in geometry_strategy(),
+        coords in prop::collection::vec(
+            (any::<usize>(), any::<usize>(), any::<u64>(), any::<u64>()),
+            1..64,
+        ),
+    ) {
+        let m = AddressMapping::new(g);
+        for &(ch, bank, row, col) in &coords {
+            let addr = MappedAddr {
+                channel: ChannelId(ch % g.channels),
+                bank: bank % g.banks_total(),
+                row: row % g.rows_per_bank,
+                col: col % g.lines_per_row(),
+            };
+            prop_assert_eq!(m.map_line(m.line_for(addr)), addr);
+        }
+    }
+
+    /// Channel interleaving stays usefully uniform across power-of-two
+    /// strides: once the sampling window spans enough row groups for the
+    /// XOR permutation to rotate, every channel receives within 2x of its
+    /// fair share (and never zero).
+    #[test]
+    fn channel_interleave_uniform_across_strides(
+        ch_bits in 1u32..3,
+        stride_log in 0u32..14,
+        start in 0u64..1_000_000,
+    ) {
+        let g = Geometry::default().with_channels(1 << ch_bits);
+        let m = AddressMapping::new(g);
+        let stride = 1u64 << stride_log;
+        // One row spans channels × banks × lines_per_row consecutive
+        // lines; the window must cover `channels` row groups so the XOR
+        // rotation cycles through every channel residue.
+        let row_span = g.channels as u64 * g.banks_total() as u64 * g.lines_per_row();
+        let samples = 4096u64.max(g.channels as u64 * row_span / stride);
+        let mut counts: HashMap<ChannelId, u64> = HashMap::new();
+        for i in 0..samples {
+            let a = m.map_line(start + i * stride);
+            *counts.entry(a.channel).or_default() += 1;
+        }
+        let expected = samples / g.channels as u64;
+        for ch in g.channel_ids() {
+            let got = counts.get(&ch).copied().unwrap_or(0);
+            prop_assert!(
+                got >= expected / 2 && got <= expected * 2,
+                "stride {} channel {} got {} of expected {}",
+                stride, ch, got, expected
+            );
+        }
+    }
+
+    /// Distinct consecutive lines never alias to the same coordinates.
+    #[test]
+    fn mapping_is_injective_within_capacity(
+        g in geometry_strategy(),
+        base in any::<u64>(),
+    ) {
+        let m = AddressMapping::new(g);
+        let capacity = capacity_lines(&g);
+        let base = base % capacity;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..512u64 {
+            let line = (base + i) % capacity;
+            prop_assert!(seen.insert(m.map_line(line)), "line {} aliased", line);
+        }
+    }
+}

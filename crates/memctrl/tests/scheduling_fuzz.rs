@@ -16,14 +16,25 @@ fn controller(rfm_mode: RfmMode, rfm_th: u64) -> MemoryController {
     let device = DramDevice::new(geometry, Ddr5Timing::ddr5_4800(), 100_000, 1, |_| {
         Box::new(NoMitigation)
     });
-    let cfg = McConfig { rfm_mode, rfm_th, ..Default::default() };
+    let cfg = McConfig {
+        rfm_mode,
+        rfm_th,
+        ..Default::default()
+    };
     MemoryController::new(device, cfg, Box::new(NoMcMitigation))
 }
 
 /// Arbitrary request batches: (bank, row, col, is_write, thread, gap_us).
 fn batches() -> impl Strategy<Value = Vec<(usize, u64, u64, bool, usize, u64)>> {
     prop::collection::vec(
-        (0usize..32, 0u64..512, 0u64..128, any::<bool>(), 0usize..16, 0u64..5),
+        (
+            0usize..32,
+            0u64..512,
+            0u64..128,
+            any::<bool>(),
+            0usize..16,
+            0u64..5,
+        ),
         1..200,
     )
 }
@@ -38,7 +49,7 @@ proptest! {
         let mut now = 0u64;
         for (i, &(bank, row, col, is_write, thread, gap)) in reqs.iter().enumerate() {
             now += gap * PS_PER_US / 4;
-            let addr = MappedAddr { bank, row, col };
+            let addr = MappedAddr { channel: mithril_dram::ChannelId(0), bank, row, col };
             let req = if is_write {
                 MemRequest::write(i as u64, addr, thread, now)
             } else {
@@ -64,7 +75,7 @@ proptest! {
     fn rfm_cadence_holds_under_fuzz(reqs in batches(), rfm_th in 4u64..32) {
         let mut mc = controller(RfmMode::Standard, rfm_th);
         for (i, &(bank, row, col, is_write, thread, _)) in reqs.iter().enumerate() {
-            let addr = MappedAddr { bank, row, col };
+            let addr = MappedAddr { channel: mithril_dram::ChannelId(0), bank, row, col };
             let req = if is_write {
                 MemRequest::write(i as u64, addr, thread, 0)
             } else {
@@ -88,7 +99,7 @@ proptest! {
     fn refresh_cadence_survives_traffic(reqs in batches()) {
         let mut mc = controller(RfmMode::Disabled, 64);
         for (i, &(bank, row, col, _, thread, _)) in reqs.iter().enumerate() {
-            let addr = MappedAddr { bank, row, col };
+            let addr = MappedAddr { channel: mithril_dram::ChannelId(0), bank, row, col };
             mc.enqueue(MemRequest::read(i as u64, addr, thread, 0));
         }
         let t = Ddr5Timing::ddr5_4800();

@@ -1,0 +1,150 @@
+//! The sweep runner: executes a scheme × workload × geometry sweep on the
+//! sharded parallel engine and writes `BENCH_sweep.json`.
+//!
+//! ```text
+//! cargo run --release -p mithril-runner --bin sweep -- [options]
+//!   --smoke           tiny CI sweep (default)
+//!   --full            the full default sweep
+//!   --threads N       worker threads (default: host parallelism, max 8)
+//!   --shard-size N    scenarios per shard (default 1)
+//!   --seed N          base seed (default 1)
+//!   --insts N         override instructions per core
+//!   --cores N         override cores per scenario
+//!   --out PATH        report path (default BENCH_sweep.json)
+//! ```
+//!
+//! The report contains only deterministic content; wall-clock and thread
+//! count are printed to stdout so the file stays byte-comparable across
+//! worker counts (the determinism regression test relies on this).
+
+use std::time::Instant;
+
+use mithril_runner::engine::{default_threads, PoolConfig};
+use mithril_runner::scenarios::SweepSpec;
+use mithril_runner::{report, run_sweep};
+
+struct Args {
+    smoke: bool,
+    threads: usize,
+    shard_size: usize,
+    seed: u64,
+    insts: Option<u64>,
+    cores: Option<usize>,
+    out: String,
+}
+
+fn value<'a>(args: &'a [String], i: &mut usize, usage: &str) -> &'a str {
+    *i += 1;
+    args.get(*i)
+        .unwrap_or_else(|| panic!("missing value: expected {usage}"))
+        .as_str()
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        smoke: true,
+        threads: default_threads(),
+        shard_size: 1,
+        seed: 1,
+        insts: None,
+        cores: None,
+        out: "BENCH_sweep.json".to_string(),
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => out.smoke = true,
+            "--full" => out.smoke = false,
+            "--threads" => {
+                out.threads = value(&args, &mut i, "--threads N")
+                    .parse()
+                    .expect("--threads N")
+            }
+            "--shard-size" => {
+                out.shard_size = value(&args, &mut i, "--shard-size N")
+                    .parse()
+                    .expect("--shard-size N")
+            }
+            "--seed" => out.seed = value(&args, &mut i, "--seed N").parse().expect("--seed N"),
+            "--insts" => {
+                out.insts = Some(
+                    value(&args, &mut i, "--insts N")
+                        .parse()
+                        .expect("--insts N"),
+                )
+            }
+            "--cores" => {
+                out.cores = Some(
+                    value(&args, &mut i, "--cores N")
+                        .parse()
+                        .expect("--cores N"),
+                )
+            }
+            "--out" => out.out = value(&args, &mut i, "--out PATH").to_string(),
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let mut spec = if args.smoke {
+        SweepSpec::smoke()
+    } else {
+        SweepSpec::full()
+    };
+    if let Some(insts) = args.insts {
+        spec.insts_per_core = insts;
+    }
+    if let Some(cores) = args.cores {
+        spec.cores = cores;
+    }
+
+    let pool = PoolConfig {
+        threads: args.threads,
+        shard_size: args.shard_size,
+    };
+    let n = spec.scenarios().len();
+    println!(
+        "# sweep: {n} scenarios ({} geometries x {} schemes x {} workloads, minus skips)",
+        spec.geometries.len(),
+        spec.schemes.len(),
+        spec.workloads.len()
+    );
+    println!(
+        "# engine: {} threads, shard size {}, base seed {}",
+        pool.threads, pool.shard_size, args.seed
+    );
+
+    let t0 = Instant::now();
+    let results = run_sweep(&spec, pool, args.seed);
+    let wall = t0.elapsed();
+
+    println!(
+        "{:<40} {:>9} {:>10} {:>8} {:>12} {:>6}",
+        "scenario", "agg_ipc", "energy_pj", "rfms", "disturb(max)", "flips"
+    );
+    for r in &results {
+        match &r.outcome {
+            Ok(m) => println!(
+                "{:<40} {:>9.3} {:>10.3e} {:>8} {:>12} {:>6}",
+                r.scenario.name, m.aggregate_ipc, m.energy_pj, m.rfms, m.max_disturbance, m.flips
+            ),
+            Err(e) => println!("{:<40} unavailable: {e}", r.scenario.name),
+        }
+    }
+
+    let json = report::sweep_json(args.seed, &results);
+    std::fs::write(&args.out, &json).expect("write report");
+    let ok = results.iter().filter(|r| r.outcome.is_ok()).count();
+    println!(
+        "# {ok}/{} scenarios ok; wall-clock {:.2}s at {} threads; wrote {}",
+        results.len(),
+        wall.as_secs_f64(),
+        pool.threads,
+        args.out
+    );
+}

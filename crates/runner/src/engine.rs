@@ -1,0 +1,221 @@
+//! The sharded parallel execution engine.
+//!
+//! Scenario lists are cut into fixed-size **shards** (contiguous index
+//! ranges) that are dealt round-robin onto worker-local deques; workers
+//! drain their own deque from the front and **steal** from the back of the
+//! busiest other deque when idle. Determinism rules:
+//!
+//! 1. Sharding depends only on the item list and the shard size — never on
+//!    the worker count.
+//! 2. Every item's RNG seed is derived from `(base_seed, shard index,
+//!    offset in shard)` through splitmix64, so the seed an item sees is a
+//!    pure function of its position, not of which worker ran it or when.
+//! 3. Results land in an index-addressed buffer, so output order equals
+//!    input order regardless of completion order.
+//!
+//! Together these make `run_sharded` produce bit-identical results at any
+//! thread count — the regression test in `tests/determinism.rs` pins this.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Shard-pool sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Worker threads. Clamped to at least 1.
+    pub threads: usize,
+    /// Items per shard. Clamped to at least 1. Smaller shards balance
+    /// load better; larger shards amortize steal overhead.
+    pub shard_size: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            threads: default_threads(),
+            shard_size: 1,
+        }
+    }
+}
+
+/// The host's available parallelism, capped at 8 (sweep scenarios are
+/// memory-bound; more workers than memory channels rarely helps).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// splitmix64 — the seed-derivation mix used throughout the engine.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The deterministic RNG seed of shard `shard` under `base_seed`.
+pub fn shard_seed(base_seed: u64, shard: usize) -> u64 {
+    splitmix64(base_seed ^ splitmix64(shard as u64).rotate_left(17))
+}
+
+/// The deterministic RNG seed of the item at `offset` within its shard.
+pub fn item_seed(base_seed: u64, shard: usize, offset: usize) -> u64 {
+    splitmix64(shard_seed(base_seed, shard) ^ (offset as u64 + 1))
+}
+
+/// Runs `f(item, seed)` over every item on a work-stealing shard pool and
+/// returns the results in input order.
+///
+/// `f` receives the item and its deterministic seed (see [`item_seed`]).
+/// The result is bit-identical for any `cfg.threads`.
+pub fn run_sharded<T, R, F>(items: &[T], cfg: PoolConfig, base_seed: u64, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T, u64) -> R + Sync,
+{
+    let threads = cfg.threads.max(1);
+    let shard_size = cfg.shard_size.max(1);
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let n_shards = items.len().div_ceil(shard_size);
+
+    // Deal shards round-robin onto worker-local deques.
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    for shard in 0..n_shards {
+        queues[shard % threads].lock().unwrap().push_back(shard);
+    }
+
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+
+    let next_shard = |worker: usize| -> Option<usize> {
+        // Own queue first (front: the shards dealt to us, in order)...
+        if let Some(s) = queues[worker].lock().unwrap().pop_front() {
+            return Some(s);
+        }
+        // ...then steal from the back of any other queue. Try every
+        // victim: racing thieves may drain a queue between observation
+        // and pop, and a worker must only retire once *all* queues are
+        // empty (shards never re-enter a queue, so empty-everywhere is
+        // final).
+        (0..queues.len())
+            .filter(|&w| w != worker)
+            .find_map(|w| queues[w].lock().unwrap().pop_back())
+    };
+
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let f = &f;
+            let results = &results;
+            let next_shard = &next_shard;
+            scope.spawn(move || {
+                while let Some(shard) = next_shard(worker) {
+                    let lo = shard * shard_size;
+                    let hi = (lo + shard_size).min(items.len());
+                    // Compute the whole shard locally, then publish once.
+                    let shard_results: Vec<(usize, R)> = (lo..hi)
+                        .map(|i| (i, f(&items[i], item_seed(base_seed, shard, i - lo))))
+                        .collect();
+                    let mut out = results.lock().unwrap();
+                    for (i, r) in shard_results {
+                        out[i] = Some(r);
+                    }
+                }
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("every item processed by some worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_preserve_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = run_sharded(
+            &items,
+            PoolConfig {
+                threads: 4,
+                shard_size: 3,
+            },
+            7,
+            |&x, _seed| x * 2,
+        );
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seeds_are_thread_count_invariant() {
+        let items: Vec<usize> = (0..53).collect();
+        let run = |threads| {
+            run_sharded(
+                &items,
+                PoolConfig {
+                    threads,
+                    shard_size: 4,
+                },
+                99,
+                |_, seed| seed,
+            )
+        };
+        let a = run(1);
+        let b = run(3);
+        let c = run(8);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn seeds_differ_across_items_and_base_seeds() {
+        let items: Vec<usize> = (0..64).collect();
+        let seeds = run_sharded(&items, PoolConfig::default(), 1, |_, s| s);
+        let unique: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(unique.len(), seeds.len(), "item seeds must not collide");
+        let other = run_sharded(&items, PoolConfig::default(), 2, |_, s| s);
+        assert_ne!(seeds, other, "base seed must matter");
+    }
+
+    #[test]
+    fn all_items_run_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..257).collect();
+        let out = run_sharded(
+            &items,
+            PoolConfig {
+                threads: 8,
+                shard_size: 2,
+            },
+            3,
+            |&i, _| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                i
+            },
+        );
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+        assert_eq!(out.len(), 257);
+    }
+
+    #[test]
+    fn empty_and_single_item_edge_cases() {
+        let none: Vec<u32> = vec![];
+        assert!(run_sharded(&none, PoolConfig::default(), 1, |&x, _| x).is_empty());
+        let one = vec![42u32];
+        assert_eq!(
+            run_sharded(&one, PoolConfig::default(), 1, |&x, _| x),
+            vec![42]
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Scenario registry and sharded parallel sweep engine.
+//!
+//! `mithril-runner` turns the system simulator into an experiment machine:
+//!
+//! * [`scenarios`] — the registry of named workloads, scheme catalogs and
+//!   scheme × workload × geometry [`scenarios::SweepSpec`]s (the figure
+//!   binaries' shared source of truth);
+//! * [`engine`] — a std::thread work-stealing shard pool with
+//!   deterministic per-shard RNG seeding: the same base seed produces
+//!   bit-identical metrics at any worker count;
+//! * [`report`] — the deterministic `BENCH_sweep.json` writer.
+//!
+//! The `sweep` binary ties the three together:
+//!
+//! ```text
+//! cargo run --release -p mithril-runner --bin sweep -- --smoke --threads 4
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use mithril_runner::engine::{run_sharded, PoolConfig};
+//! use mithril_runner::scenarios::SweepSpec;
+//!
+//! let mut spec = SweepSpec::smoke();
+//! spec.insts_per_core = 500; // keep the doctest quick
+//! spec.workloads.truncate(1);
+//! spec.geometries.truncate(1);
+//! let scenarios = spec.scenarios();
+//! let results = run_sharded(
+//!     &scenarios,
+//!     PoolConfig { threads: 2, shard_size: 1 },
+//!     42,
+//!     |s, seed| s.run(seed).map(|m| m.total_insts),
+//! );
+//! assert_eq!(results.len(), scenarios.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod report;
+pub mod scenarios;
+
+use engine::PoolConfig;
+use report::SweepResult;
+use scenarios::SweepSpec;
+
+/// Executes `spec` on the shard pool and returns per-scenario results in
+/// registry order. Bit-identical for any `pool.threads`.
+pub fn run_sweep(spec: &SweepSpec, pool: PoolConfig, base_seed: u64) -> Vec<SweepResult> {
+    let scenarios = spec.scenarios();
+    let outcomes = engine::run_sharded(&scenarios, pool, base_seed, |s, seed| (seed, s.run(seed)));
+    scenarios
+        .into_iter()
+        .zip(outcomes)
+        .map(|(scenario, (seed, outcome))| SweepResult {
+            scenario,
+            seed,
+            outcome,
+        })
+        .collect()
+}

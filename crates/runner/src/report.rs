@@ -1,0 +1,205 @@
+//! Machine-readable sweep reports (`BENCH_sweep.json`).
+//!
+//! The writer is deliberately dependency-free and **deterministic**: field
+//! order is fixed, floats are emitted with Rust's shortest-round-trip
+//! formatting, and nothing time- or host-dependent enters the file. The
+//! determinism regression test compares whole report strings across thread
+//! counts, so keep it that way: wall-clock and worker counts belong on
+//! stdout, not in the report.
+
+use mithril_dram::EnergyCounters;
+use mithril_sim::{ChannelMetrics, Metrics};
+
+use crate::scenarios::{geometry_tag, Scenario};
+
+/// One executed scenario with its seed and results.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// What ran.
+    pub scenario: Scenario,
+    /// The deterministic seed the engine assigned.
+    pub seed: u64,
+    /// The run's metrics, or the configuration error that prevented it.
+    pub outcome: Result<Metrics, String>,
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn counters_json(c: &EnergyCounters) -> String {
+    format!(
+        "{{\"acts\":{},\"pres\":{},\"reads\":{},\"writes\":{},\"auto_refresh_rows\":{},\
+         \"preventive_rows\":{},\"rfm_commands\":{},\"mrr_commands\":{}}}",
+        c.acts,
+        c.pres,
+        c.reads,
+        c.writes,
+        c.auto_refresh_rows,
+        c.preventive_rows,
+        c.rfm_commands,
+        c.mrr_commands
+    )
+}
+
+fn channel_json(c: &ChannelMetrics) -> String {
+    format!(
+        "{{\"channel\":{},\"reads_done\":{},\"writes_done\":{},\"avg_read_latency_ns\":{},\
+         \"row_hit_rate\":{},\"energy_pj\":{},\"rfms\":{},\"rfm_elisions\":{},\"arrs\":{},\
+         \"throttled_acts\":{},\"max_disturbance\":{},\"flips\":{},\"counters\":{}}}",
+        c.channel.0,
+        c.reads_done,
+        c.writes_done,
+        num(c.avg_read_latency_ns),
+        num(c.row_hit_rate),
+        num(c.energy_pj),
+        c.rfms,
+        c.rfm_elisions,
+        c.arrs,
+        c.throttled_acts,
+        c.max_disturbance,
+        c.flips,
+        counters_json(&c.counters)
+    )
+}
+
+fn metrics_json(m: &Metrics) -> String {
+    let channels: Vec<String> = m.per_channel.iter().map(channel_json).collect();
+    format!(
+        "{{\"aggregate_ipc\":{},\"total_insts\":{},\"sim_time_ps\":{},\"llc_miss_rate\":{},\
+         \"energy_pj\":{},\"rfms\":{},\"rfm_elisions\":{},\"arrs\":{},\"throttled_acts\":{},\
+         \"avg_read_latency_ns\":{},\"max_disturbance\":{},\"flips\":{},\"counters\":{},\
+         \"per_channel\":[{}]}}",
+        num(m.aggregate_ipc),
+        m.total_insts,
+        m.sim_time_ps,
+        num(m.llc_miss_rate),
+        num(m.energy_pj),
+        m.rfms,
+        m.rfm_elisions,
+        m.arrs,
+        m.throttled_acts,
+        num(m.avg_read_latency_ns),
+        m.max_disturbance,
+        m.flips,
+        counters_json(&m.counters),
+        channels.join(",")
+    )
+}
+
+fn result_json(r: &SweepResult) -> String {
+    let s = &r.scenario;
+    let g = &s.geometry;
+    let outcome = match &r.outcome {
+        Ok(m) => format!("\"metrics\":{}", metrics_json(m)),
+        Err(e) => format!("\"error\":\"{}\"", esc(e)),
+    };
+    format!(
+        "    {{\"name\":\"{}\",\"scheme\":\"{}\",\"workload\":\"{}\",\
+         \"geometry\":{{\"tag\":\"{}\",\"channels\":{},\"ranks\":{},\"banks_per_rank\":{}}},\
+         \"flip_th\":{},\"cores\":{},\"insts_per_core\":{},\"seed\":{},{}}}",
+        esc(&s.name),
+        esc(&s.scheme_label),
+        esc(&s.workload),
+        geometry_tag(g),
+        g.channels,
+        g.ranks,
+        g.banks_per_rank,
+        s.flip_th,
+        s.cores,
+        s.insts_per_core,
+        r.seed,
+        outcome
+    )
+}
+
+/// Renders a whole sweep to the `BENCH_sweep.json` format.
+///
+/// Identical inputs render to identical strings; the engine guarantees
+/// identical inputs for any worker count, so reports are comparable
+/// byte-for-byte across thread counts.
+pub fn sweep_json(base_seed: u64, results: &[SweepResult]) -> String {
+    let entries: Vec<String> = results.iter().map(result_json).collect();
+    format!(
+        "{{\n  \"base_seed\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        base_seed,
+        entries.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::SweepSpec;
+
+    fn sample_results() -> Vec<SweepResult> {
+        let spec = SweepSpec::smoke();
+        let mut scenarios = spec.scenarios();
+        scenarios.truncate(2);
+        scenarios
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let outcome = s.run(i as u64 + 1);
+                SweepResult {
+                    scenario: s,
+                    seed: i as u64 + 1,
+                    outcome,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn report_is_valid_enough_json_and_deterministic() {
+        let results = sample_results();
+        let a = sweep_json(7, &results);
+        let b = sweep_json(7, &results);
+        assert_eq!(a, b);
+        // Structural sanity without a JSON parser: balanced braces and
+        // brackets, expected keys present.
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+        assert_eq!(a.matches('[').count(), a.matches(']').count());
+        assert!(a.contains("\"base_seed\": 7"));
+        assert!(a.contains("\"per_channel\""));
+        assert!(a.contains("\"geometry\""));
+    }
+
+    #[test]
+    fn errors_serialize_without_metrics() {
+        let mut results = sample_results();
+        results[0].outcome = Err("no \"config\"".into());
+        let s = sweep_json(1, &results);
+        assert!(s.contains("\"error\":\"no \\\"config\\\"\""));
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(1.5), "1.5");
+    }
+}

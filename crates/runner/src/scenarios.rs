@@ -1,0 +1,530 @@
+//! The scenario registry: named workloads, scheme catalogs, and
+//! scheme × workload × geometry sweep specifications.
+//!
+//! Everything the figure/table binaries used to duplicate lives here once:
+//! the per-figure scheme lists, the workload name → [`ThreadSet`] factory,
+//! the standard `(FlipTH, RFMTH)` sweeps, and the [`Scenario`] unit the
+//! sweep engine executes.
+
+use mithril::MithrilConfig;
+use mithril_baselines::{BlockHammerConfig, CbtConfig, GrapheneConfig, TwiCeConfig, FLIP_TH_SWEEP};
+use mithril_dram::{Ddr5Timing, Geometry};
+use mithril_sim::{geomean, Metrics, Scheme, System, SystemConfig};
+use mithril_workloads::{
+    attack_mix, bh_cover_attack_mix, channel_interference_mix, mix_blend, mix_high, multithreaded,
+    ThreadSet,
+};
+
+/// The `(FlipTH, RFMTH)` pairs of paper Fig. 9 (one point per column).
+pub const MITHRIL_SWEEP: [(u64, u64); 8] = [
+    (12_500, 512),
+    (12_500, 256),
+    (12_500, 128),
+    (6_250, 256),
+    (6_250, 128),
+    (6_250, 64),
+    (3_125, 128),
+    (1_500, 32),
+];
+
+/// The five benign workload names of the paper's "normal workloads"
+/// aggregation.
+pub const NORMAL_WORKLOADS: [&str; 5] = ["mix-high", "mix-blend", "fft", "radix", "pagerank"];
+
+/// The Mithril RFMTH the paper pairs with each FlipTH in Figs. 10/11.
+pub fn default_rfm_th(flip_th: u64) -> u64 {
+    match flip_th {
+        50_000 | 25_000 => 256,
+        12_500 => 256,
+        6_250 => 128,
+        3_125 => 64,
+        1_500 => 32,
+        other => panic!("no default RFMTH for FlipTH {other}"),
+    }
+}
+
+/// The RFM-interface-compatible scheme panel of paper Fig. 10.
+pub fn rfm_compatible_schemes(flip: u64, nbl_scale: u64) -> Vec<(&'static str, Scheme)> {
+    let rfm = default_rfm_th(flip);
+    vec![
+        ("parfm", Scheme::Parfm),
+        ("blockhammer", Scheme::BlockHammer { nbl_scale }),
+        (
+            "mithril",
+            Scheme::Mithril {
+                rfm_th: rfm,
+                ad_th: Some(200),
+                plus: false,
+            },
+        ),
+        (
+            "mithril+",
+            Scheme::Mithril {
+                rfm_th: rfm,
+                ad_th: Some(200),
+                plus: true,
+            },
+        ),
+    ]
+}
+
+/// The ARR-based (RFM-interface-*non*-compatible) scheme panel of paper
+/// Fig. 11.
+pub fn arr_schemes(flip: u64) -> Vec<(&'static str, Scheme)> {
+    let rfm = default_rfm_th(flip);
+    vec![
+        ("para", Scheme::Para),
+        ("cbt", Scheme::Cbt),
+        ("twice", Scheme::TwiCe),
+        ("graphene", Scheme::Graphene),
+        (
+            "mithril",
+            Scheme::Mithril {
+                rfm_th: rfm,
+                ad_th: Some(200),
+                plus: false,
+            },
+        ),
+        (
+            "mithril+",
+            Scheme::Mithril {
+                rfm_th: rfm,
+                ad_th: Some(200),
+                plus: true,
+            },
+        ),
+    ]
+}
+
+/// Every scheme, for full-system comparisons (the `system_comparison`
+/// example and the default sweep).
+pub fn all_schemes(rfm_th: u64, nbl_scale: u64) -> Vec<(&'static str, Scheme)> {
+    vec![
+        ("none", Scheme::None),
+        (
+            "mithril",
+            Scheme::Mithril {
+                rfm_th,
+                ad_th: Some(200),
+                plus: false,
+            },
+        ),
+        (
+            "mithril+",
+            Scheme::Mithril {
+                rfm_th,
+                ad_th: Some(200),
+                plus: true,
+            },
+        ),
+        ("parfm", Scheme::Parfm),
+        ("graphene", Scheme::Graphene),
+        ("twice", Scheme::TwiCe),
+        ("cbt", Scheme::Cbt),
+        ("para", Scheme::Para),
+        ("blockhammer", Scheme::BlockHammer { nbl_scale }),
+    ]
+}
+
+/// Instantiates a workload set by name for `cores` threads.
+///
+/// Names: `mix-high`, `mix-blend`, `fft`, `radix`, `pagerank`, attack
+/// sets `attack-double`, `attack-multi`, `attack-bh` (profiled CBF
+/// collisions) and `attack-bh-pollution` on a mix-high background, and
+/// `channel-interference` (hammer on channel 0, streaming victims on the
+/// other channels).
+///
+/// # Panics
+///
+/// Panics on an unknown name, or when the workload needs more channels
+/// than `cfg` has (see [`workload_compatible`]).
+pub fn workload(name: &str, cores: usize, cfg: &SystemConfig, seed: u64) -> ThreadSet {
+    match name {
+        "mix-high" => mix_high(cores, seed),
+        "mix-blend" => mix_blend(cores, seed),
+        "fft" | "radix" | "pagerank" => multithreaded(name, cores, seed),
+        "attack-double" => attack_mix("double", cores, cfg.mapping(), seed),
+        "attack-multi" => attack_mix("multi", cores, cfg.mapping(), seed),
+        // The profiled CBF-collision pattern of Fig. 10(c): victims are the
+        // rows the mix-high sweeps hammer first (offsets 0/249/499/748).
+        // Concentrated enough that the attacker's budget pushes every
+        // cover row past the (scaled) blacklist threshold within a slice.
+        "attack-bh" => bh_cover_attack_mix(
+            cores,
+            cfg.mapping(),
+            cfg.flip_th,
+            &cfg.timing,
+            &[0, 1, 249, 250],
+            2,
+            seed,
+        ),
+        "attack-bh-pollution" => attack_mix("bh-adversarial", cores, cfg.mapping(), seed),
+        "channel-interference" => channel_interference_mix(cores, cfg.mapping(), seed),
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+/// True when `name` can run on `geometry` (the channel-interference mix
+/// needs at least two channels; everything else runs anywhere).
+pub fn workload_compatible(name: &str, geometry: &Geometry) -> bool {
+    name != "channel-interference" || geometry.channels >= 2
+}
+
+/// Simulated-time cap per requested instruction: several times the benign
+/// runtime, so a heavily throttled thread (BlockHammer vs an attacker)
+/// cannot stretch one run to seconds of simulated time; its depressed IPC
+/// still shows in the metrics. Shared by [`run_one`] and [`Scenario::run`]
+/// so figure binaries and sweeps stay comparable.
+const MAX_TIME_PS_PER_INST: u64 = 4_000;
+
+fn run_capped(
+    cfg: SystemConfig,
+    workload_name: &str,
+    insts_per_core: u64,
+    seed: u64,
+) -> Result<Metrics, String> {
+    let threads = workload(workload_name, cfg.cores, &cfg, seed);
+    let mut sys = System::new(cfg, threads)?;
+    let max_time = insts_per_core.saturating_mul(MAX_TIME_PS_PER_INST);
+    Ok(sys.run(insts_per_core, max_time))
+}
+
+/// Runs one configuration over one workload for `insts_per_core`.
+///
+/// # Panics
+///
+/// Panics if the scheme cannot be configured at `cfg.flip_th`.
+pub fn run_one(cfg: SystemConfig, workload_name: &str, insts_per_core: u64, seed: u64) -> Metrics {
+    run_capped(cfg, workload_name, insts_per_core, seed)
+        .unwrap_or_else(|e| panic!("{} @ FlipTH {}: {e}", cfg.scheme.name(), cfg.flip_th))
+}
+
+/// Runs scheme and baseline over the normal-workload set and returns
+/// `(geomean normalized IPC, geomean relative energy)` — the paper's
+/// "normal workloads" aggregation (geo-mean over multi-programmed and
+/// multi-threaded sets).
+pub fn normal_workload_overheads(
+    mut cfg: SystemConfig,
+    insts_per_core: u64,
+    seed: u64,
+) -> (f64, f64) {
+    let scheme = cfg.scheme;
+    let mut ipcs = Vec::new();
+    let mut energies = Vec::new();
+    for name in NORMAL_WORKLOADS {
+        cfg.scheme = Scheme::None;
+        let base = run_one(cfg, name, insts_per_core, seed);
+        cfg.scheme = scheme;
+        let run = run_one(cfg, name, insts_per_core, seed);
+        ipcs.push(run.normalized_ipc(&base));
+        energies.push(run.relative_energy(&base));
+    }
+    (geomean(&ipcs), geomean(&energies))
+}
+
+/// Table IV's per-bank counter-table sizes: one row per scheme, one
+/// `Option<f64>` KiB cell per FlipTH of [`FLIP_TH_SWEEP`] (`None` =
+/// infeasible pair, rendered as a dash).
+pub fn table_area_rows(timing: &Ddr5Timing) -> Vec<(String, Vec<Option<f64>>)> {
+    type AreaFn = Box<dyn Fn(u64) -> Option<f64>>;
+    let t = *timing;
+    let mut rows: Vec<(String, AreaFn)> = vec![
+        (
+            "CBT @ MC".into(),
+            Box::new(move |flip| Some(CbtConfig::for_flip_threshold(flip, &t).table_kib())),
+        ),
+        (
+            "Graphene @ MC".into(),
+            Box::new(move |flip| Some(GrapheneConfig::for_flip_threshold(flip, &t).table_kib(&t))),
+        ),
+        (
+            "BlockHammer @ MC".into(),
+            Box::new(move |flip| Some(BlockHammerConfig::for_flip_threshold(flip, &t).table_kib())),
+        ),
+        (
+            "TWiCe @ buffer chip".into(),
+            Box::new(move |flip| Some(TwiCeConfig::for_flip_threshold(flip, &t).table_kib(&t))),
+        ),
+    ];
+    for rfm in [256u64, 128, 64, 32] {
+        rows.push((
+            format!("Mithril-{rfm} @ DRAM"),
+            Box::new(move |flip| {
+                MithrilConfig::for_flip_threshold(flip, rfm, &t)
+                    .ok()
+                    .map(|c| c.table_kib())
+            }),
+        ));
+    }
+    rows.into_iter()
+        .map(|(name, f)| (name, FLIP_TH_SWEEP.iter().map(|&flip| f(flip)).collect()))
+        .collect()
+}
+
+/// A compact tag identifying a geometry in scenario names and reports,
+/// e.g. `2ch2rk32b`.
+pub fn geometry_tag(g: &Geometry) -> String {
+    format!("{}ch{}rk{}b", g.channels, g.ranks, g.banks_per_rank)
+}
+
+/// One executable unit of a sweep: a scheme on a workload on a geometry.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Unique scenario id: `scheme/workload/geometry`.
+    pub name: String,
+    /// Scheme label for reporting.
+    pub scheme_label: String,
+    /// The protection scheme.
+    pub scheme: Scheme,
+    /// Workload name (see [`workload`]).
+    pub workload: String,
+    /// The memory hierarchy.
+    pub geometry: Geometry,
+    /// Row Hammer threshold.
+    pub flip_th: u64,
+    /// Cores to simulate.
+    pub cores: usize,
+    /// Instructions per core.
+    pub insts_per_core: u64,
+}
+
+impl Scenario {
+    /// Builds the scenario's [`SystemConfig`] (Table III defaults with the
+    /// scenario's hierarchy, scheme and threshold applied).
+    pub fn system_config(&self, seed: u64) -> SystemConfig {
+        let mut cfg = SystemConfig::table_iii();
+        cfg.cores = self.cores;
+        cfg.geometry = self.geometry;
+        cfg.flip_th = self.flip_th;
+        cfg.scheme = self.scheme;
+        cfg.seed = seed;
+        cfg
+    }
+
+    /// Runs the scenario under `seed` and returns its metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string when the scheme cannot be configured for
+    /// this scenario's `flip_th`.
+    pub fn run(&self, seed: u64) -> Result<Metrics, String> {
+        run_capped(
+            self.system_config(seed),
+            &self.workload,
+            self.insts_per_core,
+            seed,
+        )
+    }
+}
+
+/// A scheme × workload × geometry sweep specification.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Hierarchies to sweep.
+    pub geometries: Vec<Geometry>,
+    /// Labelled schemes to sweep.
+    pub schemes: Vec<(String, Scheme)>,
+    /// Workload names to sweep.
+    pub workloads: Vec<String>,
+    /// Row Hammer threshold for every scenario.
+    pub flip_th: u64,
+    /// Cores per scenario.
+    pub cores: usize,
+    /// Instructions per core per scenario.
+    pub insts_per_core: u64,
+}
+
+impl SweepSpec {
+    /// The smoke sweep exercised by CI and the determinism test: small
+    /// instruction counts over 1×1, 2×1 and 2×2 channel×rank hierarchies,
+    /// the unprotected baseline and both Mithril variants, on a benign mix
+    /// and the cross-channel interference attack.
+    pub fn smoke() -> Self {
+        Self {
+            geometries: vec![
+                Geometry::default(),
+                Geometry::table_iii_system(),
+                Geometry::table_iii_system().with_ranks(2),
+            ],
+            schemes: vec![
+                ("none".into(), Scheme::None),
+                (
+                    "mithril".into(),
+                    Scheme::Mithril {
+                        rfm_th: 64,
+                        ad_th: Some(200),
+                        plus: false,
+                    },
+                ),
+                (
+                    "mithril+".into(),
+                    Scheme::Mithril {
+                        rfm_th: 64,
+                        ad_th: Some(200),
+                        plus: true,
+                    },
+                ),
+            ],
+            workloads: vec![
+                "mix-high".into(),
+                "attack-multi".into(),
+                "channel-interference".into(),
+            ],
+            flip_th: 6_250,
+            cores: 4,
+            insts_per_core: 4_000,
+        }
+    }
+
+    /// The full default sweep: every scheme on the main workload classes
+    /// across single- and multi-channel/rank hierarchies.
+    pub fn full() -> Self {
+        Self {
+            geometries: vec![
+                Geometry::default(),
+                Geometry::table_iii_system(),
+                Geometry::table_iii_system().with_ranks(2),
+                Geometry::default().with_channels(4),
+            ],
+            schemes: all_schemes(64, 6)
+                .into_iter()
+                .map(|(label, s)| (label.to_string(), s))
+                .collect(),
+            workloads: vec![
+                "mix-high".into(),
+                "mix-blend".into(),
+                "attack-multi".into(),
+                "attack-double".into(),
+                "channel-interference".into(),
+            ],
+            flip_th: 3_125,
+            cores: 8,
+            insts_per_core: 30_000,
+        }
+    }
+
+    /// Expands the spec into concrete scenarios, skipping workloads that
+    /// are incompatible with a geometry (e.g. channel interference on one
+    /// channel).
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for g in &self.geometries {
+            for (label, scheme) in &self.schemes {
+                for w in &self.workloads {
+                    if !workload_compatible(w, g) {
+                        continue;
+                    }
+                    out.push(Scenario {
+                        name: format!("{label}/{w}/{}", geometry_tag(g)),
+                        scheme_label: label.clone(),
+                        scheme: *scheme,
+                        workload: w.clone(),
+                        geometry: *g,
+                        flip_th: self.flip_th,
+                        cores: self.cores,
+                        insts_per_core: self.insts_per_core,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rfmth_covers_sweep() {
+        for flip in mithril_baselines::FLIP_TH_SWEEP {
+            assert!(default_rfm_th(flip) >= 32);
+        }
+    }
+
+    #[test]
+    fn workloads_resolve_by_name() {
+        let cfg = SystemConfig::table_iii();
+        for name in NORMAL_WORKLOADS
+            .iter()
+            .chain(["attack-double", "attack-multi", "channel-interference"].iter())
+        {
+            let set = workload(name, 4, &cfg, 1);
+            assert_eq!(set.threads.len(), 4);
+        }
+    }
+
+    #[test]
+    fn incompatible_workloads_are_skipped() {
+        assert!(!workload_compatible(
+            "channel-interference",
+            &Geometry::default()
+        ));
+        assert!(workload_compatible(
+            "channel-interference",
+            &Geometry::table_iii_system()
+        ));
+        assert!(workload_compatible("mix-high", &Geometry::default()));
+        let spec = SweepSpec::smoke();
+        let scenarios = spec.scenarios();
+        assert!(scenarios
+            .iter()
+            .all(|s| workload_compatible(&s.workload, &s.geometry)));
+        // The 1-channel geometry drops only the interference workload.
+        let one_ch: Vec<_> = scenarios
+            .iter()
+            .filter(|s| s.geometry.channels == 1)
+            .collect();
+        assert!(one_ch.iter().all(|s| s.workload != "channel-interference"));
+        assert!(!one_ch.is_empty());
+    }
+
+    #[test]
+    fn smoke_sweep_covers_multi_rank_hierarchy() {
+        let spec = SweepSpec::smoke();
+        assert!(spec
+            .geometries
+            .iter()
+            .any(|g| g.channels >= 2 && g.ranks >= 2));
+        let n = spec.scenarios().len();
+        // 3 geometries × 3 schemes × 3 workloads, minus the 1-channel
+        // interference combinations.
+        assert_eq!(n, 3 * 3 * 3 - 3);
+    }
+
+    #[test]
+    fn scenario_runs_end_to_end() {
+        let spec = SweepSpec::smoke();
+        let s = spec
+            .scenarios()
+            .into_iter()
+            .find(|s| s.geometry.ranks == 2 && s.workload == "channel-interference")
+            .expect("2-rank interference scenario exists");
+        let m = s.run(11).expect("scenario runs");
+        assert!(m.total_insts > 0);
+        assert_eq!(m.per_channel.len(), 2);
+    }
+
+    #[test]
+    fn run_one_produces_metrics() {
+        let mut cfg = SystemConfig::table_iii();
+        cfg.cores = 2;
+        let m = run_one(cfg, "mix-blend", 5_000, 1);
+        assert!(m.total_insts >= 10_000);
+    }
+
+    #[test]
+    fn scheme_catalogs_are_distinct_and_labelled() {
+        let rfm = rfm_compatible_schemes(6_250, 6);
+        assert_eq!(rfm.len(), 4);
+        let arr = arr_schemes(6_250);
+        assert_eq!(arr.len(), 6);
+        let all = all_schemes(64, 6);
+        assert_eq!(all.len(), 9);
+        for (label, scheme) in &all {
+            if *label != "none" {
+                assert!(!scheme.name().is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Determinism-under-sharding regression: the same sweep at the same base
+//! seed must produce a byte-identical `BENCH_sweep.json` report at any
+//! worker thread count.
+
+use mithril_runner::engine::PoolConfig;
+use mithril_runner::report::sweep_json;
+use mithril_runner::run_sweep;
+use mithril_runner::scenarios::SweepSpec;
+
+fn tiny_spec() -> SweepSpec {
+    let mut spec = SweepSpec::smoke();
+    spec.insts_per_core = 2_000;
+    spec.cores = 2;
+    spec
+}
+
+fn report_at(threads: usize, shard_size: usize, seed: u64) -> String {
+    let results = run_sweep(
+        &tiny_spec(),
+        PoolConfig {
+            threads,
+            shard_size,
+        },
+        seed,
+    );
+    sweep_json(seed, &results)
+}
+
+#[test]
+fn identical_report_at_1_2_and_8_threads() {
+    let base = report_at(1, 1, 42);
+    assert_eq!(base, report_at(2, 1, 42), "2 threads diverged from 1");
+    assert_eq!(base, report_at(8, 1, 42), "8 threads diverged from 1");
+}
+
+#[test]
+fn identical_report_across_shard_sizes() {
+    // Shard size is part of the seeding contract: it must be the *same*
+    // between runs being compared, but any fixed size is deterministic
+    // across thread counts.
+    let a = report_at(1, 4, 7);
+    let b = report_at(8, 4, 7);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_produce_different_reports() {
+    assert_ne!(report_at(2, 1, 1), report_at(2, 1, 2));
+}
+
+#[test]
+fn sweep_covers_multi_channel_multi_rank() {
+    let results = run_sweep(
+        &tiny_spec(),
+        PoolConfig {
+            threads: 4,
+            shard_size: 1,
+        },
+        3,
+    );
+    let multi = results
+        .iter()
+        .find(|r| r.scenario.geometry.channels == 2 && r.scenario.geometry.ranks == 2)
+        .expect("2ch x 2rk scenario present");
+    let m = multi.outcome.as_ref().expect("multi-rank scenario runs");
+    assert!(m.total_insts > 0);
+    assert_eq!(m.per_channel.len(), 2);
+    // Per-channel counters roll up to the system totals.
+    let acts: u64 = m.per_channel.iter().map(|c| c.counters.acts).sum();
+    assert_eq!(acts, m.counters.acts);
+}
+
+#[test]
+fn interference_attack_is_channel_local_under_mithril() {
+    let results = run_sweep(
+        &tiny_spec(),
+        PoolConfig {
+            threads: 2,
+            shard_size: 1,
+        },
+        5,
+    );
+    let find = |scheme: &str| {
+        results
+            .iter()
+            .find(|r| {
+                r.scenario.scheme_label == scheme
+                    && r.scenario.workload == "channel-interference"
+                    && r.scenario.geometry == mithril_dram::Geometry::table_iii_system()
+            })
+            .and_then(|r| r.outcome.as_ref().ok())
+            .expect("interference scenario ran")
+    };
+    let mithril = find("mithril");
+    // The hammer runs on channel 0: all preventive refreshes happen there,
+    // while the victims' channel keeps streaming without RFM work.
+    assert!(
+        mithril.per_channel[0].rfms > 0,
+        "hammered channel must see RFMs"
+    );
+    assert_eq!(
+        mithril.per_channel[1].counters.preventive_rows, 0,
+        "victim channel must not pay preventive-refresh energy"
+    );
+    assert_eq!(mithril.flips, 0);
+}

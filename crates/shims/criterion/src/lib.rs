@@ -54,11 +54,17 @@ impl Options {
                 "--test" => o.test_mode = true,
                 // Flags cargo/criterion pass that we accept and ignore.
                 "--bench" | "--profile-time" | "--save-baseline" | "--baseline"
-                | "--measurement-time" | "--warm-up-time" | "--sample-size"
-                | "--noplot" | "--quiet" | "--verbose" => {
-                    if matches!(a.as_str(), "--profile-time" | "--save-baseline" | "--baseline"
-                        | "--measurement-time" | "--warm-up-time" | "--sample-size")
-                    {
+                | "--measurement-time" | "--warm-up-time" | "--sample-size" | "--noplot"
+                | "--quiet" | "--verbose" => {
+                    if matches!(
+                        a.as_str(),
+                        "--profile-time"
+                            | "--save-baseline"
+                            | "--baseline"
+                            | "--measurement-time"
+                            | "--warm-up-time"
+                            | "--sample-size"
+                    ) {
                         let _ = args.next();
                     }
                 }
@@ -104,8 +110,10 @@ impl Bencher<'_> {
             if dt >= self.opts.min_batch_time || batch >= 1 << 24 {
                 break;
             }
-            batch = (batch * 2).max((batch as f64 * self.opts.min_batch_time.as_secs_f64()
-                / dt.as_secs_f64().max(1e-9)) as u64);
+            batch = (batch * 2).max(
+                (batch as f64 * self.opts.min_batch_time.as_secs_f64() / dt.as_secs_f64().max(1e-9))
+                    as u64,
+            );
         }
         let mut samples = Vec::with_capacity(self.opts.sample_size);
         for _ in 0..self.opts.sample_size {
@@ -183,7 +191,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Self { opts: Options::from_args() }
+        Self {
+            opts: Options::from_args(),
+        }
     }
 }
 
@@ -204,7 +214,10 @@ impl Criterion {
                 return None;
             }
         }
-        let mut b = Bencher { opts, result_ns: None };
+        let mut b = Bencher {
+            opts,
+            result_ns: None,
+        };
         f(&mut b);
         if opts.test_mode {
             println!("test {name} ... ok");
@@ -233,7 +246,11 @@ impl Criterion {
 
     /// Opens a named group; benches inside report as `group/name`.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
     }
 }
 
@@ -307,29 +324,37 @@ mod tests {
     #[test]
     fn iter_produces_a_sane_measurement() {
         let o = opts(false);
-        let mut b = Bencher { opts: &o, result_ns: None };
+        let mut b = Bencher {
+            opts: &o,
+            result_ns: None,
+        };
         b.iter(|| black_box(41u64) + 1);
         let (median, min, max) = b.result_ns.expect("measured");
         assert!(min <= median && median <= max);
-        assert!(median > 0.0 && median < 1e6, "median {median} ns for an add");
+        assert!(
+            median > 0.0 && median < 1e6,
+            "median {median} ns for an add"
+        );
     }
 
     #[test]
     fn iter_batched_excludes_setup() {
         let o = opts(false);
-        let mut b = Bencher { opts: &o, result_ns: None };
-        b.iter_batched(
-            || vec![0u8; 1024],
-            |v| v.len(),
-            BatchSize::SmallInput,
-        );
+        let mut b = Bencher {
+            opts: &o,
+            result_ns: None,
+        };
+        b.iter_batched(|| vec![0u8; 1024], |v| v.len(), BatchSize::SmallInput);
         assert!(b.result_ns.is_some());
     }
 
     #[test]
     fn test_mode_runs_once_without_measuring() {
         let o = opts(true);
-        let mut b = Bencher { opts: &o, result_ns: None };
+        let mut b = Bencher {
+            opts: &o,
+            result_ns: None,
+        };
         let mut runs = 0;
         b.iter(|| runs += 1);
         assert_eq!(runs, 1);

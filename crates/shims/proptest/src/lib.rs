@@ -30,7 +30,9 @@ impl TestRng {
         for b in test_name.bytes() {
             h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
         }
-        Self(SmallRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        Self(SmallRng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -233,7 +235,10 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            Self { lo: r.start, hi: r.end }
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
@@ -251,7 +256,10 @@ pub mod collection {
 
     /// Generates vectors of values from `element`, sized within `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S>

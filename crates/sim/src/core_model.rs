@@ -25,7 +25,12 @@ pub struct CoreParams {
 
 impl Default for CoreParams {
     fn default() -> Self {
-        Self { width: 4, period_ps: 278, mlp: 8, llc_hit_ps: 3_000 }
+        Self {
+            width: 4,
+            period_ps: 278,
+            mlp: 8,
+            llc_hit_ps: 3_000,
+        }
     }
 }
 
@@ -48,7 +53,14 @@ pub struct CoreState {
 impl CoreState {
     /// A fresh core with an instruction budget.
     pub fn new(params: CoreParams, budget: u64) -> Self {
-        Self { params, clock: 0, insts: 0, outstanding: 0, blocked: false, budget }
+        Self {
+            params,
+            clock: 0,
+            insts: 0,
+            outstanding: 0,
+            blocked: false,
+            budget,
+        }
     }
 
     /// True if the core retired its budget.

@@ -38,5 +38,5 @@ mod system;
 
 pub use core_model::CoreParams;
 pub use llc::{Llc, LlcAccess, LlcConfig};
-pub use metrics::{geomean, Metrics};
+pub use metrics::{geomean, ChannelMetrics, Metrics};
 pub use system::{Scheme, System, SystemConfig};

@@ -16,7 +16,11 @@ pub struct LlcConfig {
 
 impl Default for LlcConfig {
     fn default() -> Self {
-        Self { size_bytes: 16 << 20, ways: 16, line_bytes: 64 }
+        Self {
+            size_bytes: 16 << 20,
+            ways: 16,
+            line_bytes: 64,
+        }
     }
 }
 
@@ -117,14 +121,21 @@ impl Llc {
         let mut writeback = None;
         if lines.len() == self.ways {
             // Evict the LRU way.
-            let (victim_idx, _) =
-                lines.iter().enumerate().min_by_key(|(_, l)| l.lru).expect("full set");
+            let (victim_idx, _) = lines
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .expect("full set");
             let victim = lines.swap_remove(victim_idx);
             if victim.dirty {
                 writeback = Some(victim.tag);
             }
         }
-        lines.push(Line { tag: line_addr, dirty, lru: self.clock });
+        lines.push(Line {
+            tag: line_addr,
+            dirty,
+            lru: self.clock,
+        });
         writeback
     }
 
@@ -150,7 +161,11 @@ mod tests {
 
     fn small() -> Llc {
         // 4 sets × 2 ways × 64 B = 512 B.
-        Llc::new(LlcConfig { size_bytes: 512, ways: 2, line_bytes: 64 })
+        Llc::new(LlcConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        })
     }
 
     #[test]

@@ -1,6 +1,44 @@
-//! End-of-run metrics.
+//! End-of-run metrics, aggregated hierarchically: per-channel results roll
+//! up into the system totals.
 
-use mithril_dram::{EnergyCounters, TimePs};
+use mithril_dram::{ChannelId, EnergyCounters, EnergyModel, TimePs};
+
+/// One memory channel's share of a run's results.
+///
+/// A [`Metrics`] carries one of these per channel; the system-level fields
+/// of `Metrics` are exactly the merge of its channels, so experiments can
+/// attribute overheads (RFM stalls, preventive-refresh energy, disturbance)
+/// to the channel that incurred them — the cross-channel interference
+/// scenarios depend on this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelMetrics {
+    /// The channel this breakdown belongs to.
+    pub channel: ChannelId,
+    /// Demand reads serviced by this channel.
+    pub reads_done: u64,
+    /// Writebacks serviced by this channel.
+    pub writes_done: u64,
+    /// Average demand-read latency on this channel, nanoseconds.
+    pub avg_read_latency_ns: f64,
+    /// Row-buffer hit rate over column commands.
+    pub row_hit_rate: f64,
+    /// DRAM operation counters of this channel's device.
+    pub counters: EnergyCounters,
+    /// Dynamic DRAM energy of this channel, picojoules.
+    pub energy_pj: f64,
+    /// RFM commands issued on this channel.
+    pub rfms: u64,
+    /// RFMs elided via MRR (Mithril+).
+    pub rfm_elisions: u64,
+    /// ARR commands issued (MC-side schemes).
+    pub arrs: u64,
+    /// ACTs delayed by throttling.
+    pub throttled_acts: u64,
+    /// Worst victim disturbance observed on this channel.
+    pub max_disturbance: u64,
+    /// Bit flips detected on this channel.
+    pub flips: usize,
+}
 
 /// Results of one system simulation run.
 #[derive(Debug, Clone)]
@@ -19,6 +57,8 @@ pub struct Metrics {
     pub sim_time_ps: TimePs,
     /// LLC miss rate.
     pub llc_miss_rate: f64,
+    /// Per-channel breakdown; system fields below are its roll-up.
+    pub per_channel: Vec<ChannelMetrics>,
     /// Merged DRAM operation counters across channels.
     pub counters: EnergyCounters,
     /// Total dynamic DRAM energy in picojoules.
@@ -40,6 +80,65 @@ pub struct Metrics {
 }
 
 impl Metrics {
+    /// Builds the system-level roll-up from per-channel results plus the
+    /// core/LLC-side observations that have no channel dimension.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_channels(
+        workload: String,
+        scheme: String,
+        per_core_ipc: Vec<f64>,
+        total_insts: u64,
+        sim_time_ps: TimePs,
+        llc_miss_rate: f64,
+        per_channel: Vec<ChannelMetrics>,
+        model: &EnergyModel,
+    ) -> Self {
+        let aggregate_ipc = per_core_ipc.iter().sum();
+        let mut counters = EnergyCounters::default();
+        let mut rfms = 0;
+        let mut rfm_elisions = 0;
+        let mut arrs = 0;
+        let mut throttled_acts = 0;
+        let mut max_disturbance = 0;
+        let mut flips = 0;
+        let mut lat_weighted = 0.0;
+        let mut reads = 0u64;
+        for ch in &per_channel {
+            counters = counters.merged(&ch.counters);
+            rfms += ch.rfms;
+            rfm_elisions += ch.rfm_elisions;
+            arrs += ch.arrs;
+            throttled_acts += ch.throttled_acts;
+            max_disturbance = max_disturbance.max(ch.max_disturbance);
+            flips += ch.flips;
+            lat_weighted += ch.avg_read_latency_ns * ch.reads_done as f64;
+            reads += ch.reads_done;
+        }
+        Metrics {
+            workload,
+            scheme,
+            aggregate_ipc,
+            per_core_ipc,
+            total_insts,
+            sim_time_ps,
+            llc_miss_rate,
+            energy_pj: model.dynamic_energy_pj(&counters),
+            counters,
+            per_channel,
+            rfms,
+            rfm_elisions,
+            arrs,
+            throttled_acts,
+            avg_read_latency_ns: if reads == 0 {
+                0.0
+            } else {
+                lat_weighted / reads as f64
+            },
+            max_disturbance,
+            flips,
+        }
+    }
+
     /// This run's aggregate IPC normalized against a baseline run
     /// (1.0 = no slowdown), the paper's headline performance metric.
     pub fn normalized_ipc(&self, baseline: &Metrics) -> f64 {
@@ -55,6 +154,18 @@ impl Metrics {
             return 0.0;
         }
         self.energy_pj / baseline.energy_pj
+    }
+
+    /// Relative dynamic energy of one channel against the same channel of
+    /// a baseline run; 0.0 when either side lacks the channel.
+    pub fn relative_channel_energy(&self, channel: usize, baseline: &Metrics) -> f64 {
+        match (
+            self.per_channel.get(channel),
+            baseline.per_channel.get(channel),
+        ) {
+            (Some(a), Some(b)) if b.energy_pj > 0.0 => a.energy_pj / b.energy_pj,
+            _ => 0.0,
+        }
     }
 }
 
@@ -80,41 +191,96 @@ pub fn geomean(xs: &[f64]) -> f64 {
 mod tests {
     use super::*;
 
-    fn metrics(ipc: f64, energy: f64) -> Metrics {
-        Metrics {
-            workload: "w".into(),
-            scheme: "s".into(),
-            per_core_ipc: vec![ipc],
-            aggregate_ipc: ipc,
-            total_insts: 100,
-            sim_time_ps: 1000,
-            llc_miss_rate: 0.1,
-            counters: EnergyCounters::default(),
-            energy_pj: energy,
-            rfms: 0,
-            rfm_elisions: 0,
-            arrs: 0,
-            throttled_acts: 0,
+    fn channel(ch: usize, acts: u64) -> ChannelMetrics {
+        let counters = EnergyCounters {
+            acts,
+            pres: acts,
+            ..Default::default()
+        };
+        ChannelMetrics {
+            channel: ChannelId(ch),
+            reads_done: acts * 2,
+            writes_done: acts / 2,
             avg_read_latency_ns: 50.0,
-            max_disturbance: 0,
+            row_hit_rate: 0.5,
+            counters,
+            energy_pj: EnergyModel::ddr5_default().dynamic_energy_pj(&counters),
+            rfms: acts / 10,
+            rfm_elisions: 0,
+            arrs: 1,
+            throttled_acts: 0,
+            max_disturbance: acts,
             flips: 0,
         }
     }
 
+    fn metrics(ipc: f64, acts: u64) -> Metrics {
+        Metrics::from_channels(
+            "w".into(),
+            "s".into(),
+            vec![ipc],
+            100,
+            1000,
+            0.1,
+            vec![channel(0, acts), channel(1, acts / 2)],
+            &EnergyModel::ddr5_default(),
+        )
+    }
+
+    #[test]
+    fn rollup_merges_channels() {
+        let m = metrics(10.0, 100);
+        assert_eq!(m.per_channel.len(), 2);
+        assert_eq!(m.counters.acts, 150);
+        assert_eq!(m.rfms, 10 + 5);
+        assert_eq!(m.arrs, 2);
+        assert_eq!(m.max_disturbance, 100);
+        let sum: f64 = m.per_channel.iter().map(|c| c.energy_pj).sum();
+        assert!((m.energy_pj - sum).abs() < 1e-6);
+    }
+
     #[test]
     fn normalized_ipc_vs_baseline() {
-        let base = metrics(10.0, 100.0);
-        let run = metrics(9.5, 104.0);
+        let base = metrics(10.0, 100);
+        let run = metrics(9.5, 104);
         assert!((run.normalized_ipc(&base) - 0.95).abs() < 1e-12);
-        assert!((run.relative_energy(&base) - 1.04).abs() < 1e-12);
+        assert!(run.relative_energy(&base) > 1.0);
+    }
+
+    #[test]
+    fn per_channel_relative_energy() {
+        let base = metrics(10.0, 100);
+        let run = metrics(10.0, 200);
+        assert!((run.relative_channel_energy(0, &base) - 2.0).abs() < 1e-9);
+        assert_eq!(run.relative_channel_energy(7, &base), 0.0);
     }
 
     #[test]
     fn degenerate_baselines_are_zero() {
-        let base = metrics(0.0, 0.0);
-        let run = metrics(1.0, 1.0);
+        let base = metrics(0.0, 0);
+        let run = metrics(1.0, 1);
         assert_eq!(run.normalized_ipc(&base), 0.0);
         assert_eq!(run.relative_energy(&base), 0.0);
+    }
+
+    #[test]
+    fn read_latency_is_read_weighted() {
+        let mut a = channel(0, 100);
+        a.avg_read_latency_ns = 10.0;
+        let mut b = channel(1, 100);
+        b.avg_read_latency_ns = 30.0;
+        b.reads_done = a.reads_done * 3;
+        let m = Metrics::from_channels(
+            "w".into(),
+            "s".into(),
+            vec![1.0],
+            1,
+            1,
+            0.0,
+            vec![a, b],
+            &EnergyModel::ddr5_default(),
+        );
+        assert!((m.avg_read_latency_ns - 25.0).abs() < 1e-9);
     }
 
     #[test]

@@ -3,12 +3,10 @@
 use mithril::fasthash::FastHashMap;
 use mithril::{MithrilConfig, MithrilScheme};
 use mithril_baselines::{
-    parfm_analysis, BlockHammer, BlockHammerConfig, Cbt, CbtConfig, Graphene, GrapheneConfig,
-    Para, ParaConfig, Parfm, TwiCe, TwiCeConfig,
+    parfm_analysis, BlockHammer, BlockHammerConfig, Cbt, CbtConfig, Graphene, GrapheneConfig, Para,
+    ParaConfig, Parfm, TwiCe, TwiCeConfig,
 };
-use mithril_dram::{
-    Ddr5Timing, DramDevice, DramMitigation, EnergyCounters, EnergyModel, Geometry, TimePs,
-};
+use mithril_dram::{Ddr5Timing, DramDevice, DramMitigation, EnergyModel, Geometry, TimePs};
 use mithril_memctrl::{
     AddressMapping, McConfig, McMitigation, MemRequest, MemoryController, NoMcMitigation, RfmMode,
 };
@@ -16,7 +14,7 @@ use mithril_workloads::{ThreadSet, TraceOp};
 
 use crate::core_model::{CoreParams, CoreState};
 use crate::llc::{Llc, LlcAccess, LlcConfig};
-use crate::metrics::Metrics;
+use crate::metrics::{ChannelMetrics, Metrics};
 
 /// Which Row Hammer protection the system deploys.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,9 +73,8 @@ impl Scheme {
 pub struct SystemConfig {
     /// Number of cores / hardware threads.
     pub cores: usize,
-    /// Memory channels, each with its own controller and DRAM device.
-    pub channels: usize,
-    /// Per-channel DRAM geometry.
+    /// The memory hierarchy: channels × ranks × banks. Each channel gets
+    /// its own controller and DRAM device.
     pub geometry: Geometry,
     /// DDR timing parameters.
     pub timing: Ddr5Timing,
@@ -105,8 +102,7 @@ impl SystemConfig {
     pub fn table_iii() -> Self {
         Self {
             cores: 16,
-            channels: 2,
-            geometry: Geometry::default(),
+            geometry: Geometry::table_iii_system(),
             timing: Ddr5Timing::ddr5_4800(),
             core: CoreParams::default(),
             llc: LlcConfig::default(),
@@ -119,9 +115,15 @@ impl SystemConfig {
         }
     }
 
-    /// The per-channel address mapping used by this configuration.
+    /// The system-wide channel-interleaved address mapping used by this
+    /// configuration.
     pub fn mapping(&self) -> AddressMapping {
         AddressMapping::new(self.geometry)
+    }
+
+    /// Number of memory channels (shorthand for `geometry.channels`).
+    pub fn channels(&self) -> usize {
+        self.geometry.channels
     }
 }
 
@@ -164,12 +166,14 @@ impl System {
             threads.threads.len(),
             "thread count must match core count"
         );
-        let mut mcs = Vec::with_capacity(config.channels);
-        for ch in 0..config.channels {
-            mcs.push(Self::build_channel(&config, ch)?);
+        let mut mcs = Vec::with_capacity(config.geometry.channels);
+        for ch in config.geometry.channel_ids() {
+            mcs.push(Self::build_channel(&config, ch.0)?);
         }
         Ok(Self {
-            cores: (0..config.cores).map(|_| CoreState::new(config.core, u64::MAX)).collect(),
+            cores: (0..config.cores)
+                .map(|_| CoreState::new(config.core, u64::MAX))
+                .collect(),
             threads,
             llc: Llc::new(config.llc),
             mcs,
@@ -184,32 +188,40 @@ impl System {
 
     fn build_channel(config: &SystemConfig, channel: usize) -> Result<MemoryController, String> {
         let timing = config.timing;
-        let geometry = config.geometry;
+        // Each controller owns one channel's worth of the hierarchy.
+        let geometry = config.geometry.channel_view();
         let banks = geometry.banks_total();
         let seed = config.seed.wrapping_add(channel as u64 * 7919);
         let flip = config.flip_th;
 
-        let mut mc_cfg = McConfig { rfm_mode: RfmMode::Disabled, ..Default::default() };
+        let mut mc_cfg = McConfig {
+            rfm_mode: RfmMode::Disabled,
+            ..Default::default()
+        };
         let mut mitigation: Box<dyn McMitigation> = Box::new(NoMcMitigation);
         let engine_for: Box<dyn Fn(usize) -> Box<dyn DramMitigation>> = match config.scheme {
             Scheme::None => Box::new(|_| Box::new(mithril_dram::NoMitigation)),
-            Scheme::Mithril { rfm_th, ad_th, plus } => {
+            Scheme::Mithril {
+                rfm_th,
+                ad_th,
+                plus,
+            } => {
                 let mithril_cfg =
                     MithrilConfig::solve(flip, rfm_th, config.blast_radius, ad_th, &timing)
                         .map_err(|e| e.to_string())?
                         .with_rows_per_bank(geometry.rows_per_bank);
-                mc_cfg.rfm_mode = if plus { RfmMode::MrrElision } else { RfmMode::Standard };
+                mc_cfg.rfm_mode = if plus {
+                    RfmMode::MrrElision
+                } else {
+                    RfmMode::Standard
+                };
                 mc_cfg.rfm_th = rfm_th;
                 Box::new(move |_| Box::new(MithrilScheme::new(mithril_cfg)))
             }
             Scheme::Parfm => {
-                let rfm_th = parfm_analysis::max_rfm_th(
-                    flip,
-                    1e-15,
-                    config.attackable_banks,
-                    &timing,
-                )
-                .ok_or_else(|| format!("PARFM cannot protect FlipTH {flip}"))?;
+                let rfm_th =
+                    parfm_analysis::max_rfm_th(flip, 1e-15, config.attackable_banks, &timing)
+                        .ok_or_else(|| format!("PARFM cannot protect FlipTH {flip}"))?;
                 mc_cfg.rfm_mode = RfmMode::Standard;
                 mc_cfg.rfm_th = rfm_th;
                 let rows = geometry.rows_per_bank;
@@ -219,12 +231,8 @@ impl System {
             }
             Scheme::Para => {
                 let budget = timing.act_budget_per_trefw();
-                let mut para_cfg = ParaConfig::for_failure_target(
-                    flip,
-                    1e-15,
-                    budget,
-                    config.attackable_banks,
-                );
+                let mut para_cfg =
+                    ParaConfig::for_failure_target(flip, 1e-15, budget, config.attackable_banks);
                 para_cfg.rows_per_bank = geometry.rows_per_bank;
                 mitigation = Box::new(Para::new(para_cfg, seed));
                 Box::new(|_| Box::new(mithril_dram::NoMitigation))
@@ -248,8 +256,8 @@ impl System {
                 Box::new(|_| Box::new(mithril_dram::NoMitigation))
             }
             Scheme::BlockHammer { nbl_scale } => {
-                let b = BlockHammerConfig::for_flip_threshold(flip, &timing)
-                    .with_nbl_scaled(nbl_scale);
+                let b =
+                    BlockHammerConfig::for_flip_threshold(flip, &timing).with_nbl_scaled(nbl_scale);
                 mitigation = Box::new(BlockHammer::new(b, banks));
                 Box::new(|_| Box::new(mithril_dram::NoMitigation))
             }
@@ -259,12 +267,6 @@ impl System {
             engine_for(bank)
         });
         Ok(MemoryController::new(device, mc_cfg, mitigation))
-    }
-
-    /// Routes a line address to `(channel, per-channel line address)`.
-    fn route(&self, line_addr: u64) -> (usize, u64) {
-        let ch = (line_addr as usize) % self.config.channels;
-        (ch, line_addr / self.config.channels as u64)
     }
 
     /// Runs until every core retires `insts_per_core` instructions or the
@@ -299,8 +301,7 @@ impl System {
     fn run_cores_until(&mut self, fence: TimePs) -> bool {
         let mut progressed = false;
         for t in 0..self.cores.len() {
-            while !self.cores[t].blocked && !self.cores[t].done() && self.cores[t].clock < fence
-            {
+            while !self.cores[t].blocked && !self.cores[t].done() && self.cores[t].clock < fence {
                 let op = self.threads.threads[t].next_op();
                 self.step_op(t, op);
                 progressed = true;
@@ -313,10 +314,9 @@ impl System {
         self.cores[t].retire_batch(op.non_mem_insts);
         let now = self.cores[t].clock;
         if op.uncacheable {
-            let (ch, line) = self.route(op.line_addr);
             let id = self.alloc_request(ReqKind::Uncacheable { thread: t });
-            let addr = self.mapping.map_line(line);
-            self.mcs[ch].enqueue(MemRequest::read(id, addr, t, now));
+            let addr = self.mapping.map_line(op.line_addr);
+            self.mcs[addr.channel.0].enqueue(MemRequest::read(id, addr, t, now));
             self.cores[t].register_miss();
             return;
         }
@@ -327,10 +327,11 @@ impl System {
                 self.cores[t].register_miss();
             }
             LlcAccess::Miss => {
-                let (ch, line) = self.route(op.line_addr);
-                let id = self.alloc_request(ReqKind::Fill { line_addr: op.line_addr });
-                let addr = self.mapping.map_line(line);
-                self.mcs[ch].enqueue(MemRequest::read(id, addr, t, now));
+                let id = self.alloc_request(ReqKind::Fill {
+                    line_addr: op.line_addr,
+                });
+                let addr = self.mapping.map_line(op.line_addr);
+                self.mcs[addr.channel.0].enqueue(MemRequest::read(id, addr, t, now));
                 self.waiters.entry(op.line_addr).or_default().push(t);
                 self.cores[t].register_miss();
             }
@@ -350,10 +351,10 @@ impl System {
                 match self.requests.remove(&c.request_id) {
                     Some(ReqKind::Fill { line_addr }) => {
                         if let Some(wb_line) = self.llc.fill(line_addr) {
-                            let (wch, wline) = self.route(wb_line);
                             let id = self.alloc_request(ReqKind::Writeback);
-                            let addr = self.mapping.map_line(wline);
-                            self.mcs[wch].enqueue(MemRequest::write(id, addr, c.thread, c.at));
+                            let addr = self.mapping.map_line(wb_line);
+                            self.mcs[addr.channel.0]
+                                .enqueue(MemRequest::write(id, addr, c.thread, c.at));
                         }
                         if let Some(ts) = self.waiters.remove(&line_addr) {
                             for t in ts {
@@ -380,48 +381,41 @@ impl System {
     }
 
     fn collect_metrics(&self) -> Metrics {
-        let per_core_ipc: Vec<f64> = self.cores.iter().map(|c| c.ipc()).collect();
-        let aggregate_ipc = per_core_ipc.iter().sum();
-        let mut counters = EnergyCounters::default();
-        let mut rfms = 0;
-        let mut rfm_elisions = 0;
-        let mut arrs = 0;
-        let mut throttled = 0;
-        let mut max_disturbance = 0;
-        let mut flips = 0;
-        let mut lat_sum = 0.0;
-        let mut lat_n = 0u64;
-        for mc in &self.mcs {
-            let s = mc.stats();
-            rfms += s.rfms;
-            rfm_elisions += s.rfm_elisions;
-            arrs += s.arrs;
-            throttled += s.throttled_acts;
-            lat_sum += s.total_read_latency as f64;
-            lat_n += s.reads_done;
-            counters = counters.merged(mc.device().counters());
-            max_disturbance = max_disturbance.max(mc.device().max_disturbance());
-            flips += mc.device().total_flips();
-        }
         let model = EnergyModel::ddr5_default();
-        Metrics {
-            workload: self.threads.name.to_string(),
-            scheme: self.config.scheme.name().to_string(),
-            aggregate_ipc,
-            per_core_ipc,
-            total_insts: self.cores.iter().map(|c| c.insts).sum(),
-            sim_time_ps: self.cores.iter().map(|c| c.clock).max().unwrap_or(0),
-            llc_miss_rate: self.llc.miss_rate(),
-            energy_pj: model.dynamic_energy_pj(&counters),
-            counters,
-            rfms,
-            rfm_elisions,
-            arrs,
-            throttled_acts: throttled,
-            avg_read_latency_ns: if lat_n == 0 { 0.0 } else { lat_sum / lat_n as f64 / 1000.0 },
-            max_disturbance,
-            flips,
-        }
+        let per_channel: Vec<ChannelMetrics> = self
+            .mcs
+            .iter()
+            .enumerate()
+            .map(|(ch, mc)| {
+                let s = mc.stats();
+                let counters = *mc.device().counters();
+                ChannelMetrics {
+                    channel: mithril_dram::ChannelId(ch),
+                    reads_done: s.reads_done,
+                    writes_done: s.writes_done,
+                    avg_read_latency_ns: s.avg_read_latency() / 1000.0,
+                    row_hit_rate: s.row_hit_rate(),
+                    energy_pj: model.dynamic_energy_pj(&counters),
+                    counters,
+                    rfms: s.rfms,
+                    rfm_elisions: s.rfm_elisions,
+                    arrs: s.arrs,
+                    throttled_acts: s.throttled_acts,
+                    max_disturbance: mc.device().max_disturbance(),
+                    flips: mc.device().total_flips(),
+                }
+            })
+            .collect();
+        Metrics::from_channels(
+            self.threads.name.to_string(),
+            self.config.scheme.name().to_string(),
+            self.cores.iter().map(|c| c.ipc()).collect(),
+            self.cores.iter().map(|c| c.insts).sum(),
+            self.cores.iter().map(|c| c.clock).max().unwrap_or(0),
+            self.llc.miss_rate(),
+            per_channel,
+            &model,
+        )
     }
 
     /// The configuration in use.
@@ -468,7 +462,14 @@ mod tests {
 
     #[test]
     fn mithril_run_issues_rfms_and_stays_safe() {
-        let m = run(Scheme::Mithril { rfm_th: 64, ad_th: None, plus: false }, 20_000);
+        let m = run(
+            Scheme::Mithril {
+                rfm_th: 64,
+                ad_th: None,
+                plus: false,
+            },
+            20_000,
+        );
         assert!(m.rfms > 0, "no RFMs issued");
         assert_eq!(m.flips, 0);
         assert!(m.counters.preventive_rows > 0);
@@ -476,7 +477,14 @@ mod tests {
 
     #[test]
     fn mithril_plus_elides_rfms_on_benign_workloads() {
-        let m = run(Scheme::Mithril { rfm_th: 64, ad_th: Some(200), plus: true }, 20_000);
+        let m = run(
+            Scheme::Mithril {
+                rfm_th: 64,
+                ad_th: Some(200),
+                plus: true,
+            },
+            20_000,
+        );
         assert!(m.rfm_elisions > 0, "MRR elision never triggered");
         assert_eq!(m.flips, 0);
     }
@@ -484,7 +492,14 @@ mod tests {
     #[test]
     fn mithril_overhead_is_small_but_nonzero() {
         let base = run(Scheme::None, 30_000);
-        let mith = run(Scheme::Mithril { rfm_th: 64, ad_th: None, plus: false }, 30_000);
+        let mith = run(
+            Scheme::Mithril {
+                rfm_th: 64,
+                ad_th: None,
+                plus: false,
+            },
+            30_000,
+        );
         let norm = mith.normalized_ipc(&base);
         assert!(norm > 0.85 && norm <= 1.02, "normalized IPC = {norm}");
     }
@@ -493,7 +508,7 @@ mod tests {
     fn graphene_run_issues_arrs_under_attack() {
         let mut cfg = quick_config(Scheme::Graphene);
         cfg.flip_th = 1_500;
-        let threads = attack_mix("double", 4, cfg.mapping(), cfg.channels, 3);
+        let threads = attack_mix("double", 4, cfg.mapping(), 3);
         let mut sys = System::new(cfg, threads).unwrap();
         let m = sys.run(40_000, u64::MAX);
         assert!(m.arrs > 0, "attack must trigger Graphene ARRs");
@@ -504,7 +519,7 @@ mod tests {
     fn unprotected_attack_reaches_high_disturbance() {
         let mut cfg = quick_config(Scheme::None);
         cfg.flip_th = 1_500;
-        let threads = attack_mix("double", 4, cfg.mapping(), cfg.channels, 3);
+        let threads = attack_mix("double", 4, cfg.mapping(), 3);
         let mut sys = System::new(cfg, threads).unwrap();
         let m = sys.run(60_000, u64::MAX);
         assert!(
@@ -518,7 +533,7 @@ mod tests {
     fn blockhammer_throttles_attack() {
         let mut cfg = quick_config(Scheme::BlockHammer { nbl_scale: 6 });
         cfg.flip_th = 1_500;
-        let threads = attack_mix("double", 4, cfg.mapping(), cfg.channels, 3);
+        let threads = attack_mix("double", 4, cfg.mapping(), 3);
         let mut sys = System::new(cfg, threads).unwrap();
         // The paper-scale throttle delay is ~123 µs at FlipTH 1.5K; run
         // long enough (but time-capped) for delayed activations to issue.
@@ -530,7 +545,11 @@ mod tests {
     #[test]
     fn infeasible_mithril_config_is_an_error() {
         let cfg = {
-            let mut c = quick_config(Scheme::Mithril { rfm_th: 1024, ad_th: None, plus: false });
+            let mut c = quick_config(Scheme::Mithril {
+                rfm_th: 1024,
+                ad_th: None,
+                plus: false,
+            });
             c.flip_th = 1_500;
             c
         };
@@ -539,8 +558,22 @@ mod tests {
 
     #[test]
     fn deterministic_across_identical_runs() {
-        let a = run(Scheme::Mithril { rfm_th: 64, ad_th: None, plus: false }, 10_000);
-        let b = run(Scheme::Mithril { rfm_th: 64, ad_th: None, plus: false }, 10_000);
+        let a = run(
+            Scheme::Mithril {
+                rfm_th: 64,
+                ad_th: None,
+                plus: false,
+            },
+            10_000,
+        );
+        let b = run(
+            Scheme::Mithril {
+                rfm_th: 64,
+                ad_th: None,
+                plus: false,
+            },
+            10_000,
+        );
         assert_eq!(a.total_insts, b.total_insts);
         assert_eq!(a.sim_time_ps, b.sim_time_ps);
         assert_eq!(a.counters.acts, b.counters.acts);

@@ -122,7 +122,13 @@ impl<V: Copy + Eq> BucketList<V> {
     // ------------------------------------------------------------ plumbing
 
     fn alloc_bucket(&mut self, value: V) -> u32 {
-        let node = Bucket { value, prev: NIL, next: NIL, head: NIL, tail: NIL };
+        let node = Bucket {
+            value,
+            prev: NIL,
+            next: NIL,
+            head: NIL,
+            tail: NIL,
+        };
         match self.free.pop() {
             Some(b) => {
                 self.buckets[b as usize] = node;
@@ -158,7 +164,10 @@ impl<V: Copy + Eq> BucketList<V> {
     }
 
     fn unlink_bucket(&mut self, b: u32) {
-        debug_assert_eq!(self.buckets[b as usize].head, NIL, "only empty buckets unlink");
+        debug_assert_eq!(
+            self.buckets[b as usize].head, NIL,
+            "only empty buckets unlink"
+        );
         let Bucket { prev, next, .. } = self.buckets[b as usize];
         match prev {
             NIL => self.head_bucket = next,
@@ -289,7 +298,10 @@ mod tests {
 
     impl Harness {
         fn new() -> Self {
-            Self { list: BucketList::with_capacity(8), counts: Vec::new() }
+            Self {
+                list: BucketList::with_capacity(8),
+                counts: Vec::new(),
+            }
         }
 
         fn insert(&mut self) -> u32 {
@@ -355,7 +367,11 @@ mod tests {
         }
         // One occupied slot → one live bucket, arena recycled throughout.
         assert_eq!(h.list.bucket_count(), 1);
-        assert!(h.list.buckets.len() <= 3, "arena grew: {}", h.list.buckets.len());
+        assert!(
+            h.list.buckets.len() <= 3,
+            "arena grew: {}",
+            h.list.buckets.len()
+        );
     }
 
     #[test]
@@ -363,7 +379,7 @@ mod tests {
         let mut h = Harness::new();
         let a = h.insert();
         h.bump(a); // a: 2
-        // Simulate a not-full RFM reset of `a` to zero.
+                   // Simulate a not-full RFM reset of `a` to zero.
         h.counts[a as usize] = 0;
         h.list.drop_to_floor(a, 0);
         assert_eq!(h.list.min_value(), Some(0));

@@ -45,7 +45,10 @@ impl CountMinSketch {
             .map(|i| MultiplyShiftHasher::new(seed.wrapping_add(i as u64), width_bits))
             .collect();
         let width = 1usize << width_bits;
-        Self { rows: vec![vec![0; width]; depth], hashers }
+        Self {
+            rows: vec![vec![0; width]; depth],
+            hashers,
+        }
     }
 
     /// Number of rows (independent hash functions).
@@ -117,9 +120,14 @@ impl CountingBloomFilter {
     pub fn new(size_bits: u32, k: usize, seed: u64) -> Self {
         assert!(k > 0, "k must be non-zero");
         let hashers: Vec<_> = (0..k)
-            .map(|i| MultiplyShiftHasher::new(seed.wrapping_mul(31).wrapping_add(i as u64), size_bits))
+            .map(|i| {
+                MultiplyShiftHasher::new(seed.wrapping_mul(31).wrapping_add(i as u64), size_bits)
+            })
             .collect();
-        Self { counters: vec![0; 1usize << size_bits], hashers }
+        Self {
+            counters: vec![0; 1usize << size_bits],
+            hashers,
+        }
     }
 
     /// Number of counters in the filter.

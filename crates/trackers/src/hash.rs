@@ -36,7 +36,11 @@ mod tests {
         for key in 0..256u64 {
             seen.insert(h.bucket(key));
         }
-        assert!(seen.len() > 128, "sequential keys collapsed into {} buckets", seen.len());
+        assert!(
+            seen.len() > 128,
+            "sequential keys collapsed into {} buckets",
+            seen.len()
+        );
     }
 
     #[test]
@@ -44,6 +48,9 @@ mod tests {
         let a = MultiplyShiftHasher::new(1, 16);
         let b = MultiplyShiftHasher::new(2, 16);
         let differing = (0..1000u64).filter(|&k| a.bucket(k) != b.bucket(k)).count();
-        assert!(differing > 900, "seeds should give mostly different buckets");
+        assert!(
+            differing > 900,
+            "seeds should give mostly different buckets"
+        );
     }
 }

@@ -130,7 +130,11 @@ impl FrequencyTracker for LossyCounting {
             None => {
                 self.entries.insert(
                     item,
-                    LossyEntry { item, count: 1, delta: self.current_bucket - 1 },
+                    LossyEntry {
+                        item,
+                        count: 1,
+                        delta: self.current_bucket - 1,
+                    },
                 );
                 self.peak_entries = self.peak_entries.max(self.entries.len());
             }

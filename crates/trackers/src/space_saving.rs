@@ -130,7 +130,10 @@ impl SpaceSaving {
             return RecordOutcome::Inserted;
         }
         // Replace the entry that has held the minimum longest.
-        let victim = self.list.oldest_min_slot().expect("full table is non-empty");
+        let victim = self
+            .list
+            .oldest_min_slot()
+            .expect("full table is non-empty");
         let evicted = self.items[victim as usize];
         self.index.remove(&evicted);
         self.items[victim as usize] = item;
@@ -223,7 +226,9 @@ impl SpaceSaving {
 
     /// Returns the tracked count for `item`, or `None` if off-table.
     pub fn tracked_count(&self, item: u64) -> Option<u64> {
-        self.index.get(&item).map(|&slot| self.counts[slot as usize])
+        self.index
+            .get(&item)
+            .map(|&slot| self.counts[slot as usize])
     }
 }
 
@@ -348,7 +353,10 @@ impl NaiveSpaceSaving {
             return None;
         }
         let slot = self.max_slot();
-        Some(TrackedEntry { item: self.items[slot], count: self.counts[slot] })
+        Some(TrackedEntry {
+            item: self.items[slot],
+            count: self.counts[slot],
+        })
     }
 
     /// `max - min` over the table counters.
@@ -613,9 +621,15 @@ mod tests {
         let mut naive = NaiveSpaceSaving::new(6);
         let mut x = 7u64;
         for i in 0..30_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let item = (x >> 33) % 14;
-            assert_eq!(fast.record_outcome(item), naive.record_outcome(item), "at {i}");
+            assert_eq!(
+                fast.record_outcome(item),
+                naive.record_outcome(item),
+                "at {i}"
+            );
             if i % 23 == 22 {
                 assert_eq!(fast.take_max_reset_to_min(), naive.take_max_reset_to_min());
             }

@@ -91,7 +91,12 @@ impl CounterTree {
             num_rows,
             max_counters,
             split_threshold,
-            nodes: vec![Node { lo: 0, hi: num_rows, count: 0, left_child: None }],
+            nodes: vec![Node {
+                lo: 0,
+                hi: num_rows,
+                count: 0,
+                left_child: None,
+            }],
             splits: 0,
         }
     }
@@ -153,12 +158,18 @@ impl CounterTree {
     fn max_depth(&self, idx: usize, depth: u32) -> u32 {
         match self.nodes[idx].left_child {
             None => depth,
-            Some(l) => self.max_depth(l, depth + 1).max(self.max_depth(l + 1, depth + 1)),
+            Some(l) => self
+                .max_depth(l, depth + 1)
+                .max(self.max_depth(l + 1, depth + 1)),
         }
     }
 
     fn leaf_for(&self, row: u64) -> usize {
-        assert!(row < self.num_rows, "row {row} out of range {}", self.num_rows);
+        assert!(
+            row < self.num_rows,
+            "row {row} out of range {}",
+            self.num_rows
+        );
         let mut idx = 0;
         while let Some(left) = self.nodes[idx].left_child {
             let mid = self.nodes[left].hi;
@@ -184,8 +195,18 @@ impl CounterTree {
         let left = self.nodes.len();
         // Children inherit the parent count: the parent's ACTs cannot be
         // attributed, so both halves must assume the worst.
-        self.nodes.push(Node { lo, hi: mid, count, left_child: None });
-        self.nodes.push(Node { lo: mid, hi, count, left_child: None });
+        self.nodes.push(Node {
+            lo,
+            hi: mid,
+            count,
+            left_child: None,
+        });
+        self.nodes.push(Node {
+            lo: mid,
+            hi,
+            count,
+            left_child: None,
+        });
         self.nodes[idx].left_child = Some(left);
         self.splits += 1;
     }
@@ -209,7 +230,12 @@ impl FrequencyTracker for CounterTree {
     fn clear(&mut self) {
         let n = self.num_rows;
         self.nodes.clear();
-        self.nodes.push(Node { lo: 0, hi: n, count: 0, left_child: None });
+        self.nodes.push(Node {
+            lo: 0,
+            hi: n,
+            count: 0,
+            left_child: None,
+        });
         self.splits = 0;
     }
 }
@@ -234,7 +260,10 @@ mod tests {
             t.record(500);
         }
         let group = t.covering_group(500);
-        assert!(group.end - group.start <= 2, "hot group should shrink, got {group:?}");
+        assert!(
+            group.end - group.start <= 2,
+            "hot group should shrink, got {group:?}"
+        );
         // A cold far-away row still shares a wide group.
         let cold = t.covering_group(5);
         assert!(cold.end - cold.start >= 256);
@@ -250,7 +279,11 @@ mod tests {
             *exact.entry(r).or_insert(0) += 1;
         }
         for (&r, &actual) in &exact {
-            assert!(t.estimate(r) >= actual, "row {r}: {} < {actual}", t.estimate(r));
+            assert!(
+                t.estimate(r) >= actual,
+                "row {r}: {} < {actual}",
+                t.estimate(r)
+            );
         }
     }
 

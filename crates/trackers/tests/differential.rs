@@ -11,7 +11,10 @@ struct Lcg(u64);
 
 impl Lcg {
     fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.0 >> 33
     }
 }
@@ -72,7 +75,11 @@ fn attack_streams_100k_identical_decisions() {
         let mut naive = NaiveSpaceSaving::new(cap);
         for i in 0..110_000u64 {
             let item = i % (cap as u64 + 1);
-            assert_eq!(fast.record_outcome(item), naive.record_outcome(item), "at {i}");
+            assert_eq!(
+                fast.record_outcome(item),
+                naive.record_outcome(item),
+                "at {i}"
+            );
         }
         assert_final_state_equal(&fast, &naive);
     }
@@ -87,7 +94,11 @@ fn attack_streams_100k_identical_decisions() {
                 1 => 501,
                 _ => 1_000 + rng.next() % 40,
             };
-            assert_eq!(fast.record_outcome(item), naive.record_outcome(item), "at {i}");
+            assert_eq!(
+                fast.record_outcome(item),
+                naive.record_outcome(item),
+                "at {i}"
+            );
             if i % 32 == 31 {
                 assert_eq!(fast.take_max_reset_to_min(), naive.take_max_reset_to_min());
             }
@@ -102,10 +113,18 @@ fn attack_streams_100k_identical_decisions() {
         let mut rng = Lcg(1234);
         for i in 0..100_000u64 {
             let item = rng.next() % 60;
-            assert_eq!(fast.record_outcome(item), naive.record_outcome(item), "at {i}");
+            assert_eq!(
+                fast.record_outcome(item),
+                naive.record_outcome(item),
+                "at {i}"
+            );
             if i % 17 == 16 {
                 let target = rng.next() % 60;
-                assert_eq!(fast.reset_to_min(target), naive.reset_to_min(target), "at {i}");
+                assert_eq!(
+                    fast.reset_to_min(target),
+                    naive.reset_to_min(target),
+                    "at {i}"
+                );
             }
         }
         assert_final_state_equal(&fast, &naive);

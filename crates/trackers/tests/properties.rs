@@ -4,8 +4,7 @@
 use std::collections::HashMap;
 
 use mithril_trackers::{
-    CounterTree, CountingBloomFilter, CountMinSketch, FrequencyTracker, LossyCounting,
-    SpaceSaving,
+    CountMinSketch, CounterTree, CountingBloomFilter, FrequencyTracker, LossyCounting, SpaceSaving,
 };
 use proptest::prelude::*;
 

@@ -3,25 +3,24 @@
 //! Attack threads know the DRAM address mapping (real attackers
 //! reverse-engineer it) and emit **uncacheable** accesses so every request
 //! reaches DRAM — the flush+hammer pattern. Rows are chosen in *physical*
-//! row coordinates via [`AddressMapping::line_for`].
+//! coordinates — channel, bank, row — and inverted to line addresses via
+//! [`AddressMapping::line_for`], so the same generator aims correctly on
+//! any channel × rank × bank hierarchy.
 
 use crate::op::TraceOp;
 use crate::TraceSource;
-use mithril_dram::RowId;
+use mithril_dram::{ChannelId, RowId};
 use mithril_memctrl::{AddressMapping, MappedAddr};
 
-/// A generic row-list hammer: cycles through `(bank, row)` targets at
-/// maximum rate.
+/// A generic row-list hammer: cycles through `(bank, row)` targets of one
+/// channel at maximum rate.
 ///
-/// Attacks are channel-aware: the system stripes cache lines over
-/// `channels` memory channels (line → channel `line % channels`, per-
-/// channel line `line / channels`), and a physical-row attack must invert
-/// that routing too.
+/// Attacks are channel-aware: the mapping routes cache lines over the
+/// system's channels, and a physical-row attack inverts that routing so
+/// every access lands on its chosen channel.
 #[derive(Debug, Clone)]
 pub struct RowAttack {
     mapping: AddressMapping,
-    channels: u64,
-    channel: u64,
     targets: Vec<MappedAddr>,
     cursor: usize,
     col_toggle: u64,
@@ -29,31 +28,31 @@ pub struct RowAttack {
 }
 
 impl RowAttack {
-    /// Creates a hammer over explicit `(bank, row)` targets on one memory
-    /// `channel` of a `channels`-channel system.
+    /// Creates a hammer over explicit `(bank, row)` targets on `channel`.
     ///
     /// # Panics
     ///
-    /// Panics if `targets` is empty, `channels` is zero or
-    /// `channel >= channels`.
+    /// Panics if `targets` is empty or `channel` is out of range for the
+    /// mapping's geometry.
     pub fn new(
         mapping: AddressMapping,
-        channels: usize,
-        channel: usize,
+        channel: ChannelId,
         targets: Vec<(usize, RowId)>,
         name: &'static str,
     ) -> Self {
         assert!(!targets.is_empty(), "targets must be non-empty");
-        assert!(channels > 0, "channels must be non-zero");
-        assert!(channel < channels, "channel out of range");
+        assert!(channel.0 < mapping.channels(), "channel out of range");
         Self {
             targets: targets
                 .into_iter()
-                .map(|(bank, row)| MappedAddr { bank, row, col: 0 })
+                .map(|(bank, row)| MappedAddr {
+                    channel,
+                    bank,
+                    row,
+                    col: 0,
+                })
                 .collect(),
             mapping,
-            channels: channels as u64,
-            channel: channel as u64,
             cursor: 0,
             col_toggle: 0,
             name,
@@ -75,7 +74,7 @@ impl TraceSource for RowAttack {
         addr.col = self.col_toggle;
         TraceOp {
             non_mem_insts: 0,
-            line_addr: self.mapping.line_for(addr) * self.channels + self.channel,
+            line_addr: self.mapping.line_for(addr),
             is_write: false,
             uncacheable: true,
         }
@@ -91,18 +90,16 @@ impl TraceSource for RowAttack {
 pub struct DoubleSided(RowAttack);
 
 impl DoubleSided {
-    /// Hammers rows `victim−1` and `victim+1` of `bank` on channel 0 of a
-    /// `channels`-channel system.
+    /// Hammers rows `victim−1` and `victim+1` of `bank` on `channel`.
     ///
     /// # Panics
     ///
-    /// Panics if `victim` is 0 or `channels` is zero.
-    pub fn new(mapping: AddressMapping, channels: usize, bank: usize, victim: RowId) -> Self {
+    /// Panics if `victim` is 0 or `channel` is out of range.
+    pub fn new(mapping: AddressMapping, channel: ChannelId, bank: usize, victim: RowId) -> Self {
         assert!(victim > 0, "victim must have two neighbours");
         Self(RowAttack::new(
             mapping,
-            channels,
-            0,
+            channel,
             vec![(bank, victim - 1), (bank, victim + 1)],
             "double-sided",
         ))
@@ -127,21 +124,21 @@ pub struct MultiSided(RowAttack);
 
 impl MultiSided {
     /// Hammers `sides` aggressors at rows `base, base+2, base+4, …` of
-    /// `bank` on channel 0 of a `channels`-channel system.
+    /// `bank` on `channel`.
     ///
     /// # Panics
     ///
-    /// Panics if `sides` or `channels` is zero.
+    /// Panics if `sides` is zero or `channel` is out of range.
     pub fn new(
         mapping: AddressMapping,
-        channels: usize,
+        channel: ChannelId,
         bank: usize,
         base: RowId,
         sides: usize,
     ) -> Self {
         assert!(sides > 0, "sides must be non-zero");
         let targets = (0..sides as u64).map(|i| (bank, base + 2 * i)).collect();
-        Self(RowAttack::new(mapping, channels, 0, targets, "multi-sided"))
+        Self(RowAttack::new(mapping, channel, targets, "multi-sided"))
     }
 }
 
@@ -164,7 +161,6 @@ impl TraceSource for MultiSided {
 #[derive(Debug, Clone)]
 pub struct BlockHammerAdversarial {
     mapping: AddressMapping,
-    channels: u64,
     banks: usize,
     rows_per_bank: u64,
     /// Rows the attacker touches per bank (pollution set size).
@@ -174,18 +170,16 @@ pub struct BlockHammerAdversarial {
 
 impl BlockHammerAdversarial {
     /// Creates a pollution attack touching `set_size` rows per bank,
-    /// spread over all `channels`.
+    /// spread over every channel of the mapping's geometry.
     ///
     /// # Panics
     ///
-    /// Panics if `set_size` or `channels` is zero.
-    pub fn new(mapping: AddressMapping, channels: usize, set_size: u64) -> Self {
+    /// Panics if `set_size` is zero.
+    pub fn new(mapping: AddressMapping, set_size: u64) -> Self {
         assert!(set_size > 0, "set_size must be non-zero");
-        assert!(channels > 0, "channels must be non-zero");
         let g = *mapping.geometry();
         Self {
             mapping,
-            channels: channels as u64,
             banks: g.banks_total(),
             rows_per_bank: g.rows_per_bank,
             set_size,
@@ -196,17 +190,24 @@ impl BlockHammerAdversarial {
 
 impl TraceSource for BlockHammerAdversarial {
     fn next_op(&mut self) -> TraceOp {
-        // Stride through a wide, evenly spaced row set across all banks so
-        // the pollution covers as many CBF buckets as possible.
+        // Stride through a wide, evenly spaced row set across all channels
+        // and banks so the pollution covers as many CBF buckets as
+        // possible.
         let i = self.cursor;
         self.cursor = self.cursor.wrapping_add(1);
-        let bank = (i as usize) % self.banks;
-        let slot = (i / self.banks as u64) % self.set_size;
+        let channel = ChannelId((i as usize) % self.mapping.channels());
+        let bank = (i as usize / self.mapping.channels()) % self.banks;
+        let slot = (i / (self.mapping.channels() * self.banks) as u64) % self.set_size;
         let row = (slot * (self.rows_per_bank / self.set_size).max(1)) % self.rows_per_bank;
-        let line = self.mapping.line_for(MappedAddr { bank, row, col: (i / 7) % 128 });
+        let line = self.mapping.line_for(MappedAddr {
+            channel,
+            bank,
+            row,
+            col: (i / 7) % 128,
+        });
         TraceOp {
             non_mem_insts: 0,
-            line_addr: line * self.channels + i % self.channels,
+            line_addr: line,
             is_write: false,
             uncacheable: true,
         }
@@ -214,6 +215,70 @@ impl TraceSource for BlockHammerAdversarial {
 
     fn name(&self) -> &str {
         "blockhammer-adversarial"
+    }
+}
+
+/// Pins an arbitrary trace source to one memory channel.
+///
+/// The wrapped source's line addresses are re-interleaved so that every
+/// access lands on `channel` while keeping the source's bank/row/column
+/// structure within that channel. This is how the channel-interference mix
+/// builds "streaming victim on channel B while the hammer runs on channel
+/// A" scenarios.
+///
+/// # Example
+///
+/// ```
+/// use mithril_dram::{ChannelId, Geometry};
+/// use mithril_memctrl::AddressMapping;
+/// use mithril_workloads::{ChannelPinned, StreamSweep, TraceSource};
+///
+/// let m = AddressMapping::new(Geometry::table_iii_system());
+/// let mut pinned = ChannelPinned::new(StreamSweep::new(4, 1 << 20, 7), m, ChannelId(1));
+/// for _ in 0..100 {
+///     let op = pinned.next_op();
+///     assert_eq!(m.map_line(op.line_addr).channel, ChannelId(1));
+/// }
+/// ```
+pub struct ChannelPinned<S> {
+    inner: S,
+    mapping: AddressMapping,
+    channel: ChannelId,
+    name: String,
+}
+
+impl<S: TraceSource> ChannelPinned<S> {
+    /// Pins `inner` to `channel` under `mapping`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range for the mapping's geometry.
+    pub fn new(inner: S, mapping: AddressMapping, channel: ChannelId) -> Self {
+        assert!(channel.0 < mapping.channels(), "channel out of range");
+        let name = format!("{}@{channel}", inner.name());
+        Self {
+            inner,
+            mapping,
+            channel,
+            name,
+        }
+    }
+}
+
+impl<S: TraceSource> TraceSource for ChannelPinned<S> {
+    fn next_op(&mut self) -> TraceOp {
+        let mut op = self.inner.next_op();
+        // Interpret the inner line address as a per-channel line: spread it
+        // into the full interleaving, then override the channel.
+        let spread = op.line_addr.wrapping_mul(self.mapping.channels() as u64);
+        let mut addr = self.mapping.map_line(spread);
+        addr.channel = self.channel;
+        op.line_addr = self.mapping.line_for(addr);
+        op
+    }
+
+    fn name(&self) -> &str {
+        &self.name
     }
 }
 
@@ -226,9 +291,13 @@ mod tests {
         AddressMapping::new(Geometry::default())
     }
 
+    fn mapping2ch() -> AddressMapping {
+        AddressMapping::new(Geometry::table_iii_system())
+    }
+
     #[test]
     fn double_sided_alternates_aggressors() {
-        let mut a = DoubleSided::new(mapping(), 1, 3, 1000);
+        let mut a = DoubleSided::new(mapping(), ChannelId(0), 3, 1000);
         let m = mapping();
         let r1 = m.map_line(a.next_op().line_addr);
         let r2 = m.map_line(a.next_op().line_addr);
@@ -241,7 +310,7 @@ mod tests {
 
     #[test]
     fn attack_ops_are_uncacheable_reads() {
-        let mut a = DoubleSided::new(mapping(), 1, 0, 10);
+        let mut a = DoubleSided::new(mapping(), ChannelId(0), 0, 10);
         let op = a.next_op();
         assert!(op.uncacheable);
         assert!(!op.is_write);
@@ -250,9 +319,11 @@ mod tests {
 
     #[test]
     fn multi_sided_covers_32_aggressors() {
-        let mut a = MultiSided::new(mapping(), 1, 1, 5000, 32);
+        let mut a = MultiSided::new(mapping(), ChannelId(0), 1, 5000, 32);
         let m = mapping();
-        let rows: Vec<u64> = (0..32).map(|_| m.map_line(a.next_op().line_addr).row).collect();
+        let rows: Vec<u64> = (0..32)
+            .map(|_| m.map_line(a.next_op().line_addr).row)
+            .collect();
         assert_eq!(rows[0], 5000);
         assert_eq!(rows[31], 5000 + 62);
         assert!(rows.windows(2).all(|w| w[1] == w[0] + 2));
@@ -260,7 +331,7 @@ mod tests {
 
     #[test]
     fn columns_vary_to_defeat_merging() {
-        let mut a = DoubleSided::new(mapping(), 1, 0, 10);
+        let mut a = DoubleSided::new(mapping(), ChannelId(0), 0, 10);
         let m = mapping();
         let c1 = m.map_line(a.next_op().line_addr).col;
         let c2 = m.map_line(a.next_op().line_addr).col;
@@ -269,36 +340,64 @@ mod tests {
     }
 
     #[test]
-    fn adversarial_spreads_rows_and_banks() {
-        let mut a = BlockHammerAdversarial::new(mapping(), 1, 64);
-        let m = mapping();
+    fn adversarial_spreads_rows_banks_and_channels() {
+        let m = mapping2ch();
+        let mut a = BlockHammerAdversarial::new(m, 64);
         let mut banks = std::collections::HashSet::new();
         let mut rows = std::collections::HashSet::new();
-        for _ in 0..32 * 64 {
+        let mut channels = std::collections::HashSet::new();
+        for _ in 0..2 * 32 * 64 {
             let addr = m.map_line(a.next_op().line_addr);
+            channels.insert(addr.channel);
             banks.insert(addr.bank);
             rows.insert(addr.row);
         }
+        assert_eq!(channels.len(), 2);
         assert_eq!(banks.len(), 32);
         assert!(rows.len() >= 64);
     }
 
     #[test]
-    fn channel_routing_round_trips() {
-        // On a 2-channel system, channel-0 attacks produce even line
-        // addresses whose per-channel half maps back to the target.
-        let mut a = DoubleSided::new(mapping(), 2, 3, 1000);
-        let m = mapping();
-        let op = a.next_op();
-        assert_eq!(op.line_addr % 2, 0, "channel-0 lines are even");
-        let back = m.map_line(op.line_addr / 2);
-        assert_eq!((back.bank, back.row), (3, 999));
+    fn attacks_stay_on_their_channel() {
+        let m = mapping2ch();
+        for channel in [ChannelId(0), ChannelId(1)] {
+            let mut a = DoubleSided::new(m, channel, 3, 1000);
+            for _ in 0..64 {
+                let addr = m.map_line(a.next_op().line_addr);
+                assert_eq!(addr.channel, channel, "attack strayed off {channel}");
+                assert_eq!(addr.bank, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn channel_pinned_keeps_all_traffic_on_channel() {
+        let m = mapping2ch();
+        let mut pinned = ChannelPinned::new(
+            crate::kernels::StreamSweep::new(4, 1 << 20, 9),
+            m,
+            ChannelId(1),
+        );
+        let mut rows = std::collections::HashSet::new();
+        for _ in 0..4_096 {
+            let op = pinned.next_op();
+            let addr = m.map_line(op.line_addr);
+            assert_eq!(addr.channel, ChannelId(1));
+            rows.insert((addr.bank, addr.row));
+        }
+        assert!(rows.len() > 8, "pinning must preserve footprint diversity");
     }
 
     #[test]
     fn row_attack_targets_accessor() {
-        let a = RowAttack::new(mapping(), 1, 0, vec![(0, 1), (1, 2)], "t");
+        let a = RowAttack::new(mapping(), ChannelId(0), vec![(0, 1), (1, 2)], "t");
         let t: Vec<_> = a.targets().collect();
         assert_eq!(t, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel out of range")]
+    fn out_of_range_channel_panics() {
+        let _ = DoubleSided::new(mapping(), ChannelId(1), 0, 10);
     }
 }

@@ -93,7 +93,12 @@ impl RandomAccess {
     /// Panics if `footprint_lines` is zero.
     pub fn new(footprint_lines: u64, seed: u64) -> Self {
         assert!(footprint_lines > 0, "footprint_lines must be non-zero");
-        Self { base: 0xA << 40, footprint_lines, write_fraction: 0.3, rng: SmallRng::seed_from_u64(seed) }
+        Self {
+            base: 0xA << 40,
+            footprint_lines,
+            write_fraction: 0.3,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -131,7 +136,11 @@ impl PointerChase {
     /// Panics if `footprint_lines` is zero.
     pub fn new(footprint_lines: u64, seed: u64) -> Self {
         assert!(footprint_lines > 0, "footprint_lines must be non-zero");
-        Self { base: 0xB << 40, footprint_lines, state: seed | 1 }
+        Self {
+            base: 0xB << 40,
+            footprint_lines,
+            state: seed | 1,
+        }
     }
 }
 
@@ -190,7 +199,11 @@ impl TraceSource for BlockedFft {
         let stride = 1u64 << self.stage;
         let i = self.index;
         // Butterfly partner indices (i, i + stride).
-        let addr = if self.pair { self.base + ((i + stride) % self.n_lines) } else { self.base + i };
+        let addr = if self.pair {
+            self.base + ((i + stride) % self.n_lines)
+        } else {
+            self.base + i
+        };
         let op = TraceOp {
             non_mem_insts: 10,
             line_addr: addr,
@@ -255,7 +268,12 @@ impl RadixPartition {
 impl TraceSource for RadixPartition {
     fn next_op(&mut self) -> TraceOp {
         if let Some(addr) = self.emit_write.take() {
-            return TraceOp { non_mem_insts: 4, line_addr: addr, is_write: true, uncacheable: false };
+            return TraceOp {
+                non_mem_insts: 4,
+                line_addr: addr,
+                is_write: true,
+                uncacheable: false,
+            };
         }
         let src = self.src_base + self.cursor;
         self.cursor = (self.cursor + 1) % self.n_lines;
@@ -265,7 +283,12 @@ impl TraceSource for RadixPartition {
         self.bucket_cursor[b as usize] = slot + 1;
         let span = self.n_lines / self.buckets + 1;
         self.emit_write = Some(self.bucket_base + b * span + slot % span);
-        TraceOp { non_mem_insts: 8, line_addr: src, is_write: false, uncacheable: false }
+        TraceOp {
+            non_mem_insts: 8,
+            line_addr: src,
+            is_write: false,
+            uncacheable: false,
+        }
     }
 
     fn name(&self) -> &str {
@@ -319,12 +342,22 @@ impl TraceSource for PageRankLike {
         if self.emit_vertex {
             self.emit_vertex = false;
             let v = self.zipf(self.vertices);
-            TraceOp { non_mem_insts: 9, line_addr: self.vertex_base + v, is_write: false, uncacheable: false }
+            TraceOp {
+                non_mem_insts: 9,
+                line_addr: self.vertex_base + v,
+                is_write: false,
+                uncacheable: false,
+            }
         } else {
             self.emit_vertex = true;
             let e = self.edge_cursor;
             self.edge_cursor = (self.edge_cursor + 1) % self.edges;
-            TraceOp { non_mem_insts: 6, line_addr: self.edge_base + e, is_write: false, uncacheable: false }
+            TraceOp {
+                non_mem_insts: 6,
+                line_addr: self.edge_base + e,
+                is_write: false,
+                uncacheable: false,
+            }
         }
     }
 
@@ -352,8 +385,16 @@ impl CacheResident {
     ///
     /// Panics if `hot_lines` or `cold_lines` is zero.
     pub fn new(hot_lines: u64, cold_lines: u64, seed: u64) -> Self {
-        assert!(hot_lines > 0 && cold_lines > 0, "line counts must be non-zero");
-        Self { base: 0x11 << 40, hot_lines, cold_lines, rng: SmallRng::seed_from_u64(seed) }
+        assert!(
+            hot_lines > 0 && cold_lines > 0,
+            "line counts must be non-zero"
+        );
+        Self {
+            base: 0x11 << 40,
+            hot_lines,
+            cold_lines,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -391,7 +432,10 @@ mod tests {
     fn sweep_is_sequential_within_streams() {
         let mut s = StreamSweep::new(2, 1 << 16, 1);
         let ops = take(&mut s, 64);
-        let sequential = ops.windows(2).filter(|w| w[1].line_addr == w[0].line_addr + 1).count();
+        let sequential = ops
+            .windows(2)
+            .filter(|w| w[1].line_addr == w[0].line_addr + 1)
+            .count();
         assert!(sequential > 40, "sequential pairs = {sequential}");
     }
 
@@ -461,8 +505,7 @@ mod tests {
     fn cache_resident_is_low_intensity() {
         let mut c = CacheResident::new(1 << 12, 1 << 20, 5);
         let ops = take(&mut c, 1000);
-        let avg: f64 =
-            ops.iter().map(|o| o.non_mem_insts as f64).sum::<f64>() / ops.len() as f64;
+        let avg: f64 = ops.iter().map(|o| o.non_mem_insts as f64).sum::<f64>() / ops.len() as f64;
         assert!(avg > 60.0, "avg inter-access instructions = {avg}");
     }
 
@@ -478,8 +521,7 @@ mod tests {
         ];
         let mut spaces: Vec<HashSet<u64>> = Vec::new();
         for s in srcs.iter_mut() {
-            let tags: HashSet<u64> =
-                (0..200).map(|_| s.next_op().line_addr >> 40).collect();
+            let tags: HashSet<u64> = (0..200).map(|_| s.next_op().line_addr >> 40).collect();
             spaces.push(tags);
         }
         for i in 0..spaces.len() {

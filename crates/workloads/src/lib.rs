@@ -37,13 +37,14 @@ mod kernels;
 mod mixes;
 mod op;
 
-pub use attacks::{BlockHammerAdversarial, DoubleSided, MultiSided, RowAttack};
+pub use attacks::{BlockHammerAdversarial, ChannelPinned, DoubleSided, MultiSided, RowAttack};
 pub use kernels::{
     BlockedFft, CacheResident, PageRankLike, PointerChase, RadixPartition, RandomAccess,
     StreamSweep,
 };
 pub use mixes::{
-    attack_mix, bh_cover_attack_mix, mix_blend, mix_high, multithreaded, Thread, ThreadSet,
+    attack_mix, bh_cover_attack_mix, channel_interference_mix, mix_blend, mix_high, multithreaded,
+    Thread, ThreadSet,
 };
 pub use op::TraceOp;
 

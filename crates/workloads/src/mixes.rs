@@ -1,15 +1,15 @@
 //! The paper's workload mixes (Section VI-A): 16-thread multi-programmed
 //! mixes and multi-threaded kernels.
 
-use crate::attacks::{BlockHammerAdversarial, DoubleSided, MultiSided, RowAttack};
-use mithril_baselines::{BlockHammer, BlockHammerConfig};
-use mithril_dram::Ddr5Timing;
+use crate::attacks::{BlockHammerAdversarial, ChannelPinned, DoubleSided, MultiSided, RowAttack};
 use crate::kernels::{
     BlockedFft, CacheResident, PageRankLike, PointerChase, RadixPartition, RandomAccess,
     StreamSweep,
 };
 use crate::op::TraceOp;
 use crate::TraceSource;
+use mithril_baselines::{BlockHammer, BlockHammerConfig};
+use mithril_dram::{ChannelId, Ddr5Timing};
 use mithril_memctrl::AddressMapping;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -23,7 +23,10 @@ pub struct Thread {
 impl Thread {
     /// Wraps a trace source as a thread.
     pub fn new(name: impl Into<String>, source: Box<dyn TraceSource + Send>) -> Self {
-        Self { name: name.into(), source }
+        Self {
+            name: name.into(),
+            source,
+        }
     }
 
     /// The thread's workload name.
@@ -66,7 +69,10 @@ pub fn mix_high(cores: usize, seed: u64) -> ThreadSet {
         };
         threads.push(Thread::new(format!("mix-high/{t}"), source));
     }
-    ThreadSet { name: "mix-high", threads }
+    ThreadSet {
+        name: "mix-high",
+        threads,
+    }
 }
 
 /// `mix-blend`: a random blend of intensive and cache-resident traces.
@@ -84,7 +90,10 @@ pub fn mix_blend(cores: usize, seed: u64) -> ThreadSet {
         };
         threads.push(Thread::new(format!("mix-blend/{t}"), source));
     }
-    ThreadSet { name: "mix-blend", threads }
+    ThreadSet {
+        name: "mix-blend",
+        threads,
+    }
 }
 
 /// Multi-threaded kernels (paper: FFT and RADIX from SPLASH-2, PageRank
@@ -115,7 +124,8 @@ pub fn multithreaded(kernel: &str, cores: usize, seed: u64) -> ThreadSet {
 }
 
 /// The attack mixes of Section VI-A: one attacker thread plus 15 benign
-/// threads from `mix-high`, on a `channels`-channel system.
+/// threads from `mix-high`; the attacker aims at channel 0 of whatever
+/// hierarchy `mapping` describes.
 ///
 /// `attack` selects the pattern:
 /// * `"double"` — double-sided hammer;
@@ -123,27 +133,27 @@ pub fn multithreaded(kernel: &str, cores: usize, seed: u64) -> ThreadSet {
 /// * `"bh-adversarial"` — BlockHammer CBF-pollution pattern.
 ///
 /// For the *profiled* CBF-collision pattern of Fig. 10(c) see
-/// [`bh_cover_attack_mix`].
+/// [`bh_cover_attack_mix`]; for the cross-channel interference scenario
+/// see [`channel_interference_mix`].
 ///
 /// # Panics
 ///
 /// Panics if `attack` is unknown or `cores` is zero.
-pub fn attack_mix(
-    attack: &str,
-    cores: usize,
-    mapping: AddressMapping,
-    channels: usize,
-    seed: u64,
-) -> ThreadSet {
+pub fn attack_mix(attack: &str, cores: usize, mapping: AddressMapping, seed: u64) -> ThreadSet {
     assert!(cores > 0, "cores must be non-zero");
     let mut set = mix_high(cores, seed);
+    let ch0 = ChannelId(0);
     let attacker: (Box<dyn TraceSource + Send>, &'static str) = match attack {
-        "double" => (Box::new(DoubleSided::new(mapping, channels, 0, 1000)), "attack-double"),
-        "multi" => {
-            (Box::new(MultiSided::new(mapping, channels, 0, 5000, 32)), "attack-multi")
-        }
+        "double" => (
+            Box::new(DoubleSided::new(mapping, ch0, 0, 1000)),
+            "attack-double",
+        ),
+        "multi" => (
+            Box::new(MultiSided::new(mapping, ch0, 0, 5000, 32)),
+            "attack-multi",
+        ),
         "bh-adversarial" => (
-            Box::new(BlockHammerAdversarial::new(mapping, channels, 128)),
+            Box::new(BlockHammerAdversarial::new(mapping, 128)),
             "attack-bh-adversarial",
         ),
         other => panic!("unknown attack {other}"),
@@ -174,7 +184,6 @@ pub fn attack_mix(
 pub fn bh_cover_attack_mix(
     cores: usize,
     mapping: AddressMapping,
-    channels: usize,
     flip_th: u64,
     timing: &Ddr5Timing,
     victim_rows: &[u64],
@@ -195,10 +204,75 @@ pub fn bh_cover_attack_mix(
     let mut set = mix_high(cores, seed);
     set.threads[cores - 1] = Thread::new(
         "attack-bh-cover",
-        Box::new(RowAttack::new(mapping, channels, 0, targets, "bh-cover")),
+        Box::new(RowAttack::new(mapping, ChannelId(0), targets, "bh-cover")),
     );
     set.name = "mix-high+bh-cover";
     set
+}
+
+/// Shifts a trace source's line addresses by a fixed offset, giving each
+/// interference victim its own footprint ([`StreamSweep`]'s array bases
+/// are stream-indexed, not seed-indexed, so identical sweeps on different
+/// threads would otherwise alias in the shared LLC and starve the victim
+/// channel of real traffic).
+struct OffsetLines<S> {
+    inner: S,
+    offset_lines: u64,
+}
+
+impl<S: TraceSource> TraceSource for OffsetLines<S> {
+    fn next_op(&mut self) -> TraceOp {
+        let mut op = self.inner.next_op();
+        op.line_addr = op.line_addr.wrapping_add(self.offset_lines);
+        op
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// The cross-channel interference mix: a multi-sided hammer saturates
+/// channel 0 while every benign thread streams on channel 1 (or, with more
+/// than two channels, round-robins over the non-attacked channels). Under
+/// a per-channel mitigation the victim channel's IPC and energy must stay
+/// at baseline: RFM/ARR head-of-line blocking on the hammered channel
+/// cannot cross the channel boundary.
+///
+/// # Panics
+///
+/// Panics if `cores` is zero or `mapping` has fewer than two channels.
+pub fn channel_interference_mix(cores: usize, mapping: AddressMapping, seed: u64) -> ThreadSet {
+    assert!(cores > 0, "cores must be non-zero");
+    let channels = mapping.channels();
+    assert!(
+        channels >= 2,
+        "channel interference needs at least two channels"
+    );
+    let mut threads = Vec::with_capacity(cores);
+    for t in 0..cores - 1 {
+        let s = seed.wrapping_mul(4000).wrapping_add(t as u64);
+        let victim_channel = ChannelId(1 + t % (channels - 1));
+        // Disjoint 8M-line (512 MB) footprints per victim so every thread
+        // streams real DRAM traffic instead of hitting the LLC lines its
+        // twin fetched.
+        let sweep = OffsetLines {
+            inner: StreamSweep::new(4, 1 << 20, s),
+            offset_lines: (t as u64) * (8 << 20),
+        };
+        threads.push(Thread::new(
+            format!("stream-victim/{t}@{victim_channel}"),
+            Box::new(ChannelPinned::new(sweep, mapping, victim_channel)),
+        ));
+    }
+    threads.push(Thread::new(
+        "attack-multi@ch0",
+        Box::new(MultiSided::new(mapping, ChannelId(0), 0, 5000, 32)),
+    ));
+    ThreadSet {
+        name: "channel-interference",
+        threads,
+    }
 }
 
 #[cfg(test)]
@@ -235,8 +309,8 @@ mod tests {
 
     #[test]
     fn attack_mix_replaces_last_thread() {
-        let m = AddressMapping::new(Geometry::default());
-        let mut set = attack_mix("double", 16, m, 2, 7);
+        let m = AddressMapping::new(Geometry::table_iii_system());
+        let mut set = attack_mix("double", 16, m, 7);
         assert_eq!(set.threads.len(), 16);
         assert_eq!(set.threads[15].name(), "attack-double");
         assert!(set.threads[15].next_op().uncacheable);
@@ -253,20 +327,51 @@ mod tests {
 
     #[test]
     fn bh_cover_mix_targets_cover_rows() {
-        let m = AddressMapping::new(Geometry::default());
+        let m = AddressMapping::new(Geometry::table_iii_system());
         let t = Ddr5Timing::ddr5_4800();
-        let mut set = bh_cover_attack_mix(4, m, 2, 6_250, &t, &[0, 249], 4, 3);
+        let mut set = bh_cover_attack_mix(4, m, 6_250, &t, &[0, 249], 4, 3);
         assert_eq!(set.threads[3].name(), "attack-bh-cover");
         let op = set.threads[3].next_op();
         assert!(op.uncacheable);
-        assert_eq!(op.line_addr % 2, 0, "attacker stays on channel 0");
+        assert_eq!(
+            m.map_line(op.line_addr).channel,
+            mithril_dram::ChannelId(0),
+            "attacker stays on channel 0"
+        );
+    }
+
+    #[test]
+    fn channel_interference_separates_channels() {
+        let m = AddressMapping::new(Geometry::table_iii_system());
+        let mut set = channel_interference_mix(4, m, 5);
+        assert_eq!(set.name, "channel-interference");
+        assert_eq!(set.threads.len(), 4);
+        // Attacker is the last thread, pinned to channel 0.
+        let op = set.threads[3].next_op();
+        assert!(op.uncacheable);
+        assert_eq!(m.map_line(op.line_addr).channel, ChannelId(0));
+        // Every benign thread stays off channel 0.
+        for t in 0..3 {
+            for _ in 0..64 {
+                let op = set.threads[t].next_op();
+                assert!(!op.uncacheable);
+                assert_ne!(m.map_line(op.line_addr).channel, ChannelId(0));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two channels")]
+    fn interference_needs_multi_channel() {
+        let m = AddressMapping::new(Geometry::default());
+        let _ = channel_interference_mix(4, m, 1);
     }
 
     #[test]
     #[should_panic(expected = "unknown attack")]
     fn unknown_attack_panics() {
         let m = AddressMapping::new(Geometry::default());
-        let _ = attack_mix("nope", 4, m, 2, 0);
+        let _ = attack_mix("nope", 4, m, 0);
     }
 
     #[test]

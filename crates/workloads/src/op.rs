@@ -33,12 +33,22 @@ impl TraceOp {
 
     /// A plain cacheable read.
     pub fn read(non_mem_insts: u32, line_addr: u64) -> Self {
-        Self { non_mem_insts, line_addr, is_write: false, uncacheable: false }
+        Self {
+            non_mem_insts,
+            line_addr,
+            is_write: false,
+            uncacheable: false,
+        }
     }
 
     /// A plain cacheable write.
     pub fn write(non_mem_insts: u32, line_addr: u64) -> Self {
-        Self { non_mem_insts, line_addr, is_write: true, uncacheable: false }
+        Self {
+            non_mem_insts,
+            line_addr,
+            is_write: true,
+            uncacheable: false,
+        }
     }
 }
 

@@ -54,8 +54,7 @@ fn main() {
         }
         None => println!("  PARFM: cannot meet the target at any RFMTH"),
     }
-    let para =
-        ParaConfig::for_failure_target(flip_th, 1e-15, timing.act_budget_per_trefw(), 22);
+    let para = ParaConfig::for_failure_target(flip_th, 1e-15, timing.act_budget_per_trefw(), 22);
     println!(
         "  PARA:  refresh probability p = {:.5} (one ARR per ~{:.0} ACTs)",
         para.probability,

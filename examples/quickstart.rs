@@ -21,9 +21,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = MithrilConfig::for_flip_threshold(flip_th, rfm_th, &timing)?;
     println!("Solved configuration:");
     println!("  Nentry        = {} entries", config.nentry);
-    println!("  counter width = {} bits (wrapping)", config.counter_bits(&timing));
+    println!(
+        "  counter width = {} bits (wrapping)",
+        config.counter_bits(&timing)
+    );
     println!("  table size    = {:.2} KiB per bank", config.table_kib());
-    println!("  bound M       = {:.0} (< FlipTH/2 = {})", config.bound(&timing), flip_th / 2);
+    println!(
+        "  bound M       = {:.0} (< FlipTH/2 = {})",
+        config.bound(&timing),
+        flip_th / 2
+    );
 
     // 3. Put the engine in a bank and run a double-sided hammer for a full
     //    32 ms refresh window at the maximum activation rate. The harness
@@ -43,8 +50,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nAfter one tREFW of double-sided hammering (rows 999/1001):");
     println!("  activations issued    = {i}");
     println!("  RFMs issued           = {}", bank.rfms_issued());
-    println!("  preventive refreshes  = {}", bank.counters().preventive_rows);
-    println!("  worst victim count    = {} (FlipTH = {flip_th})", oracle.max_disturbance());
+    println!(
+        "  preventive refreshes  = {}",
+        bank.counters().preventive_rows
+    );
+    println!(
+        "  worst victim count    = {} (FlipTH = {flip_th})",
+        oracle.max_disturbance()
+    );
     println!("  bit flips             = {}", oracle.flips().len());
     assert!(oracle.flips().is_empty(), "Mithril must prevent all flips");
     println!("\nNo victim reached FlipTH — the deterministic guarantee held.");

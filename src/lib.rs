@@ -17,6 +17,8 @@
 //!   paging, RAA counters / RFM issue logic, ARR, throttling).
 //! * [`workloads`] — deterministic synthetic workload and attack traces.
 //! * [`sim`] — the trace-driven manycore system simulator tying it together.
+//! * [`runner`] — the scenario registry and sharded parallel sweep engine
+//!   (`BENCH_sweep.json`).
 //!
 //! ## Quickstart
 //!
@@ -48,6 +50,7 @@ pub use mithril as core;
 pub use mithril_baselines as baselines;
 pub use mithril_dram as dram;
 pub use mithril_memctrl as memctrl;
+pub use mithril_runner as runner;
 pub use mithril_sim as sim;
 pub use mithril_trackers as trackers;
 pub use mithril_workloads as workloads;

@@ -24,8 +24,16 @@ fn every_scheme_survives_every_workload_class() {
     // flips for deterministic schemes, forward progress everywhere.
     let schemes = [
         Scheme::None,
-        Scheme::Mithril { rfm_th: 64, ad_th: Some(200), plus: false },
-        Scheme::Mithril { rfm_th: 64, ad_th: Some(200), plus: true },
+        Scheme::Mithril {
+            rfm_th: 64,
+            ad_th: Some(200),
+            plus: false,
+        },
+        Scheme::Mithril {
+            rfm_th: 64,
+            ad_th: Some(200),
+            plus: true,
+        },
         Scheme::Parfm,
         Scheme::Para,
         Scheme::Graphene,
@@ -39,7 +47,7 @@ fn every_scheme_survives_every_workload_class() {
             mix_high(4, 7),
             mix_blend(4, 7),
             multithreaded("pagerank", 4, 7),
-            attack_mix("double", 4, cfg.mapping(), cfg.channels, 7),
+            attack_mix("double", 4, cfg.mapping(), 7),
         ]
         .into_iter()
         .enumerate()
@@ -59,14 +67,22 @@ fn every_scheme_survives_every_workload_class() {
 #[test]
 fn deterministic_schemes_never_flip_under_system_level_attack() {
     for scheme in [
-        Scheme::Mithril { rfm_th: 32, ad_th: Some(200), plus: false },
-        Scheme::Mithril { rfm_th: 32, ad_th: Some(200), plus: true },
+        Scheme::Mithril {
+            rfm_th: 32,
+            ad_th: Some(200),
+            plus: false,
+        },
+        Scheme::Mithril {
+            rfm_th: 32,
+            ad_th: Some(200),
+            plus: true,
+        },
         Scheme::Graphene,
         Scheme::TwiCe,
         Scheme::Cbt,
     ] {
         let cfg = quick(scheme, 1_500);
-        let threads = attack_mix("multi", 4, cfg.mapping(), cfg.channels, 3);
+        let threads = attack_mix("multi", 4, cfg.mapping(), 3);
         let mut sys = System::new(cfg, threads).unwrap();
         let m = sys.run(60_000, u64::MAX);
         assert_eq!(m.flips, 0, "{} flipped", cfg.scheme.name());
@@ -84,13 +100,25 @@ fn mithril_plus_dominates_mithril_in_rfm_traffic() {
     // Same workload, same table: Mithril+ must issue no more RFMs than
     // Mithril (elision can only remove commands).
     let run = |plus: bool| {
-        let cfg = quick(Scheme::Mithril { rfm_th: 64, ad_th: Some(200), plus }, 6_250);
+        let cfg = quick(
+            Scheme::Mithril {
+                rfm_th: 64,
+                ad_th: Some(200),
+                plus,
+            },
+            6_250,
+        );
         let mut sys = System::new(cfg, mix_blend(4, 5)).unwrap();
         sys.run(30_000, u64::MAX)
     };
     let mithril = run(false);
     let plus = run(true);
-    assert!(plus.rfms <= mithril.rfms, "{} > {}", plus.rfms, mithril.rfms);
+    assert!(
+        plus.rfms <= mithril.rfms,
+        "{} > {}",
+        plus.rfms,
+        mithril.rfms
+    );
     assert!(plus.rfm_elisions > 0);
 }
 
@@ -102,8 +130,7 @@ fn theorem_bound_is_respected_end_to_end() {
     for (flip, rfm) in [(6_250u64, 64u64), (3_125, 32)] {
         let cfg = MithrilConfig::for_flip_threshold(flip, rfm, &timing).unwrap();
         let m = bounds::theorem1_bound(cfg.nentry, rfm, &timing);
-        let mut h =
-            AttackHarness::new(timing, Box::new(MithrilScheme::new(cfg)), rfm, flip);
+        let mut h = AttackHarness::new(timing, Box::new(MithrilScheme::new(cfg)), rfm, flip);
         let mut i = 0;
         while h.try_activate(999 + 2 * (i % 2)) {
             i += 1;
@@ -130,7 +157,11 @@ fn energy_ordering_matches_paper_fig10d() {
     };
     let baseline = energy(Scheme::None);
     let parfm = energy(Scheme::Parfm);
-    let mithril = energy(Scheme::Mithril { rfm_th: 64, ad_th: Some(200), plus: false });
+    let mithril = energy(Scheme::Mithril {
+        rfm_th: 64,
+        ad_th: Some(200),
+        plus: false,
+    });
     assert!(parfm > baseline, "PARFM must add energy");
     assert!(mithril < parfm, "Mithril must beat PARFM on energy");
 }
@@ -144,8 +175,16 @@ fn parfm_rfm_rate_follows_solved_threshold() {
     let m = sys.run(30_000, u64::MAX);
     // RFMs ≈ ACTs / solved threshold (within slack for per-bank rounding).
     let expected = m.counters.acts / solved;
-    assert!(m.rfms >= expected / 4, "rfms {} << expected {expected}", m.rfms);
-    assert!(m.rfms <= expected + 64 * 2, "rfms {} >> expected {expected}", m.rfms);
+    assert!(
+        m.rfms >= expected / 4,
+        "rfms {} << expected {expected}",
+        m.rfms
+    );
+    assert!(
+        m.rfms <= expected + 64 * 2,
+        "rfms {} >> expected {expected}",
+        m.rfms
+    );
 }
 
 #[test]
@@ -157,7 +196,6 @@ fn blockhammer_adversarial_pattern_hurts_blockhammer_most() {
         let threads = bh_cover_attack_mix(
             4,
             cfg.mapping(),
-            cfg.channels,
             cfg.flip_th,
             &cfg.timing,
             &[0, 1, 249, 250],
@@ -171,12 +209,19 @@ fn blockhammer_adversarial_pattern_hurts_blockhammer_most() {
     };
     let baseline = run(Scheme::None);
     let bh = run(Scheme::BlockHammer { nbl_scale: 6 });
-    let mithril = run(Scheme::Mithril { rfm_th: 32, ad_th: Some(200), plus: true });
+    let mithril = run(Scheme::Mithril {
+        rfm_th: 32,
+        ad_th: Some(200),
+        plus: true,
+    });
     let bh_norm = bh.normalized_ipc(&baseline);
     let mithril_norm = mithril.normalized_ipc(&baseline);
     assert!(
         bh_norm < mithril_norm,
         "BlockHammer ({bh_norm:.3}) should suffer more than Mithril+ ({mithril_norm:.3})"
     );
-    assert!(bh.throttled_acts > 0, "adversarial pattern must trigger throttling");
+    assert!(
+        bh.throttled_acts > 0,
+        "adversarial pattern must trigger throttling"
+    );
 }

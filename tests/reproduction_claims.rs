@@ -24,7 +24,11 @@ fn claim_low_flipth_needs_4kb_class() {
     // Section VI-B: "lower FlipTH … at the cost of ~2% performance and
     // 4KB of area."
     let c = MithrilConfig::for_flip_threshold(1_500, 32, &timing()).unwrap();
-    assert!((2.0..7.0).contains(&c.table_kib()), "table = {:.2} KiB", c.table_kib());
+    assert!(
+        (2.0..7.0).contains(&c.table_kib()),
+        "table = {:.2} KiB",
+        c.table_kib()
+    );
 }
 
 #[test]
@@ -40,7 +44,9 @@ fn claim_mithril_tables_4_to_60x_smaller_than_blockhammer() {
     };
     for flip in FLIP_TH_SWEEP {
         let bh = BlockHammerConfig::for_flip_threshold(flip, &t).table_kib();
-        let m = MithrilConfig::for_flip_threshold(flip, rfm_for(flip), &t).unwrap().table_kib();
+        let m = MithrilConfig::for_flip_threshold(flip, rfm_for(flip), &t)
+            .unwrap()
+            .table_kib();
         let ratio = bh / m;
         assert!(
             (2.0..80.0).contains(&ratio),
@@ -57,7 +63,11 @@ fn claim_twice_an_order_of_magnitude_over_graphene() {
     for flip in [50_000u64, 12_500, 3_125] {
         let tw = TwiCeConfig::for_flip_threshold(flip, &t).table_kib(&t);
         let g = GrapheneConfig::for_flip_threshold(flip, &t).table_kib(&t);
-        assert!(tw / g > 5.0, "FlipTH {flip}: TWiCe/Graphene = {:.1}", tw / g);
+        assert!(
+            tw / g > 5.0,
+            "FlipTH {flip}: TWiCe/Graphene = {:.1}",
+            tw / g
+        );
     }
 }
 
@@ -66,9 +76,18 @@ fn claim_counter_width_single_bank_fits_16_bits() {
     // Section IV-E / VI-E: wrapping counters bounded by M fit narrow CAMs
     // at every evaluated configuration.
     let t = timing();
-    for (flip, rfm) in [(50_000u64, 256u64), (12_500, 256), (6_250, 128), (1_500, 32)] {
+    for (flip, rfm) in [
+        (50_000u64, 256u64),
+        (12_500, 256),
+        (6_250, 128),
+        (1_500, 32),
+    ] {
         let c = MithrilConfig::for_flip_threshold(flip, rfm, &t).unwrap();
-        assert!(c.counter_bits(&t) <= 16, "({flip},{rfm}): {} bits", c.counter_bits(&t));
+        assert!(
+            c.counter_bits(&t) <= 16,
+            "({flip},{rfm}): {} bits",
+            c.counter_bits(&t)
+        );
     }
 }
 
@@ -101,8 +120,12 @@ fn claim_adaptive_refresh_surcharge_small() {
     // low FlipTH value" (we allow up to 20% for our exact solver).
     let t = timing();
     for (flip, rfm) in [(3_125u64, 16u64), (6_250, 64)] {
-        let base = MithrilConfig::for_flip_threshold(flip, rfm, &t).unwrap().nentry;
-        let ad = MithrilConfig::solve(flip, rfm, 1, Some(200), &t).unwrap().nentry;
+        let base = MithrilConfig::for_flip_threshold(flip, rfm, &t)
+            .unwrap()
+            .nentry;
+        let ad = MithrilConfig::solve(flip, rfm, 1, Some(200), &t)
+            .unwrap()
+            .nentry;
         let pct = (ad as f64 / base as f64 - 1.0) * 100.0;
         assert!(pct <= 20.0, "({flip},{rfm}): +{pct:.1}%");
     }
