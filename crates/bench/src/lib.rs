@@ -17,6 +17,13 @@ pub use mithril_runner::scenarios::{
     arr_schemes, default_rfm_th, normal_workload_overheads, rfm_compatible_schemes, run_one,
     workload, MITHRIL_SWEEP, NORMAL_WORKLOADS,
 };
+// Trace capture/replay, so figure binaries and external callers can swap a
+// registry workload for a recorded capture (`workload("trace:<path>", ..)`)
+// without importing another crate.
+pub use mithril_trace::{
+    record_thread_set, replay_thread_set, stats_from_reader, MtrcReader, MtrcWriter, ReplayEnd,
+    TraceHeader,
+};
 
 /// Parses `--key value`-style CLI overrides shared by the bins:
 /// `--insts N` (instructions per core), `--cores N`, `--seed N` and

@@ -47,22 +47,21 @@ pub fn default_threads() -> usize {
         .min(8)
 }
 
-/// splitmix64 — the seed-derivation mix used throughout the engine.
-pub fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
+pub use mithril_fasthash::splitmix64;
 
 /// The deterministic RNG seed of shard `shard` under `base_seed`.
 pub fn shard_seed(base_seed: u64, shard: usize) -> u64 {
-    splitmix64(base_seed ^ splitmix64(shard as u64).rotate_left(17))
+    mithril_fasthash::splitmix64_shard(base_seed, shard as u64)
 }
 
 /// The deterministic RNG seed of the item at `offset` within its shard.
+///
+/// Delegates to [`mithril_fasthash::splitmix64_seed`] — the same helper
+/// trace record/replay seeds through, so a recorded trace's generator seed
+/// can be made to match the seed the engine will assign the replay
+/// scenario at the same sweep position.
 pub fn item_seed(base_seed: u64, shard: usize, offset: usize) -> u64 {
-    splitmix64(shard_seed(base_seed, shard) ^ (offset as u64 + 1))
+    mithril_fasthash::splitmix64_seed(base_seed, shard as u64, offset as u64)
 }
 
 /// Runs `f(item, seed)` over every item on a work-stealing shard pool and

@@ -81,7 +81,13 @@ fn channel_json(c: &ChannelMetrics) -> String {
     )
 }
 
-fn metrics_json(m: &Metrics) -> String {
+/// Renders one run's [`Metrics`] in the deterministic report dialect.
+///
+/// Public because replay comparisons diff *metrics*, not scenario labels:
+/// a replayed scenario is named `trace:<path>` while its live twin carries
+/// the generator name, so whole-report strings can never match — this
+/// projection is the byte-comparable part.
+pub fn metrics_json(m: &Metrics) -> String {
     let channels: Vec<String> = m.per_channel.iter().map(channel_json).collect();
     format!(
         "{{\"aggregate_ipc\":{},\"total_insts\":{},\"sim_time_ps\":{},\"llc_miss_rate\":{},\
@@ -128,6 +134,34 @@ fn result_json(r: &SweepResult) -> String {
         s.insts_per_core,
         r.seed,
         outcome
+    )
+}
+
+/// Renders only the scheme labels and metrics of a sweep — the
+/// label-independent projection `trace replay --metrics-only` emits so a
+/// replayed capture and its live-generated twin can be compared
+/// byte-for-byte (`cmp`/`git diff`) despite their different workload
+/// names.
+pub fn metrics_only_json(base_seed: u64, results: &[SweepResult]) -> String {
+    let entries: Vec<String> = results
+        .iter()
+        .map(|r| {
+            let outcome = match &r.outcome {
+                Ok(m) => format!("\"metrics\":{}", metrics_json(m)),
+                Err(e) => format!("\"error\":\"{}\"", esc(e)),
+            };
+            format!(
+                "    {{\"scheme\":\"{}\",\"flip_th\":{},{}}}",
+                esc(&r.scenario.scheme_label),
+                r.scenario.flip_th,
+                outcome
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"base_seed\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        base_seed,
+        entries.join(",\n")
     )
 }
 

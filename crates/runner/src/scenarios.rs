@@ -10,6 +10,7 @@ use mithril::MithrilConfig;
 use mithril_baselines::{BlockHammerConfig, CbtConfig, GrapheneConfig, TwiCeConfig, FLIP_TH_SWEEP};
 use mithril_dram::{Ddr5Timing, Geometry};
 use mithril_sim::{geomean, Metrics, Scheme, System, SystemConfig};
+use mithril_trace::ReplayEnd;
 use mithril_workloads::{
     attack_mix, bh_cover_attack_mix, channel_interference_mix, mix_blend, mix_high, multithreaded,
     ThreadSet,
@@ -134,11 +135,36 @@ pub fn all_schemes(rfm_th: u64, nbl_scale: u64) -> Vec<(&'static str, Scheme)> {
 /// `channel-interference` (hammer on channel 0, streaming victims on the
 /// other channels).
 ///
+/// `trace:<path>` replays the MTRC capture at `<path>` (recorded with the
+/// `trace` binary or [`mithril_trace::record_thread_set`]): one replay
+/// thread per recorded core, looping if the simulation outruns the
+/// capture. Replay ignores `seed` — the ops are literal; only the
+/// scheme's RNG (seeded from the scenario seed as usual) remains random.
+///
 /// # Panics
 ///
-/// Panics on an unknown name, or when the workload needs more channels
-/// than `cfg` has (see [`workload_compatible`]).
+/// Panics on an unknown name, when the workload needs more channels than
+/// `cfg` has (see [`workload_compatible`]), or when a `trace:` capture is
+/// unreadable or disagrees with `cfg`'s geometry or `cores`.
 pub fn workload(name: &str, cores: usize, cfg: &SystemConfig, seed: u64) -> ThreadSet {
+    if let Some(path) = name.strip_prefix("trace:") {
+        let (header, set) =
+            mithril_trace::replay_thread_set(std::path::Path::new(path), ReplayEnd::Loop)
+                .unwrap_or_else(|e| panic!("cannot replay {path}: {e}"));
+        assert_eq!(
+            header.cores, cores,
+            "{path} records {} cores, scenario asks for {cores}",
+            header.cores
+        );
+        assert_eq!(
+            header.geometry,
+            cfg.geometry,
+            "{path} was captured on geometry {}, scenario runs {}",
+            geometry_tag(&header.geometry),
+            geometry_tag(&cfg.geometry)
+        );
+        return set;
+    }
     match name {
         "mix-high" => mix_high(cores, seed),
         "mix-blend" => mix_blend(cores, seed),
@@ -164,9 +190,20 @@ pub fn workload(name: &str, cores: usize, cfg: &SystemConfig, seed: u64) -> Thre
     }
 }
 
-/// True when `name` can run on `geometry` (the channel-interference mix
-/// needs at least two channels; everything else runs anywhere).
+/// True when `name` can run on `geometry`: the channel-interference mix
+/// needs at least two channels, a `trace:` capture only runs on the
+/// geometry it was recorded against (its line addresses were aimed
+/// through that mapping), and everything else runs anywhere.
+///
+/// An unreadable `trace:` file counts as compatible here so sweeps don't
+/// silently skip it — [`workload`] then fails loudly with the I/O error.
 pub fn workload_compatible(name: &str, geometry: &Geometry) -> bool {
+    if let Some(path) = name.strip_prefix("trace:") {
+        return match mithril_trace::read_header_path(std::path::Path::new(path)) {
+            Ok(header) => header.geometry == *geometry,
+            Err(_) => true,
+        };
+    }
     name != "channel-interference" || geometry.channels >= 2
 }
 

@@ -35,15 +35,17 @@ pub mod rngs {
 
     impl SeedableRng for SmallRng {
         fn seed_from_u64(seed: u64) -> Self {
-            // Expand the seed with splitmix64 so nearby seeds give
-            // unrelated streams (the construction rand itself uses).
+            // Expand the seed with splitmix64 (the shared helper in
+            // mithril-fasthash) so nearby seeds give unrelated streams —
+            // the construction rand itself uses. splitmix64(x) is
+            // finalize(x + GOLDEN_GAMMA), so calling it on the pre-advance
+            // state and then stepping the state by GOLDEN_GAMMA yields the
+            // classic splitmix64 output stream.
             let mut x = seed;
             let mut next = || {
+                let out = mithril_fasthash::splitmix64(x);
                 x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-                let mut z = x;
-                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                z ^ (z >> 31)
+                out
             };
             Self {
                 s: [next(), next(), next(), next()],

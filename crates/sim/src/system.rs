@@ -407,7 +407,7 @@ impl System {
             })
             .collect();
         Metrics::from_channels(
-            self.threads.name.to_string(),
+            self.threads.name.clone(),
             self.config.scheme.name().to_string(),
             self.cores.iter().map(|c| c.ipc()).collect(),
             self.cores.iter().map(|c| c.insts).sum(),

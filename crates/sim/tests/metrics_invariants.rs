@@ -1,0 +1,172 @@
+//! Roll-up invariants of [`Metrics::from_channels`]: for *any* per-channel
+//! breakdown, the system-level totals must equal the exact sum (or max,
+//! for disturbance) of the per-channel values — the property the
+//! cross-channel attribution experiments and the sweep reports lean on.
+
+// The proptest shim's `proptest!` macro expands each body statement
+// recursively; this test makes many assertions per case.
+#![recursion_limit = "1024"]
+
+use mithril_dram::{ChannelId, EnergyCounters, EnergyModel};
+use mithril_sim::{ChannelMetrics, Metrics};
+use proptest::prelude::*;
+
+fn counters_strategy() -> impl Strategy<Value = EnergyCounters> {
+    (
+        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+    )
+        .prop_map(
+            |((acts, pres, reads, writes), (auto, prev, rfm, mrr))| EnergyCounters {
+                acts,
+                pres,
+                reads,
+                writes,
+                auto_refresh_rows: auto,
+                preventive_rows: prev,
+                rfm_commands: rfm,
+                mrr_commands: mrr,
+            },
+        )
+}
+
+fn channel_strategy() -> impl Strategy<Value = ChannelMetrics> {
+    (
+        counters_strategy(),
+        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 30, 0u64..1 << 30),
+        (0u64..1 << 30, 0u64..1 << 30, 0u64..1 << 20, 0usize..1 << 10),
+        (0u64..200_000, 0u32..1000),
+    )
+        .prop_map(
+            |(
+                counters,
+                (reads_done, writes_done, rfms, rfm_elisions),
+                (arrs, throttled_acts, max_disturbance, flips),
+                (lat_ns, hit_milli),
+            )| {
+                ChannelMetrics {
+                    channel: ChannelId(0), // renumbered below
+                    reads_done,
+                    writes_done,
+                    avg_read_latency_ns: lat_ns as f64 / 100.0,
+                    row_hit_rate: hit_milli as f64 / 1000.0,
+                    energy_pj: EnergyModel::ddr5_default().dynamic_energy_pj(&counters),
+                    counters,
+                    rfms,
+                    rfm_elisions,
+                    arrs,
+                    throttled_acts,
+                    max_disturbance,
+                    flips,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn totals_equal_per_channel_sums(
+        raw_channels in prop::collection::vec(channel_strategy(), 1..6),
+        ipcs in prop::collection::vec(0u32..10_000, 1..17),
+    ) {
+        // The macro re-borrows its args for failure reporting, so work on
+        // a clone rather than moving the generated value.
+        let mut channels = raw_channels.clone();
+        for (i, ch) in channels.iter_mut().enumerate() {
+            ch.channel = ChannelId(i);
+        }
+        let per_core_ipc: Vec<f64> = ipcs.iter().map(|&x| x as f64 / 1000.0).collect();
+        let model = EnergyModel::ddr5_default();
+        let m = Metrics::from_channels(
+            "w".into(),
+            "s".into(),
+            per_core_ipc.clone(),
+            123,
+            456,
+            0.25,
+            channels.clone(),
+            &model,
+        );
+
+        // Exact integer roll-ups.
+        prop_assert_eq!(m.rfms, channels.iter().map(|c| c.rfms).sum::<u64>());
+        prop_assert_eq!(
+            m.rfm_elisions,
+            channels.iter().map(|c| c.rfm_elisions).sum::<u64>()
+        );
+        prop_assert_eq!(m.arrs, channels.iter().map(|c| c.arrs).sum::<u64>());
+        prop_assert_eq!(
+            m.throttled_acts,
+            channels.iter().map(|c| c.throttled_acts).sum::<u64>()
+        );
+        prop_assert_eq!(m.flips, channels.iter().map(|c| c.flips).sum::<usize>());
+        prop_assert_eq!(
+            m.max_disturbance,
+            channels.iter().map(|c| c.max_disturbance).max().unwrap()
+        );
+
+        // Counter-by-counter merge: activations, refreshes, column traffic.
+        prop_assert_eq!(m.counters.acts, channels.iter().map(|c| c.counters.acts).sum::<u64>());
+        prop_assert_eq!(m.counters.pres, channels.iter().map(|c| c.counters.pres).sum::<u64>());
+        prop_assert_eq!(m.counters.reads, channels.iter().map(|c| c.counters.reads).sum::<u64>());
+        prop_assert_eq!(m.counters.writes, channels.iter().map(|c| c.counters.writes).sum::<u64>());
+        prop_assert_eq!(
+            m.counters.auto_refresh_rows,
+            channels.iter().map(|c| c.counters.auto_refresh_rows).sum::<u64>()
+        );
+        prop_assert_eq!(
+            m.counters.preventive_rows,
+            channels.iter().map(|c| c.counters.preventive_rows).sum::<u64>()
+        );
+        prop_assert_eq!(
+            m.counters.rfm_commands,
+            channels.iter().map(|c| c.counters.rfm_commands).sum::<u64>()
+        );
+        prop_assert_eq!(
+            m.counters.mrr_commands,
+            channels.iter().map(|c| c.counters.mrr_commands).sum::<u64>()
+        );
+
+        // Aggregate IPC is the per-core sum; energy is the model over the
+        // merged counters (= sum of per-channel energies, since the model
+        // is linear in the counters).
+        let ipc_sum: f64 = per_core_ipc.iter().sum();
+        prop_assert!((m.aggregate_ipc - ipc_sum).abs() <= 1e-9 * ipc_sum.max(1.0));
+        let energy_sum: f64 = channels.iter().map(|c| c.energy_pj).sum();
+        prop_assert!(
+            (m.energy_pj - energy_sum).abs() <= 1e-9 * energy_sum.max(1.0),
+            "energy rollup {} != channel sum {}",
+            m.energy_pj,
+            energy_sum
+        );
+
+        // Read latency is read-weighted; with zero reads everywhere it
+        // must be exactly zero, otherwise it lies within the per-channel
+        // envelope.
+        let reads: u64 = channels.iter().map(|c| c.reads_done).sum();
+        if reads == 0 {
+            prop_assert_eq!(m.avg_read_latency_ns, 0.0);
+        } else {
+            let lo = channels
+                .iter()
+                .filter(|c| c.reads_done > 0)
+                .map(|c| c.avg_read_latency_ns)
+                .fold(f64::INFINITY, f64::min);
+            let hi = channels
+                .iter()
+                .filter(|c| c.reads_done > 0)
+                .map(|c| c.avg_read_latency_ns)
+                .fold(0.0f64, f64::max);
+            prop_assert!(
+                m.avg_read_latency_ns >= lo - 1e-9 && m.avg_read_latency_ns <= hi + 1e-9,
+                "latency {} outside [{lo}, {hi}]",
+                m.avg_read_latency_ns
+            );
+        }
+
+        // The channel breakdown itself is passed through untouched.
+        prop_assert_eq!(m.per_channel, channels);
+    }
+}

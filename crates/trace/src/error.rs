@@ -1,0 +1,87 @@
+//! The error type shared by the MTRC codec, the text parsers and the
+//! replay loaders.
+
+use std::fmt;
+
+/// Everything that can go wrong while reading, writing or replaying a
+/// trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O failure (other than a premature end of file).
+    Io(std::io::Error),
+    /// The file does not start with the `MTRC` magic.
+    BadMagic([u8; 4]),
+    /// The file's format version is newer than this reader understands.
+    UnsupportedVersion(u16),
+    /// The stream ended before the structure it was decoding did.
+    /// MTRC files are terminated by an explicit end marker, so a clean
+    /// EOF without one also reports as truncation.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        context: &'static str,
+    },
+    /// A chunk's stored checksum does not match its payload.
+    BadChecksum {
+        /// Zero-based index of the offending chunk.
+        chunk: u64,
+    },
+    /// A structurally invalid encoding (varint overflow, out-of-range
+    /// field, core index beyond the header's core count, ...).
+    Corrupt(String),
+    /// A text-trace parse failure, with its 1-based line number.
+    Text {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        msg: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadMagic(m) => {
+                write!(f, "not an MTRC file (magic {:02x?})", m)
+            }
+            TraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported MTRC version {v} (reader supports 1)")
+            }
+            TraceError::Truncated { context } => {
+                write!(f, "truncated trace: EOF while reading {context}")
+            }
+            TraceError::BadChecksum { chunk } => {
+                write!(f, "corrupt trace: checksum mismatch in chunk {chunk}")
+            }
+            TraceError::Corrupt(msg) => write!(f, "corrupt trace: {msg}"),
+            TraceError::Text { line, msg } => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        // read_exact reports a short read as UnexpectedEof; surface it as
+        // truncation so callers get one error for "file ends too soon"
+        // regardless of where the reader noticed.
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TraceError::Truncated {
+                context: "(unexpected end of stream)",
+            }
+        } else {
+            TraceError::Io(e)
+        }
+    }
+}
+
+/// Shorthand result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TraceError>;

@@ -1,0 +1,890 @@
+//! The MTRC v1 binary trace format: a compact, streaming, checksummed
+//! container for multi-core [`TraceOp`] streams.
+//!
+//! # Layout
+//!
+//! ```text
+//! file   := header chunk* end
+//! header := "MTRC" u16:version(=1)
+//!           varint: channels ranks banks_per_rank rows_per_bank
+//!                   row_bytes line_bytes cores insts_per_core
+//!           u64le: base_seed
+//!           varint: source_len  bytes: source (UTF-8)
+//!           u64le: fnv1a64 of every header byte after the magic
+//! chunk  := varint: core_id(< cores)  varint: op_count(> 0)
+//!           varint: payload_len  bytes: payload
+//!           u64le: fnv1a64 of the three frame varints ++ payload
+//! end    := varint: CORE_END(= u64::MAX)  varint: total_ops
+//!           u64le: fnv1a64 of the total_ops varint bytes
+//! ```
+//!
+//! Within a chunk every op is two varints; the per-core delta state
+//! (previous `line_addr`, previous `non_mem_insts`) **resets at each chunk
+//! boundary**, so chunks decode independently and a reader never needs
+//! more state than one chunk:
+//!
+//! ```text
+//! op := varint( zigzag(Δnon_mem_insts) << 2
+//!               | uncacheable << 1 | is_write )
+//!       varint( zigzag(line_addr -w- prev_line_addr) )
+//! ```
+//!
+//! `-w-` is wrapping subtraction over `u64`, which composed with zigzag is
+//! a bijection — arbitrary 64-bit line addresses round-trip exactly.
+//! Sequential streams (ubiquitous in DRAM traces) encode as 2 bytes/op.
+//!
+//! # Streaming and integrity
+//!
+//! [`MtrcWriter`] buffers at most `chunk_ops` ops per core and
+//! [`MtrcReader`] holds one decoded chunk, so both run in O(1) memory over
+//! `BufWriter`/`BufReader` regardless of trace length. Every payload is
+//! guarded by an FNV-1a checksum and the file by an explicit end marker
+//! carrying the total op count: flipped bytes report as
+//! [`TraceError::BadChecksum`], missing bytes as [`TraceError::Truncated`].
+
+use std::io::{Read, Seek, SeekFrom, Write};
+
+use mithril_dram::Geometry;
+use mithril_workloads::TraceOp;
+
+use crate::error::{Result, TraceError};
+
+/// Format magic, first four bytes of every trace file.
+pub const MAGIC: [u8; 4] = *b"MTRC";
+
+/// The format version this module reads and writes.
+pub const VERSION: u16 = 1;
+
+/// Core-id sentinel introducing the end marker.
+const CORE_END: u64 = u64::MAX;
+
+/// Default ops buffered per core before a chunk is flushed.
+pub const DEFAULT_CHUNK_OPS: usize = 4096;
+
+/// Longest source name a header may carry — enforced symmetrically by
+/// writer and reader, so a writer can never produce a file its own
+/// reader refuses.
+pub const MAX_SOURCE_LEN: usize = 4096;
+
+// --------------------------------------------------------------- primitives
+
+/// Streaming FNV-1a over 64 bits — the chunk/header integrity check.
+/// Not cryptographic: it guards against bit rot and truncation, not
+/// malice, which matches what a trace file needs.
+#[derive(Clone, Copy)]
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decodes a varint from `buf[*pos..]`, advancing `pos`.
+fn get_varint(buf: &[u8], pos: &mut usize, context: &'static str) -> Result<u64> {
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf.get(*pos).ok_or(TraceError::Truncated { context })?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(TraceError::Corrupt(format!(
+                "varint overflow while reading {context}"
+            )));
+        }
+        out |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(TraceError::Corrupt(format!(
+                "varint longer than 10 bytes while reading {context}"
+            )));
+        }
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R, context: &'static str) -> Result<u64> {
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        if let Err(e) = r.read_exact(&mut byte) {
+            return Err(if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                TraceError::Truncated { context }
+            } else {
+                TraceError::Io(e)
+            });
+        }
+        let byte = byte[0];
+        if shift == 63 && byte > 1 {
+            return Err(TraceError::Corrupt(format!(
+                "varint overflow while reading {context}"
+            )));
+        }
+        out |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(TraceError::Corrupt(format!(
+                "varint longer than 10 bytes while reading {context}"
+            )));
+        }
+    }
+}
+
+fn read_exact<R: Read>(r: &mut R, buf: &mut [u8], context: &'static str) -> Result<()> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TraceError::Truncated { context }
+        } else {
+            TraceError::Io(e)
+        }
+    })
+}
+
+// ------------------------------------------------------------------ header
+
+/// The self-describing file header: enough to rebuild the scenario the
+/// trace was captured under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// The memory hierarchy the trace's line addresses were aimed at.
+    /// Replay requires a matching geometry so attack patterns land on the
+    /// rows they were profiled against.
+    pub geometry: Geometry,
+    /// Number of per-core streams in the file.
+    pub cores: usize,
+    /// The *base* sweep seed the capture derived its generator seed from
+    /// (see `replay seeding` in `ARCHITECTURE.md`); replaying under this
+    /// base seed reproduces the live run bit-for-bit.
+    pub base_seed: u64,
+    /// Instructions per core the capture was sized for (0 = unknown; the
+    /// recorded stream covers at least this many instructions per core).
+    pub insts_per_core: u64,
+    /// The registry workload name (or external origin) this trace records.
+    pub source: String,
+}
+
+impl TraceHeader {
+    /// Checks every constraint downstream consumers assume, so an invalid
+    /// header is a clean [`TraceError::Corrupt`] instead of a panic deep
+    /// inside `AddressMapping`/`Geometry`. Enforced symmetrically: the
+    /// writer refuses to produce what the reader would refuse to load.
+    fn validate(&self) -> Result<()> {
+        let g = &self.geometry;
+        let corrupt = |msg: String| Err(TraceError::Corrupt(msg));
+        if g.channels == 0
+            || g.ranks == 0
+            || g.banks_per_rank == 0
+            || g.rows_per_bank == 0
+            || g.row_bytes == 0
+            || g.line_bytes == 0
+        {
+            return corrupt("zero-sized geometry field".into());
+        }
+        if !g.channels.is_power_of_two() || !(g.ranks * g.banks_per_rank).is_power_of_two() {
+            return corrupt(format!(
+                "geometry {}ch x {}rk x {}b is not power-of-two mappable",
+                g.channels, g.ranks, g.banks_per_rank
+            ));
+        }
+        if !g.row_bytes.is_multiple_of(g.line_bytes)
+            || !(g.row_bytes / g.line_bytes).is_power_of_two()
+        {
+            return corrupt(format!(
+                "row_bytes {} / line_bytes {} is not a power-of-two line count",
+                g.row_bytes, g.line_bytes
+            ));
+        }
+        if self.cores == 0 || self.cores > 1 << 20 {
+            return corrupt(format!("implausible core count {}", self.cores));
+        }
+        if self.source.len() > MAX_SOURCE_LEN {
+            return corrupt(format!(
+                "source name is {} bytes; readers accept at most {MAX_SOURCE_LEN}",
+                self.source.len()
+            ));
+        }
+        Ok(())
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(64 + self.source.len());
+        for v in [
+            self.geometry.channels as u64,
+            self.geometry.ranks as u64,
+            self.geometry.banks_per_rank as u64,
+            self.geometry.rows_per_bank,
+            self.geometry.row_bytes,
+            self.geometry.line_bytes,
+            self.cores as u64,
+            self.insts_per_core,
+        ] {
+            put_varint(&mut body, v);
+        }
+        body.extend_from_slice(&self.base_seed.to_le_bytes());
+        put_varint(&mut body, self.source.len() as u64);
+        body.extend_from_slice(self.source.as_bytes());
+
+        let mut out = Vec::with_capacity(body.len() + 14);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        let mut checked = VERSION.to_le_bytes().to_vec();
+        checked.extend_from_slice(&body);
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&fnv1a64(&checked).to_le_bytes());
+        out
+    }
+
+    fn decode<R: Read>(r: &mut R) -> Result<Self> {
+        let mut magic = [0u8; 4];
+        read_exact(r, &mut magic, "header magic")?;
+        if magic != MAGIC {
+            return Err(TraceError::BadMagic(magic));
+        }
+        let mut ver = [0u8; 2];
+        read_exact(r, &mut ver, "header version")?;
+        let version = u16::from_le_bytes(ver);
+        if version != VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+
+        // Re-read the checksummed region through a tee so the stored
+        // checksum can be verified without buffering the whole file.
+        let mut checked: Vec<u8> = ver.to_vec();
+        let mut tee = Tee {
+            inner: r,
+            copy: &mut checked,
+        };
+        let mut fields = [0u64; 8];
+        for (i, f) in fields.iter_mut().enumerate() {
+            let names = [
+                "header channels",
+                "header ranks",
+                "header banks_per_rank",
+                "header rows_per_bank",
+                "header row_bytes",
+                "header line_bytes",
+                "header cores",
+                "header insts_per_core",
+            ];
+            *f = read_varint(&mut tee, names[i])?;
+        }
+        let mut seed = [0u8; 8];
+        read_exact(&mut tee, &mut seed, "header base_seed")?;
+        let source_len = read_varint(&mut tee, "header source length")?;
+        if source_len > MAX_SOURCE_LEN as u64 {
+            return Err(TraceError::Corrupt(format!(
+                "unreasonable source-name length {source_len}"
+            )));
+        }
+        let mut source = vec![0u8; source_len as usize];
+        read_exact(&mut tee, &mut source, "header source name")?;
+
+        let mut stored = [0u8; 8];
+        read_exact(r, &mut stored, "header checksum")?;
+        if u64::from_le_bytes(stored) != fnv1a64(&checked) {
+            return Err(TraceError::Corrupt("header checksum mismatch".into()));
+        }
+
+        let [channels, ranks, banks_per_rank, rows_per_bank, row_bytes, line_bytes, cores, insts] =
+            fields;
+        if channels > 1 << 20 || ranks > 1 << 20 || banks_per_rank > 1 << 20 {
+            return Err(TraceError::Corrupt("implausible geometry field".into()));
+        }
+        let header = Self {
+            geometry: Geometry {
+                channels: channels as usize,
+                ranks: ranks as usize,
+                banks_per_rank: banks_per_rank as usize,
+                rows_per_bank,
+                row_bytes,
+                line_bytes,
+            },
+            cores: cores as usize,
+            base_seed: u64::from_le_bytes(seed),
+            insts_per_core: insts,
+            source: String::from_utf8(source)
+                .map_err(|_| TraceError::Corrupt("source name is not UTF-8".into()))?,
+        };
+        header.validate()?;
+        Ok(header)
+    }
+}
+
+/// A `Read` adapter copying everything it reads into a side buffer
+/// (used to checksum the header while decoding it).
+struct Tee<'a, R> {
+    inner: &'a mut R,
+    copy: &'a mut Vec<u8>,
+}
+
+impl<R: Read> Read for Tee<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.copy.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+}
+
+// ------------------------------------------------------------------ writer
+
+/// Streaming MTRC writer: feed ops per core, chunks flush themselves.
+///
+/// Dropping a writer without calling [`MtrcWriter::finish`] leaves the
+/// file without its end marker; readers will report it as truncated —
+/// which is the correct verdict for an interrupted capture.
+pub struct MtrcWriter<W: Write> {
+    sink: W,
+    cores: usize,
+    chunk_ops: usize,
+    pending: Vec<Vec<TraceOp>>,
+    payload: Vec<u8>,
+    frame: Vec<u8>,
+    total_ops: u64,
+}
+
+impl<W: Write> MtrcWriter<W> {
+    /// Writes `header` to `sink` and returns the writer.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, plus [`TraceError::Corrupt`] for any header the
+    /// reader side would reject (unmappable geometry, zero cores, source
+    /// name over [`MAX_SOURCE_LEN`]) — refused up front rather than after
+    /// a long capture.
+    pub fn new(sink: W, header: &TraceHeader) -> Result<Self> {
+        Self::with_chunk_ops(sink, header, DEFAULT_CHUNK_OPS)
+    }
+
+    /// As [`MtrcWriter::new`] with an explicit per-core chunk size
+    /// (clamped to at least 1; mainly for tests exercising many chunks).
+    pub fn with_chunk_ops(mut sink: W, header: &TraceHeader, chunk_ops: usize) -> Result<Self> {
+        header.validate()?;
+        sink.write_all(&header.encode())?;
+        Ok(Self {
+            sink,
+            cores: header.cores,
+            chunk_ops: chunk_ops.max(1),
+            pending: (0..header.cores).map(|_| Vec::new()).collect(),
+            payload: Vec::new(),
+            frame: Vec::new(),
+            total_ops: 0,
+        })
+    }
+
+    /// Appends one op to `core`'s stream. ([`MtrcWriter::finish`]
+    /// consumes the writer, so pushing after finish is a compile error,
+    /// not a runtime state.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is outside the header's core count.
+    pub fn push(&mut self, core: usize, op: TraceOp) -> Result<()> {
+        assert!(core < self.cores, "core {core} >= {}", self.cores);
+        self.pending[core].push(op);
+        self.total_ops += 1;
+        if self.pending[core].len() >= self.chunk_ops {
+            self.flush_core(core)?;
+        }
+        Ok(())
+    }
+
+    fn flush_core(&mut self, core: usize) -> Result<()> {
+        if self.pending[core].is_empty() {
+            return Ok(());
+        }
+        self.payload.clear();
+        let mut prev_line = 0u64;
+        let mut prev_nmi = 0i64;
+        for op in &self.pending[core] {
+            let flags = (op.uncacheable as u64) << 1 | op.is_write as u64;
+            let nmi_delta = op.non_mem_insts as i64 - prev_nmi;
+            put_varint(&mut self.payload, zigzag(nmi_delta) << 2 | flags);
+            put_varint(
+                &mut self.payload,
+                zigzag(op.line_addr.wrapping_sub(prev_line) as i64),
+            );
+            prev_line = op.line_addr;
+            prev_nmi = op.non_mem_insts as i64;
+        }
+        self.frame.clear();
+        put_varint(&mut self.frame, core as u64);
+        put_varint(&mut self.frame, self.pending[core].len() as u64);
+        put_varint(&mut self.frame, self.payload.len() as u64);
+        // The checksum spans frame *and* payload: a flipped core-id bit
+        // must not silently reroute a chunk to another core's stream.
+        let mut check = Fnv64::new();
+        check.update(&self.frame);
+        check.update(&self.payload);
+        self.sink.write_all(&self.frame)?;
+        self.sink.write_all(&self.payload)?;
+        self.sink.write_all(&check.finish().to_le_bytes())?;
+        self.pending[core].clear();
+        Ok(())
+    }
+
+    /// Flushes every pending chunk, writes the end marker and returns the
+    /// underlying sink. Total ops written so far is recorded in the marker
+    /// so readers can detect files cut at a chunk boundary.
+    pub fn finish(mut self) -> Result<W> {
+        for core in 0..self.cores {
+            self.flush_core(core)?;
+        }
+        self.frame.clear();
+        put_varint(&mut self.frame, CORE_END);
+        let count_start = self.frame.len();
+        put_varint(&mut self.frame, self.total_ops);
+        let check = fnv1a64(&self.frame[count_start..]);
+        self.frame.extend_from_slice(&check.to_le_bytes());
+        self.sink.write_all(&self.frame)?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+
+    /// Ops accepted so far (across all cores).
+    pub fn ops_written(&self) -> u64 {
+        self.total_ops
+    }
+}
+
+// ------------------------------------------------------------------ reader
+
+/// Streaming MTRC reader: decodes one chunk at a time into a caller
+/// buffer, verifying checksums as it goes.
+pub struct MtrcReader<R: Read> {
+    source: R,
+    header: TraceHeader,
+    payload: Vec<u8>,
+    ops_seen: u64,
+    chunk_index: u64,
+    /// Byte offset of the first chunk (for [`MtrcReader::rewind`]).
+    data_start: u64,
+    done: bool,
+}
+
+impl<R: Read> MtrcReader<R> {
+    /// Parses the header from `source` and returns the reader positioned
+    /// at the first chunk.
+    pub fn new(mut source: R) -> Result<Self> {
+        let mut counter = CountingReader {
+            inner: &mut source,
+            bytes: 0,
+        };
+        let header = TraceHeader::decode(&mut counter)?;
+        let data_start = counter.bytes;
+        Ok(Self {
+            source,
+            header,
+            payload: Vec::new(),
+            ops_seen: 0,
+            chunk_index: 0,
+            data_start,
+            done: false,
+        })
+    }
+
+    /// The file header.
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Decodes the next chunk into `ops` (cleared first) and returns its
+    /// core id, or `None` after a valid end marker.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Truncated`] if the stream ends mid-chunk or without
+    /// an end marker, [`TraceError::BadChecksum`] on payload corruption,
+    /// [`TraceError::Corrupt`] on structural nonsense (bad core id, op
+    /// count mismatch in the end marker, ...).
+    pub fn next_chunk(&mut self, ops: &mut Vec<TraceOp>) -> Result<Option<usize>> {
+        ops.clear();
+        if self.done {
+            return Ok(None);
+        }
+        let mut frame_bytes = Vec::new();
+        let core = {
+            let mut tee = Tee {
+                inner: &mut self.source,
+                copy: &mut frame_bytes,
+            };
+            read_varint(&mut tee, "chunk core id")?
+        };
+        if core == CORE_END {
+            let mut count_bytes = Vec::new();
+            let total = {
+                let mut tee = Tee {
+                    inner: &mut self.source,
+                    copy: &mut count_bytes,
+                };
+                read_varint(&mut tee, "end-marker op count")?
+            };
+            let mut stored = [0u8; 8];
+            read_exact(&mut self.source, &mut stored, "end-marker checksum")?;
+            if u64::from_le_bytes(stored) != fnv1a64(&count_bytes) {
+                return Err(TraceError::Corrupt("end-marker checksum mismatch".into()));
+            }
+            if total != self.ops_seen {
+                return Err(TraceError::Corrupt(format!(
+                    "end marker claims {total} ops, decoded {}",
+                    self.ops_seen
+                )));
+            }
+            self.done = true;
+            return Ok(None);
+        }
+        if core as usize >= self.header.cores {
+            return Err(TraceError::Corrupt(format!(
+                "chunk core id {core} >= header core count {}",
+                self.header.cores
+            )));
+        }
+        let (count, payload_len) = {
+            let mut tee = Tee {
+                inner: &mut self.source,
+                copy: &mut frame_bytes,
+            };
+            let count = read_varint(&mut tee, "chunk op count")?;
+            if count == 0 {
+                return Err(TraceError::Corrupt("empty chunk".into()));
+            }
+            let payload_len = read_varint(&mut tee, "chunk payload length")?;
+            (count, payload_len)
+        };
+        if payload_len > (1 << 31) {
+            return Err(TraceError::Corrupt(format!(
+                "implausible chunk payload length {payload_len}"
+            )));
+        }
+        self.payload.resize(payload_len as usize, 0);
+        read_exact(&mut self.source, &mut self.payload, "chunk payload")?;
+        let mut stored = [0u8; 8];
+        read_exact(&mut self.source, &mut stored, "chunk checksum")?;
+        let mut check = Fnv64::new();
+        check.update(&frame_bytes);
+        check.update(&self.payload);
+        if u64::from_le_bytes(stored) != check.finish() {
+            return Err(TraceError::BadChecksum {
+                chunk: self.chunk_index,
+            });
+        }
+
+        ops.reserve(count as usize);
+        let mut pos = 0usize;
+        let mut prev_line = 0u64;
+        let mut prev_nmi = 0i64;
+        for _ in 0..count {
+            let head = get_varint(&self.payload, &mut pos, "op flags/Δnon_mem_insts")?;
+            let nmi = prev_nmi + unzigzag(head >> 2);
+            if !(0..=u32::MAX as i64).contains(&nmi) {
+                return Err(TraceError::Corrupt(format!(
+                    "non_mem_insts {nmi} out of u32 range"
+                )));
+            }
+            let line_z = get_varint(&self.payload, &mut pos, "op Δline_addr")?;
+            let line = prev_line.wrapping_add(unzigzag(line_z) as u64);
+            ops.push(TraceOp {
+                non_mem_insts: nmi as u32,
+                line_addr: line,
+                is_write: head & 1 != 0,
+                uncacheable: head & 2 != 0,
+            });
+            prev_line = line;
+            prev_nmi = nmi;
+        }
+        if pos != self.payload.len() {
+            return Err(TraceError::Corrupt(format!(
+                "chunk payload has {} trailing bytes",
+                self.payload.len() - pos
+            )));
+        }
+        self.ops_seen += count;
+        self.chunk_index += 1;
+        Ok(Some(core as usize))
+    }
+
+    /// Ops decoded so far.
+    pub fn ops_read(&self) -> u64 {
+        self.ops_seen
+    }
+}
+
+impl<R: Read + Seek> MtrcReader<R> {
+    /// Repositions the reader at the first chunk (for looping replay).
+    pub fn rewind(&mut self) -> Result<()> {
+        self.source.seek(SeekFrom::Start(self.data_start))?;
+        self.ops_seen = 0;
+        self.chunk_index = 0;
+        self.done = false;
+        Ok(())
+    }
+}
+
+/// A `Read` adapter counting the bytes that pass through it.
+struct CountingReader<'a, R> {
+    inner: &'a mut R,
+    bytes: u64,
+}
+
+impl<R: Read> Read for CountingReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+}
+
+// ------------------------------------------------------------ conveniences
+
+/// Reads just the header of the trace file at `path`.
+pub fn read_header_path(path: &std::path::Path) -> Result<TraceHeader> {
+    let f = std::fs::File::open(path)?;
+    let mut r = std::io::BufReader::new(f);
+    TraceHeader::decode(&mut r)
+}
+
+/// Reads a whole trace, demultiplexed into one op vector per core.
+///
+/// This is the loader replay uses; memory is proportional to the trace, so
+/// for statistics over arbitrarily large files prefer streaming over
+/// [`MtrcReader::next_chunk`].
+pub fn read_all<R: Read>(source: R) -> Result<(TraceHeader, Vec<Vec<TraceOp>>)> {
+    let mut reader = MtrcReader::new(source)?;
+    let mut per_core: Vec<Vec<TraceOp>> = (0..reader.header().cores).map(|_| Vec::new()).collect();
+    let mut chunk = Vec::new();
+    while let Some(core) = reader.next_chunk(&mut chunk)? {
+        per_core[core].extend_from_slice(&chunk);
+    }
+    Ok((reader.header, per_core))
+}
+
+/// [`read_all`] over a buffered file.
+pub fn read_all_path(path: &std::path::Path) -> Result<(TraceHeader, Vec<Vec<TraceOp>>)> {
+    let f = std::fs::File::open(path)?;
+    read_all(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn test_header(cores: usize) -> TraceHeader {
+        TraceHeader {
+            geometry: Geometry::default(),
+            cores,
+            base_seed: 7,
+            insts_per_core: 1000,
+            source: "unit".into(),
+        }
+    }
+
+    fn roundtrip(ops_per_core: &[Vec<TraceOp>], chunk_ops: usize) -> Vec<Vec<TraceOp>> {
+        let header = test_header(ops_per_core.len());
+        let mut w = MtrcWriter::with_chunk_ops(Vec::new(), &header, chunk_ops).unwrap();
+        // Interleave cores round-robin, as a simulator tee would.
+        let longest = ops_per_core.iter().map(Vec::len).max().unwrap_or(0);
+        for i in 0..longest {
+            for (core, ops) in ops_per_core.iter().enumerate() {
+                if let Some(&op) = ops.get(i) {
+                    w.push(core, op).unwrap();
+                }
+            }
+        }
+        let bytes = w.finish().unwrap();
+        let (h, decoded) = read_all(&bytes[..]).unwrap();
+        assert_eq!(h, header);
+        decoded
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        assert_eq!(roundtrip(&[vec![], vec![]], 4), vec![vec![], vec![]]);
+    }
+
+    #[test]
+    fn multi_core_interleaved_roundtrip() {
+        let a: Vec<TraceOp> = (0..100).map(|i| TraceOp::read(i as u32, i * 3)).collect();
+        let b: Vec<TraceOp> = (0..37)
+            .map(|i| TraceOp {
+                non_mem_insts: 1000 - i as u32,
+                line_addr: u64::MAX - i,
+                is_write: i % 2 == 0,
+                uncacheable: i % 3 == 0,
+            })
+            .collect();
+        let decoded = roundtrip(&[a.clone(), b.clone()], 8);
+        assert_eq!(decoded, vec![a, b]);
+    }
+
+    #[test]
+    fn sequential_stream_is_compact() {
+        let header = test_header(1);
+        let mut w = MtrcWriter::new(Vec::new(), &header).unwrap();
+        for i in 0..10_000u64 {
+            w.push(0, TraceOp::read(4, 1_000_000 + i)).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        // Steady-state deltas are (Δnmi=0, Δline=1): 2 bytes per op plus
+        // header/framing.
+        assert!(
+            bytes.len() < 10_000 * 2 + 256,
+            "encoding not compact: {} bytes",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_cut() {
+        let header = test_header(1);
+        let mut w = MtrcWriter::with_chunk_ops(Vec::new(), &header, 16).unwrap();
+        for i in 0..64u64 {
+            w.push(0, TraceOp::write(3, i * 17)).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        // Cut the file at every prefix length: each one must either fail
+        // to parse or fail with Truncated — never succeed.
+        for cut in 0..bytes.len() {
+            let err = read_all(&bytes[..cut]).expect_err("prefix accepted");
+            assert!(
+                matches!(
+                    err,
+                    TraceError::Truncated { .. } | TraceError::Corrupt(_) | TraceError::BadMagic(_)
+                ),
+                "cut {cut}: unexpected error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bitflips_are_detected() {
+        let header = test_header(2);
+        let mut w = MtrcWriter::with_chunk_ops(Vec::new(), &header, 8).unwrap();
+        for i in 0..40u64 {
+            w.push((i % 2) as usize, TraceOp::read(1, i << 33)).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let mut rejected = 0usize;
+        for bit in 0..bytes.len() * 8 {
+            let mut corrupted = bytes.clone();
+            corrupted[bit / 8] ^= 1 << (bit % 8);
+            if read_all(&corrupted[..]).is_err() {
+                rejected += 1;
+            }
+        }
+        // Every header/payload/count bit is covered by a checksum; only
+        // flips inside the stored checksum words themselves could in
+        // principle collide, and FNV makes even those mismatch here.
+        assert_eq!(rejected, bytes.len() * 8, "some bit flip went unnoticed");
+    }
+
+    #[test]
+    fn reader_stops_at_end_marker_ignoring_trailing_bytes() {
+        let header = test_header(1);
+        let w = MtrcWriter::new(Vec::new(), &header).unwrap();
+        let mut bytes = w.finish().unwrap();
+        bytes.extend_from_slice(&[0xff; 4]);
+        assert!(read_all(&bytes[..]).is_ok());
+    }
+
+    #[test]
+    fn unmappable_headers_are_rejected_at_write_time() {
+        let reject = |mutate: fn(&mut TraceHeader)| {
+            let mut h = test_header(1);
+            mutate(&mut h);
+            assert!(
+                matches!(MtrcWriter::new(Vec::new(), &h), Err(TraceError::Corrupt(_))),
+                "writer accepted invalid header {h:?}"
+            );
+        };
+        reject(|h| h.geometry.line_bytes = 0);
+        reject(|h| h.geometry.row_bytes = 0);
+        reject(|h| h.geometry.channels = 3);
+        reject(|h| h.geometry.banks_per_rank = 33);
+        reject(|h| h.geometry.line_bytes = 48); // 8192/48 not a power of two
+        reject(|h| h.cores = 0);
+        reject(|h| h.source = "x".repeat(MAX_SOURCE_LEN + 1));
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let header = test_header(1);
+        let bytes = MtrcWriter::new(Vec::new(), &header)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        assert!(matches!(read_all(&wrong[..]), Err(TraceError::BadMagic(_))));
+        let mut newer = bytes;
+        newer[4] = 9; // version LE low byte
+        assert!(matches!(
+            read_all(&newer[..]),
+            Err(TraceError::UnsupportedVersion(9))
+        ));
+    }
+
+    #[test]
+    fn rewind_replays_from_first_chunk() {
+        let header = test_header(1);
+        let mut w = MtrcWriter::with_chunk_ops(Vec::new(), &header, 4).unwrap();
+        for i in 0..10u64 {
+            w.push(0, TraceOp::read(0, i)).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let mut r = MtrcReader::new(std::io::Cursor::new(bytes)).unwrap();
+        let mut chunk = Vec::new();
+        let mut first_pass = Vec::new();
+        while r.next_chunk(&mut chunk).unwrap().is_some() {
+            first_pass.extend_from_slice(&chunk);
+        }
+        r.rewind().unwrap();
+        let mut second_pass = Vec::new();
+        while r.next_chunk(&mut chunk).unwrap().is_some() {
+            second_pass.extend_from_slice(&chunk);
+        }
+        assert_eq!(first_pass, second_pass);
+        assert_eq!(first_pass.len(), 10);
+    }
+}

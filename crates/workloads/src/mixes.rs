@@ -38,6 +38,12 @@ impl Thread {
     pub fn next_op(&mut self) -> TraceOp {
         self.source.next_op()
     }
+
+    /// Unwraps the thread back into its trace source (used by trace
+    /// capture to interpose a recorder between the source and the core).
+    pub fn into_source(self) -> Box<dyn TraceSource + Send> {
+        self.source
+    }
 }
 
 impl std::fmt::Debug for Thread {
@@ -47,10 +53,14 @@ impl std::fmt::Debug for Thread {
 }
 
 /// A named set of threads forming one experiment workload.
+///
+/// The name is an owned `String` so dynamically-named sets — trace
+/// replays (`trace:<source>`), externally ingested captures — fit the
+/// same type as the built-in generator mixes.
 #[derive(Debug)]
 pub struct ThreadSet {
     /// Workload-set name (e.g. `mix-high`).
-    pub name: &'static str,
+    pub name: String,
     /// The threads, index = hardware thread id.
     pub threads: Vec<Thread>,
 }
@@ -70,7 +80,7 @@ pub fn mix_high(cores: usize, seed: u64) -> ThreadSet {
         threads.push(Thread::new(format!("mix-high/{t}"), source));
     }
     ThreadSet {
-        name: "mix-high",
+        name: "mix-high".into(),
         threads,
     }
 }
@@ -91,7 +101,7 @@ pub fn mix_blend(cores: usize, seed: u64) -> ThreadSet {
         threads.push(Thread::new(format!("mix-blend/{t}"), source));
     }
     ThreadSet {
-        name: "mix-blend",
+        name: "mix-blend".into(),
         threads,
     }
 }
@@ -115,12 +125,10 @@ pub fn multithreaded(kernel: &str, cores: usize, seed: u64) -> ThreadSet {
         };
         threads.push(Thread::new(format!("{kernel}/{t}"), source));
     }
-    let name = match kernel {
-        "fft" => "fft",
-        "radix" => "radix",
-        _ => "pagerank",
-    };
-    ThreadSet { name, threads }
+    ThreadSet {
+        name: kernel.to_string(),
+        threads,
+    }
 }
 
 /// The attack mixes of Section VI-A: one attacker thread plus 15 benign
@@ -163,7 +171,8 @@ pub fn attack_mix(attack: &str, cores: usize, mapping: AddressMapping, seed: u64
         "double" => "mix-high+double-sided",
         "multi" => "mix-high+multi-sided",
         _ => "mix-high+bh-adversarial",
-    };
+    }
+    .to_string();
     set
 }
 
@@ -206,7 +215,7 @@ pub fn bh_cover_attack_mix(
         "attack-bh-cover",
         Box::new(RowAttack::new(mapping, ChannelId(0), targets, "bh-cover")),
     );
-    set.name = "mix-high+bh-cover";
+    set.name = "mix-high+bh-cover".to_string();
     set
 }
 
@@ -270,7 +279,7 @@ pub fn channel_interference_mix(cores: usize, mapping: AddressMapping, seed: u64
         Box::new(MultiSided::new(mapping, ChannelId(0), 0, 5000, 32)),
     ));
     ThreadSet {
-        name: "channel-interference",
+        name: "channel-interference".into(),
         threads,
     }
 }

@@ -71,5 +71,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         elapsed.as_secs_f64() * 1e3,
         per_sec / 1e6
     );
+
+    // 6. Beyond synthetic generators: capture and replay traces with the
+    //    `trace` CLI (see examples/trace_roundtrip.rs for the library API).
+    println!("\nTrace capture & replay quickstart:");
+    println!("  trace record  --workload mix-high --cores 4 --insts 20000 --out mix.mtrc");
+    println!("  trace stat    --trace mix.mtrc --top 10");
+    println!("  trace replay  --trace mix.mtrc --scheme mithril --metrics-only");
+    println!("  trace convert --in ramulator.txt --out ext.mtrc --in-format ramulator");
+    println!("  (binary: cargo run --release -p mithril-runner --bin trace -- ...)");
     Ok(())
 }

@@ -16,9 +16,12 @@
 //! * [`memctrl`] — memory-controller model (FR-FCFS + BLISS, Minimalist-open
 //!   paging, RAA counters / RFM issue logic, ARR, throttling).
 //! * [`workloads`] — deterministic synthetic workload and attack traces.
+//! * [`trace`] — trace capture/ingest/replay: the MTRC binary format,
+//!   Ramulator-style text ingest, recorders and replay adapters (see the
+//!   `trace` CLI in `mithril-runner`).
 //! * [`sim`] — the trace-driven manycore system simulator tying it together.
 //! * [`runner`] — the scenario registry and sharded parallel sweep engine
-//!   (`BENCH_sweep.json`).
+//!   (`BENCH_sweep.json`), plus the `sweep` and `trace` binaries.
 //!
 //! ## Quickstart
 //!
@@ -52,5 +55,6 @@ pub use mithril_dram as dram;
 pub use mithril_memctrl as memctrl;
 pub use mithril_runner as runner;
 pub use mithril_sim as sim;
+pub use mithril_trace as trace;
 pub use mithril_trackers as trackers;
 pub use mithril_workloads as workloads;
