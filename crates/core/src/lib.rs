@@ -64,4 +64,4 @@ pub mod fasthash {
 
 pub use config::{ConfigError, MithrilConfig};
 pub use scheme::{MithrilScheme, SchemeStats};
-pub use table::{Counter, MithrilTable, NaiveTable, Selection};
+pub use table::{Counter, MithrilTable, NaiveTable, Selection, INVALID_ROW};

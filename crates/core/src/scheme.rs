@@ -14,8 +14,8 @@
 //! [`DramMitigation::refresh_pending`]).
 
 use crate::config::MithrilConfig;
-use crate::table::MithrilTable;
-use mithril_dram::{DramMitigation, RfmOutcome, RowId};
+use crate::table::{MithrilTable, INVALID_ROW};
+use mithril_dram::{DramMitigation, FaultSurface, RfmOutcome, RowId};
 
 /// Operation counters for one Mithril engine.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -130,6 +130,12 @@ impl DramMitigation for MithrilScheme {
             return;
         }
         if let Some(sel) = self.table.on_rfm() {
+            if sel.row == INVALID_ROW {
+                // A fault-invalidated entry won the greedy selection: the
+                // garbage tag yields no victims, so the window is burned
+                // (the entry's counter still dropped to the minimum).
+                return;
+            }
             self.fill_victims(sel.row, &mut out.refreshed_victims);
             self.stats.refreshes += 1;
             self.stats.victim_rows += out.refreshed_victims.len() as u64;
@@ -149,6 +155,43 @@ impl DramMitigation for MithrilScheme {
         } else {
             "mithril"
         }
+    }
+
+    fn fault_surface(&mut self) -> Option<&mut dyn FaultSurface> {
+        Some(self)
+    }
+}
+
+/// The engine's injectable state is its counter table: soft errors land
+/// on the 16-bit count CAM and the address CAM tags, and a scrub pass
+/// checks/rebuilds the derived Stream-Summary order.
+impl FaultSurface for MithrilScheme {
+    fn fault_entries(&self) -> u64 {
+        self.table.len() as u64
+    }
+
+    fn counter_bits(&self) -> u32 {
+        16
+    }
+
+    fn flip_counter_bit(&mut self, entry: u64, bit: u32) -> bool {
+        self.table.flip_counter_bit(entry as usize, bit)
+    }
+
+    fn force_counter_bit(&mut self, entry: u64, bit: u32, one: bool) -> bool {
+        self.table.force_counter_bit(entry as usize, bit, one)
+    }
+
+    fn invalidate_entry(&mut self, entry: u64) -> bool {
+        self.table.invalidate_entry(entry as usize)
+    }
+
+    fn check(&self) -> Result<(), String> {
+        self.table.self_check()
+    }
+
+    fn repair(&mut self) {
+        self.table.repair();
     }
 }
 

@@ -58,6 +58,60 @@ pub trait Counter: Copy + Eq + std::fmt::Debug {
 
     /// `self − other` modulo the counter range.
     fn diff(self, other: Self) -> u64;
+
+    /// The stored bits, widened to `u64`.
+    fn raw(self) -> u64;
+
+    /// A counter from raw bits (truncated to [`Counter::BITS`]).
+    fn from_raw(raw: u64) -> Self;
+
+    /// The counter with bit `bit` flipped (fault injection).
+    fn flip_bit(self, bit: u32) -> Self {
+        debug_assert!(bit < Self::BITS);
+        Self::from_raw(self.raw() ^ (1u64 << bit))
+    }
+
+    /// The counter with bit `bit` forced to `one` (stuck-at fault).
+    fn with_bit(self, bit: u32, one: bool) -> Self {
+        debug_assert!(bit < Self::BITS);
+        let mask = 1u64 << bit;
+        Self::from_raw(if one {
+            self.raw() | mask
+        } else {
+            self.raw() & !mask
+        })
+    }
+
+    /// Recovers the table minimum from a bag of possibly-corrupted
+    /// counters (fault repair). Wrapping counters carry no absolute
+    /// order, so the minimum is taken as the value just past the largest
+    /// gap on the `2^BITS` circle — the basis that minimizes the spread
+    /// the rebuilt order has to explain. Ties break toward the first gap
+    /// in ascending raw order (deterministic). Unbounded reference
+    /// counters override this with the plain minimum.
+    fn recover_floor(values: &[Self]) -> Self {
+        let mut raws: Vec<u64> = values.iter().map(|v| v.raw()).collect();
+        raws.sort_unstable();
+        raws.dedup();
+        match raws.len() {
+            0 => Self::zero(),
+            1 => Self::from_raw(raws[0]),
+            n => {
+                let mut best_gap = 0u64;
+                let mut floor = raws[0];
+                for i in 0..n {
+                    let cur = raws[i];
+                    let next = raws[(i + 1) % n];
+                    let gap = Self::from_raw(next).diff(Self::from_raw(cur));
+                    if gap > best_gap {
+                        best_gap = gap;
+                        floor = next;
+                    }
+                }
+                Self::from_raw(floor)
+            }
+        }
+    }
 }
 
 impl Counter for u16 {
@@ -73,6 +127,14 @@ impl Counter for u16 {
 
     fn diff(self, other: Self) -> u64 {
         self.wrapping_sub(other) as u64
+    }
+
+    fn raw(self) -> u64 {
+        self as u64
+    }
+
+    fn from_raw(raw: u64) -> Self {
+        raw as u16
     }
 }
 
@@ -90,6 +152,14 @@ impl Counter for u32 {
     fn diff(self, other: Self) -> u64 {
         self.wrapping_sub(other) as u64
     }
+
+    fn raw(self) -> u64 {
+        self as u64
+    }
+
+    fn from_raw(raw: u64) -> Self {
+        raw as u32
+    }
 }
 
 impl Counter for u64 {
@@ -106,7 +176,28 @@ impl Counter for u64 {
     fn diff(self, other: Self) -> u64 {
         self.wrapping_sub(other)
     }
+
+    fn raw(self) -> u64 {
+        self
+    }
+
+    fn from_raw(raw: u64) -> Self {
+        raw
+    }
+
+    /// The unbounded reference counter never wraps, so the recovered
+    /// floor is the plain minimum — this keeps post-repair decisions
+    /// identical to [`NaiveTable`]'s absolute-order scans.
+    fn recover_floor(values: &[Self]) -> Self {
+        values.iter().copied().min().unwrap_or(0)
+    }
 }
+
+/// The address-tag sentinel of an invalidated table entry: a CAM upset
+/// leaves the slot's counter behind but its tag no longer matches any
+/// real row. Schemes treat a selection of this row as a burned RFM
+/// window (no victims can be derived from a garbage tag).
+pub const INVALID_ROW: RowId = RowId::MAX;
 
 /// The row selected by a greedy RFM step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -300,6 +391,127 @@ impl<C: Counter> MithrilTable<C> {
     pub fn bucket_count(&self) -> usize {
         self.list.bucket_count()
     }
+
+    // ------------------------------------------------------ fault surface
+
+    /// Flips one bit of slot `slot`'s stored counter — a *silent*
+    /// transient upset: the Stream-Summary structure is not told, so the
+    /// table's order is now wrong until a scrub ([`self_check`] +
+    /// [`repair`]) notices. Returns `false` if `slot`/`bit` is out of
+    /// range.
+    ///
+    /// [`self_check`]: MithrilTable::self_check
+    /// [`repair`]: MithrilTable::repair
+    pub fn flip_counter_bit(&mut self, slot: usize, bit: u32) -> bool {
+        if slot >= self.counts.len() || bit >= C::BITS {
+            return false;
+        }
+        self.counts[slot] = self.counts[slot].flip_bit(bit);
+        true
+    }
+
+    /// Forces one bit of slot `slot`'s stored counter to `one` (stuck-at
+    /// re-assertion), as silently as [`flip_counter_bit`]. Returns `true`
+    /// only if the stored bit changed.
+    ///
+    /// [`flip_counter_bit`]: MithrilTable::flip_counter_bit
+    pub fn force_counter_bit(&mut self, slot: usize, bit: u32, one: bool) -> bool {
+        if slot >= self.counts.len() || bit >= C::BITS {
+            return false;
+        }
+        let forced = self.counts[slot].with_bit(bit, one);
+        let changed = forced != self.counts[slot];
+        self.counts[slot] = forced;
+        changed
+    }
+
+    /// Invalidates slot `slot`'s address tag (CAM upset): the entry keeps
+    /// its counter and its place in the order, but stops tracking its row
+    /// ([`INVALID_ROW`] sentinel). The slot is reclaimed normally when it
+    /// becomes the oldest minimum entry. Returns `false` if the slot is
+    /// out of range or already invalid.
+    pub fn invalidate_entry(&mut self, slot: usize) -> bool {
+        if slot >= self.addrs.len() || self.addrs[slot] == INVALID_ROW {
+            return false;
+        }
+        let row = self.addrs[slot];
+        self.index.remove(&row);
+        self.addrs[slot] = INVALID_ROW;
+        true
+    }
+
+    /// Slot `slot`'s stored counter bits (scrub diagnostics), or `None`
+    /// if the slot is unoccupied.
+    pub fn raw_counter(&self, slot: usize) -> Option<u64> {
+        self.counts.get(slot).map(|c| c.raw())
+    }
+
+    /// Verifies the table's derived structures against its stored
+    /// entries: the row index maps exactly the valid tags, and the
+    /// Stream-Summary list satisfies every structural invariant with
+    /// bucket values matching the stored counters (see
+    /// [`BucketList::self_check`]). `Err` describes the first broken
+    /// invariant. O(capacity).
+    pub fn self_check(&self) -> Result<(), String> {
+        let mut valid = 0usize;
+        for (slot, &row) in self.addrs.iter().enumerate() {
+            if row == INVALID_ROW {
+                continue;
+            }
+            valid += 1;
+            match self.index.get(&row) {
+                Some(&s) if s as usize == slot => {}
+                Some(&s) => {
+                    return Err(format!(
+                        "row {row}: index points at slot {s}, stored in {slot}"
+                    ))
+                }
+                None => return Err(format!("row {row} (slot {slot}): missing from index")),
+            }
+        }
+        if self.index.len() != valid {
+            return Err(format!(
+                "index has {} rows, table stores {valid} valid tags",
+                self.index.len()
+            ));
+        }
+        let basis = self.list.min_value().unwrap_or_else(C::zero);
+        self.list
+            .self_check(|s| self.counts[s as usize], |v| v.diff(basis))
+    }
+
+    /// Rebuilds the derived structures from the stored entries — the
+    /// repair half of a scrub pass. The row index is rebuilt from the
+    /// valid tags (a duplicated tag invalidates the higher slot), the
+    /// minimum is re-recovered from the raw counters
+    /// ([`Counter::recover_floor`]), and the Stream-Summary list is
+    /// rebuilt in ascending `(diff-from-minimum, slot)` order. Arrival
+    /// ages are unrecoverable after corruption, so ties canonicalize to
+    /// ascending slot index. O(capacity·log).
+    pub fn repair(&mut self) {
+        self.index.clear();
+        for slot in 0..self.addrs.len() {
+            let row = self.addrs[slot];
+            if row == INVALID_ROW {
+                continue;
+            }
+            match self.index.entry(row) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(slot as u32);
+                }
+                std::collections::hash_map::Entry::Occupied(_) => {
+                    self.addrs[slot] = INVALID_ROW;
+                }
+            }
+        }
+        let floor = if self.len() == self.capacity {
+            C::recover_floor(&self.counts)
+        } else {
+            C::zero()
+        };
+        let counts = &self.counts;
+        self.list.rebuild(|s| counts[s as usize], |v| v.diff(floor));
+    }
 }
 
 /// The retained linear-scan reference implementation of the Mithril table.
@@ -461,6 +673,78 @@ impl NaiveTable {
             .iter()
             .zip(self.counts.iter())
             .map(move |(&a, &c)| (a, c - min))
+    }
+
+    // ------------------------------------------------------ fault surface
+
+    /// Mirror of [`MithrilTable::flip_counter_bit`] on the reference
+    /// table's unbounded counters.
+    pub fn flip_counter_bit(&mut self, slot: usize, bit: u32) -> bool {
+        if slot >= self.counts.len() || bit >= 64 {
+            return false;
+        }
+        self.counts[slot] ^= 1u64 << bit;
+        true
+    }
+
+    /// Mirror of [`MithrilTable::force_counter_bit`].
+    pub fn force_counter_bit(&mut self, slot: usize, bit: u32, one: bool) -> bool {
+        if slot >= self.counts.len() || bit >= 64 {
+            return false;
+        }
+        let mask = 1u64 << bit;
+        let forced = if one {
+            self.counts[slot] | mask
+        } else {
+            self.counts[slot] & !mask
+        };
+        let changed = forced != self.counts[slot];
+        self.counts[slot] = forced;
+        changed
+    }
+
+    /// Mirror of [`MithrilTable::invalidate_entry`].
+    pub fn invalidate_entry(&mut self, slot: usize) -> bool {
+        if slot >= self.addrs.len() || self.addrs[slot] == INVALID_ROW {
+            return false;
+        }
+        let row = self.addrs[slot];
+        self.index.remove(&row);
+        self.addrs[slot] = INVALID_ROW;
+        true
+    }
+
+    /// Mirror of [`MithrilTable::raw_counter`].
+    pub fn raw_counter(&self, slot: usize) -> Option<u64> {
+        self.counts.get(slot).copied()
+    }
+
+    /// Mirror of [`MithrilTable::repair`]: the scan-based table has no
+    /// order structure to rebuild, but its tie-breaking ages are as lost
+    /// as the bucket list's, so they canonicalize the same way —
+    /// ascending slot index — keeping the two implementations'
+    /// post-repair decisions identical. A duplicated tag invalidates the
+    /// higher slot, as in the bucket table.
+    pub fn repair(&mut self) {
+        self.index.clear();
+        for slot in 0..self.addrs.len() {
+            let row = self.addrs[slot];
+            if row == INVALID_ROW {
+                continue;
+            }
+            match self.index.entry(row) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(slot);
+                }
+                std::collections::hash_map::Entry::Occupied(_) => {
+                    self.addrs[slot] = INVALID_ROW;
+                }
+            }
+        }
+        for (slot, seq) in self.seqs.iter_mut().enumerate() {
+            *seq = slot as u64;
+        }
+        self.next_seq = self.seqs.len() as u64;
     }
 }
 

@@ -46,7 +46,7 @@ pub use bank::{Bank, BankState};
 pub use device::{DeviceStats, DramDevice};
 pub use energy::{EnergyCounters, EnergyModel};
 pub use harness::AttackHarness;
-pub use mitigation::{DramMitigation, NoMitigation, RfmOutcome};
+pub use mitigation::{DramMitigation, FaultStats, FaultSurface, NoMitigation, RfmOutcome};
 pub use oracle::{FlipEvent, RowHammerOracle};
 pub use rank::RankTiming;
 pub use timing::{Ddr5Timing, PS_PER_MS, PS_PER_NS, PS_PER_US};

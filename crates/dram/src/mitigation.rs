@@ -58,6 +58,93 @@ impl RfmOutcome {
     }
 }
 
+/// Counters kept by a fault-injection adapter wrapped around an engine
+/// (see the `mithril-faults` crate). Defined here so any
+/// [`DramMitigation`] can surface them through
+/// [`DramMitigation::fault_stats`] without the base crate depending on
+/// the injector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Counter bit-flips injected (transient single-event upsets).
+    pub bit_flips: u64,
+    /// Tracker entries invalidated (address-CAM upsets).
+    pub invalidations: u64,
+    /// Distinct stuck-at bit faults registered.
+    pub stuck_bits: u64,
+    /// Stuck-at re-assertions that actually changed a stored bit.
+    pub stuck_assertions: u64,
+    /// Scrub passes (self-check sweeps) run over the tracker state.
+    pub scrubs: u64,
+    /// Scrubs that detected a broken structural invariant.
+    pub scrub_detections: u64,
+    /// Structural repairs (rebuilds) performed.
+    pub repairs: u64,
+    /// Faults drawn by the plan that found no injectable state
+    /// (engine exposes no fault surface, or its table is still empty).
+    pub dropped: u64,
+}
+
+impl FaultStats {
+    /// Accumulates `other` into `self` (per-bank → per-system roll-up).
+    pub fn add(&mut self, other: &FaultStats) {
+        self.bit_flips += other.bit_flips;
+        self.invalidations += other.invalidations;
+        self.stuck_bits += other.stuck_bits;
+        self.stuck_assertions += other.stuck_assertions;
+        self.scrubs += other.scrubs;
+        self.scrub_detections += other.scrub_detections;
+        self.repairs += other.repairs;
+        self.dropped += other.dropped;
+    }
+
+    /// Total faults injected into tracker state.
+    pub fn injected(&self) -> u64 {
+        self.bit_flips + self.invalidations + self.stuck_bits
+    }
+}
+
+/// The injectable state of a tracker: what a soft error can touch and
+/// what an ECC-style scrub pass can detect and rebuild.
+///
+/// Engines whose protection state lives in SRAM/CAM counters (Mithril,
+/// Space-Saving-based trackers) implement this; the fault injector in
+/// `mithril-faults` drives it through
+/// [`DramMitigation::fault_surface`]. Entry indices address hardware
+/// slots (`0..fault_entries()`); slot indices are stable for the life of
+/// the engine, so a stuck-at fault registered on a slot stays meaningful.
+pub trait FaultSurface {
+    /// Occupied counter slots a fault can land on (grows toward table
+    /// capacity, never shrinks).
+    fn fault_entries(&self) -> u64;
+
+    /// Bits per stored counter.
+    fn counter_bits(&self) -> u32;
+
+    /// Flips one stored counter bit — a silent transient upset: the
+    /// tracker's derived structures are *not* told. Returns `false` if
+    /// `entry`/`bit` is out of range.
+    fn flip_counter_bit(&mut self, entry: u64, bit: u32) -> bool;
+
+    /// Forces one stored counter bit to `one` (stuck-at re-assertion).
+    /// Returns `true` only if the stored bit actually changed.
+    fn force_counter_bit(&mut self, entry: u64, bit: u32, one: bool) -> bool;
+
+    /// Invalidates an entry's address tag (CAM upset): the slot stops
+    /// tracking its row. Returns `false` if the entry was already
+    /// invalid or out of range.
+    fn invalidate_entry(&mut self, entry: u64) -> bool;
+
+    /// Structural self-check (the read half of a scrub pass): verifies
+    /// the tracker's derived ordering structures against its stored
+    /// counters. `Err` describes the first broken invariant.
+    fn check(&self) -> Result<(), String>;
+
+    /// Rebuilds derived structures from the stored counters (the repair
+    /// half of a scrub pass). Arrival-age information lost to the fault
+    /// is canonicalized deterministically — see `ARCHITECTURE.md`.
+    fn repair(&mut self);
+}
+
 /// An in-DRAM (per-bank) Row Hammer mitigation engine.
 ///
 /// Implementations observe the command stream of a single bank.
@@ -130,6 +217,21 @@ pub trait DramMitigation {
 
     /// Scheme name for reporting.
     fn name(&self) -> &'static str;
+
+    /// The engine's injectable tracker state, if it exposes one. Engines
+    /// whose protection metadata can take soft errors override this;
+    /// the default — no surface — means the fault injector counts its
+    /// draws as dropped rather than silently succeeding.
+    fn fault_surface(&mut self) -> Option<&mut dyn FaultSurface> {
+        None
+    }
+
+    /// Fault-injection counters, for engines wrapped by an injector
+    /// (`mithril-faults`). `None` everywhere else, so reporting can
+    /// distinguish "no faults configured" from "zero faults landed".
+    fn fault_stats(&self) -> Option<FaultStats> {
+        None
+    }
 }
 
 /// The unit mitigation: tracks nothing, refreshes nothing.

@@ -10,18 +10,32 @@
 //!   --seed N          base seed (default 1)
 //!   --insts N         override instructions per core
 //!   --cores N         override cores per scenario
-//!   --out PATH        report path (default BENCH_sweep.json)
+//!   --out PATH        report path (default BENCH_sweep.json,
+//!                     BENCH_faults.json in --faults mode)
+//!   --journal PATH    crash-safe mode: append each completed scenario to
+//!                     PATH as it finishes
+//!   --resume          recover completed scenarios from --journal PATH
+//!                     and run only what is missing
+//!   --faults          fault-injection campaign: the smoke grid crossed
+//!                     with a soft-error rate ladder, reported as
+//!                     degradation curves per scheme
+//!   --fault-rates R,R,...  override the campaign's rates (ppm of ACTs)
+//!   --no-scrub        disable scrub (self-check + repair) in --faults
 //! ```
 //!
 //! The report contains only deterministic content; wall-clock and thread
 //! count are printed to stdout so the file stays byte-comparable across
 //! worker counts (the determinism regression test relies on this).
+//!
+//! Operational errors — malformed arguments, an unwritable report path, a
+//! foreign journal — exit nonzero with a one-line message, not a panic
+//! backtrace.
 
 use std::time::Instant;
 
 use mithril_runner::engine::{default_threads, PoolConfig};
-use mithril_runner::scenarios::SweepSpec;
-use mithril_runner::{report, run_sweep};
+use mithril_runner::scenarios::{FaultCampaignSpec, SweepSpec};
+use mithril_runner::{report, run_fault_campaign, run_sweep, run_sweep_journaled};
 
 struct Args {
     smoke: bool,
@@ -30,14 +44,30 @@ struct Args {
     seed: u64,
     insts: Option<u64>,
     cores: Option<usize>,
-    out: String,
+    out: Option<String>,
+    journal: Option<String>,
+    resume: bool,
+    faults: bool,
+    fault_rates: Option<Vec<u64>>,
+    scrub: bool,
+}
+
+fn die(msg: impl std::fmt::Display) -> ! {
+    eprintln!("sweep: {msg}");
+    std::process::exit(2);
 }
 
 fn value<'a>(args: &'a [String], i: &mut usize, usage: &str) -> &'a str {
     *i += 1;
     args.get(*i)
-        .unwrap_or_else(|| panic!("missing value: expected {usage}"))
+        .unwrap_or_else(|| die(format!("missing value: expected {usage}")))
         .as_str()
+}
+
+fn parsed<T: std::str::FromStr>(args: &[String], i: &mut usize, usage: &str) -> T {
+    let raw = value(args, i, usage);
+    raw.parse()
+        .unwrap_or_else(|_| die(format!("invalid value {raw:?}: expected {usage}")))
 }
 
 fn parse_args() -> Args {
@@ -48,7 +78,12 @@ fn parse_args() -> Args {
         seed: 1,
         insts: None,
         cores: None,
-        out: "BENCH_sweep.json".to_string(),
+        out: None,
+        journal: None,
+        resume: false,
+        faults: false,
+        fault_rates: None,
+        scrub: true,
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -56,41 +91,45 @@ fn parse_args() -> Args {
         match args[i].as_str() {
             "--smoke" => out.smoke = true,
             "--full" => out.smoke = false,
-            "--threads" => {
-                out.threads = value(&args, &mut i, "--threads N")
-                    .parse()
-                    .expect("--threads N")
+            "--threads" => out.threads = parsed(&args, &mut i, "--threads N"),
+            "--shard-size" => out.shard_size = parsed(&args, &mut i, "--shard-size N"),
+            "--seed" => out.seed = parsed(&args, &mut i, "--seed N"),
+            "--insts" => out.insts = Some(parsed(&args, &mut i, "--insts N")),
+            "--cores" => out.cores = Some(parsed(&args, &mut i, "--cores N")),
+            "--out" => out.out = Some(value(&args, &mut i, "--out PATH").to_string()),
+            "--journal" => out.journal = Some(value(&args, &mut i, "--journal PATH").to_string()),
+            "--resume" => out.resume = true,
+            "--faults" => out.faults = true,
+            "--fault-rates" => {
+                let raw = value(&args, &mut i, "--fault-rates R,R,...");
+                let rates: Result<Vec<u64>, _> = raw.split(',').map(str::parse).collect();
+                out.fault_rates = Some(rates.unwrap_or_else(|_| {
+                    die(format!(
+                        "invalid value {raw:?}: expected --fault-rates R,R,..."
+                    ))
+                }));
             }
-            "--shard-size" => {
-                out.shard_size = value(&args, &mut i, "--shard-size N")
-                    .parse()
-                    .expect("--shard-size N")
-            }
-            "--seed" => out.seed = value(&args, &mut i, "--seed N").parse().expect("--seed N"),
-            "--insts" => {
-                out.insts = Some(
-                    value(&args, &mut i, "--insts N")
-                        .parse()
-                        .expect("--insts N"),
-                )
-            }
-            "--cores" => {
-                out.cores = Some(
-                    value(&args, &mut i, "--cores N")
-                        .parse()
-                        .expect("--cores N"),
-                )
-            }
-            "--out" => out.out = value(&args, &mut i, "--out PATH").to_string(),
-            other => panic!("unknown argument {other}"),
+            "--no-scrub" => out.scrub = false,
+            other => die(format!(
+                "unknown argument {other} (see --help in the crate docs)"
+            )),
         }
         i += 1;
+    }
+    if out.resume && out.journal.is_none() {
+        die("--resume requires --journal PATH");
+    }
+    if out.faults && out.journal.is_some() {
+        die("--faults and --journal are mutually exclusive");
     }
     out
 }
 
-fn main() {
-    let args = parse_args();
+fn write_report(path: &str, json: &str) {
+    std::fs::write(path, json).unwrap_or_else(|e| die(format!("cannot write report {path}: {e}")));
+}
+
+fn base_spec(args: &Args) -> SweepSpec {
     let mut spec = if args.smoke {
         SweepSpec::smoke()
     } else {
@@ -102,11 +141,85 @@ fn main() {
     if let Some(cores) = args.cores {
         spec.cores = cores;
     }
+    spec
+}
 
+fn run_faults_mode(args: &Args, pool: PoolConfig) {
+    let mut spec = FaultCampaignSpec::smoke();
+    if !args.smoke {
+        spec.base = SweepSpec::full();
+    }
+    if let Some(insts) = args.insts {
+        spec.base.insts_per_core = insts;
+    }
+    if let Some(cores) = args.cores {
+        spec.base.cores = cores;
+    }
+    if let Some(rates) = &args.fault_rates {
+        spec.rates_ppm = rates.clone();
+    }
+    spec.scrub = args.scrub;
+
+    let n = spec.scenarios().len();
+    println!(
+        "# fault campaign: {n} runs ({} base scenarios x {} rates, scrub {})",
+        spec.base.scenarios().len(),
+        spec.rates_ppm.len(),
+        if spec.scrub { "on" } else { "off" }
+    );
+    println!(
+        "# engine: {} threads, shard size {}, base seed {}",
+        pool.threads, pool.shard_size, args.seed
+    );
+
+    let t0 = Instant::now();
+    let runs = run_fault_campaign(&spec, pool, args.seed);
+    let wall = t0.elapsed();
+
+    println!(
+        "{:<48} {:>9} {:>8} {:>12} {:>6} {:>9} {:>8}",
+        "run", "rate_ppm", "rfms", "disturb(max)", "flips", "injected", "repairs"
+    );
+    for r in &runs {
+        match &r.result.outcome {
+            Ok(m) => println!(
+                "{:<48} {:>9} {:>8} {:>12} {:>6} {:>9} {:>8}",
+                r.result.scenario.name,
+                r.rate_ppm,
+                m.rfms,
+                m.max_disturbance,
+                m.flips,
+                r.fault_stats.as_ref().map_or(0, |f| f.injected()),
+                r.fault_stats.as_ref().map_or(0, |f| f.repairs),
+            ),
+            Err(e) => println!("{:<48} unavailable: {e}", r.result.scenario.name),
+        }
+    }
+
+    let out = args.out.as_deref().unwrap_or("BENCH_faults.json");
+    let json = report::faults_json(args.seed, spec.scrub, &spec.rates_ppm, &runs);
+    write_report(out, &json);
+    let ok = runs.iter().filter(|r| r.result.outcome.is_ok()).count();
+    println!(
+        "# {ok}/{} runs ok; wall-clock {:.2}s at {} threads; wrote {out}",
+        runs.len(),
+        wall.as_secs_f64(),
+        pool.threads,
+    );
+}
+
+fn main() {
+    let args = parse_args();
     let pool = PoolConfig {
         threads: args.threads,
         shard_size: args.shard_size,
     };
+    if args.faults {
+        run_faults_mode(&args, pool);
+        return;
+    }
+
+    let spec = base_spec(&args);
     let n = spec.scenarios().len();
     println!(
         "# sweep: {n} scenarios ({} geometries x {} schemes x {} workloads, minus skips)",
@@ -119,7 +232,31 @@ fn main() {
         pool.threads, pool.shard_size, args.seed
     );
 
+    let out = args.out.as_deref().unwrap_or("BENCH_sweep.json");
     let t0 = Instant::now();
+    if let Some(journal) = &args.journal {
+        let sweep = run_sweep_journaled(
+            &spec,
+            pool,
+            args.seed,
+            std::path::Path::new(journal),
+            args.resume,
+        )
+        .unwrap_or_else(|e| die(e));
+        let wall = t0.elapsed();
+        write_report(out, &sweep.report);
+        println!(
+            "# journal {journal}: {} recovered, {} run, {} corrupt line(s) dropped",
+            sweep.recovered, sweep.ran, sweep.dropped_lines
+        );
+        println!(
+            "# {n} scenarios; wall-clock {:.2}s at {} threads; wrote {out}",
+            wall.as_secs_f64(),
+            pool.threads,
+        );
+        return;
+    }
+
     let results = run_sweep(&spec, pool, args.seed);
     let wall = t0.elapsed();
 
@@ -138,13 +275,12 @@ fn main() {
     }
 
     let json = report::sweep_json(args.seed, &results);
-    std::fs::write(&args.out, &json).expect("write report");
+    write_report(out, &json);
     let ok = results.iter().filter(|r| r.outcome.is_ok()).count();
     println!(
-        "# {ok}/{} scenarios ok; wall-clock {:.2}s at {} threads; wrote {}",
+        "# {ok}/{} scenarios ok; wall-clock {:.2}s at {} threads; wrote {out}",
         results.len(),
         wall.as_secs_f64(),
         pool.threads,
-        args.out
     );
 }

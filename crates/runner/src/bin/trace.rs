@@ -27,13 +27,15 @@
 //!   --seed/--cores/--insts overrides; --channels/--ranks only with
 //!   --workload (a capture replays on its recorded geometry)
 //!   --metrics-only     emit the label-independent metrics projection
+//!   --resilient        tolerate a damaged capture: skip corrupt/torn
+//!                      chunks (reported on stderr) instead of aborting
 //!   --out PATH         write the JSON report here instead of stdout
 //!
 //! stat      access-mix / hot-row statistics of a capture
-//!   --trace PATH  [--top N (default 10)]  [--out PATH]
+//!   --trace PATH  [--top N (default 10)]  [--resilient]  [--out PATH]
 //!
 //! convert   re-encode between trace dialects
-//!   --in PATH --out PATH
+//!   --in PATH --out PATH  [--resilient (mtrc input only)]
 //!   --in-format / --out-format   mtrc|ramulator|addr   (default: by
 //!                                extension, .mtrc = mtrc, else ramulator)
 //!   --core N           which stream of a multi-core capture to export
@@ -57,8 +59,8 @@ use mithril_runner::run_sweep;
 use mithril_runner::scenarios::{all_schemes, default_rfm_th, workload, SweepSpec};
 use mithril_sim::{Scheme, SystemConfig};
 use mithril_trace::{
-    read_header_path, record_thread_set, stats_from_reader, write_text, MtrcReader, MtrcWriter,
-    TextFormat, TextReader, TraceHeader,
+    read_header_path, record_thread_set, stats_from_reader, stats_from_resilient_reader,
+    write_text, MtrcReader, MtrcWriter, ResilientMtrcReader, TextFormat, TextReader, TraceHeader,
 };
 
 fn die(msg: &str) -> ! {
@@ -87,7 +89,7 @@ impl Args {
         while i < raw.len() {
             let a = &raw[i];
             if let Some(key) = a.strip_prefix("--") {
-                if key == "metrics-only" {
+                if key == "metrics-only" || key == "resilient" {
                     flags.push(key.to_string());
                     i += 1;
                     continue;
@@ -234,15 +236,42 @@ fn cmd_record(mut args: Args) {
 // ------------------------------------------------------------------ replay
 
 fn cmd_replay(flags: Vec<String>, mut args: Args) {
+    let resilient = flags.iter().any(|f| f == "resilient");
     let trace_path = args.take("trace");
     let live_workload = args.take("workload");
     let (workload_name, header) = match (&trace_path, &live_workload) {
         (Some(p), None) => {
             let header =
                 read_header_path(Path::new(p)).unwrap_or_else(|e| die(&format!("{p}: {e}")));
-            (format!("trace:{p}"), Some(header))
+            // `trace+skip:` loads through the resilient reader, which
+            // tolerates damaged chunks and reports what it skipped;
+            // `trace:` keeps the strict fail-fast reader. Validate the
+            // whole capture up front either way, so an unreplayable file
+            // dies here with a clear message rather than surfacing as a
+            // panic inside a sweep worker.
+            if resilient {
+                let (_, per_core, report) = mithril_trace::read_all_resilient_path(Path::new(p))
+                    .unwrap_or_else(|e| die(&format!("{p}: {e}")));
+                if let Some(c) = per_core.iter().position(|ops| ops.is_empty()) {
+                    die(&format!(
+                        "{p}: core {c} has no surviving ops ({} damaged chunk(s) skipped); \
+                         nothing left to replay for that stream",
+                        report.skipped_chunks
+                    ));
+                }
+            } else {
+                mithril_trace::read_all_path(Path::new(p))
+                    .unwrap_or_else(|e| die(&format!("{p}: {e}")));
+            }
+            let prefix = if resilient { "trace+skip" } else { "trace" };
+            (format!("{prefix}:{p}"), Some(header))
         }
-        (None, Some(w)) => (w.clone(), None),
+        (None, Some(w)) => {
+            if resilient {
+                die("--resilient applies to --trace replays; a live --workload has no capture to repair");
+            }
+            (w.clone(), None)
+        }
         _ => die("replay needs exactly one of --trace PATH / --workload NAME"),
     };
 
@@ -317,7 +346,7 @@ fn cmd_replay(flags: Vec<String>, mut args: Args) {
 
 // -------------------------------------------------------------------- stat
 
-fn cmd_stat(mut args: Args) {
+fn cmd_stat(flags: Vec<String>, mut args: Args) {
     let path = args
         .take("trace")
         .unwrap_or_else(|| die("stat needs --trace PATH"));
@@ -326,10 +355,36 @@ fn cmd_stat(mut args: Args) {
     args.finish();
 
     let file = std::fs::File::open(&path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
-    let reader =
-        MtrcReader::new(BufReader::new(file)).unwrap_or_else(|e| die(&format!("{path}: {e}")));
-    let stats = stats_from_reader(reader, top).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    let stats = if flags.iter().any(|f| f == "resilient") {
+        let reader = ResilientMtrcReader::new(BufReader::new(file))
+            .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        let (stats, report) = stats_from_resilient_reader(reader, top)
+            .unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        print_skip_report(&path, report);
+        stats
+    } else {
+        let reader =
+            MtrcReader::new(BufReader::new(file)).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        stats_from_reader(reader, top).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+    };
     write_output(out, &stats.render_json());
+}
+
+/// What a `--resilient` read had to step over, on stderr so it never
+/// contaminates a piped JSON report.
+fn print_skip_report(path: &str, report: mithril_trace::ResilienceReport) {
+    if report.is_clean() {
+        return;
+    }
+    let torn = if report.missing_end_marker {
+        "; capture is torn (no end marker)"
+    } else {
+        ""
+    };
+    eprintln!(
+        "# {path}: skipped {} damaged chunk(s) ({} bytes){torn}",
+        report.skipped_chunks, report.skipped_bytes
+    );
 }
 
 // ----------------------------------------------------------------- convert
@@ -351,7 +406,8 @@ fn dialect_of(path: &str, flag: Option<String>) -> Dialect {
     }
 }
 
-fn cmd_convert(mut args: Args) {
+fn cmd_convert(flags: Vec<String>, mut args: Args) {
+    let resilient = flags.iter().any(|f| f == "resilient");
     let input = args
         .take("in")
         .unwrap_or_else(|| die("convert needs --in PATH"));
@@ -375,10 +431,21 @@ fn cmd_convert(mut args: Args) {
                     ));
                 }
             }
-            mithril_trace::read_all_path(Path::new(&input))
-                .unwrap_or_else(|e| die(&format!("{input}: {e}")))
+            if resilient {
+                let (header, per_core, report) =
+                    mithril_trace::read_all_resilient_path(Path::new(&input))
+                        .unwrap_or_else(|e| die(&format!("{input}: {e}")));
+                print_skip_report(&input, report);
+                (header, per_core)
+            } else {
+                mithril_trace::read_all_path(Path::new(&input))
+                    .unwrap_or_else(|e| die(&format!("{input}: {e}")))
+            }
         }
         Dialect::Text(fmt) => {
+            if resilient {
+                die("--resilient only applies to mtrc input (text ingest already reports bad lines)");
+            }
             let source = args.take("source");
             let base_seed: u64 = args.take_parsed("seed").unwrap_or(1);
             let geometry = geometry_from(&mut args);
@@ -463,8 +530,8 @@ fn main() {
     match cmd.as_str() {
         "record" => cmd_record(args),
         "replay" => cmd_replay(flags, args),
-        "stat" => cmd_stat(args),
-        "convert" => cmd_convert(args),
+        "stat" => cmd_stat(flags, args),
+        "convert" => cmd_convert(flags, args),
         other => die(&format!("unknown command {other:?}")),
     }
 }

@@ -1,0 +1,306 @@
+//! Crash-safe sweep journal: append-only completion log + tolerant
+//! recovery.
+//!
+//! A journaled sweep appends one line per completed scenario *as it
+//! completes*, each line self-checked by an FNV-1a hash, so a killed
+//! process loses at most the in-flight scenarios. On resume the journal
+//! is re-read tolerantly — corrupt or torn lines are dropped and simply
+//! re-run — and only missing indices execute, each re-seeded by sweep
+//! *position* (never by execution order), so a resumed report is
+//! byte-identical to an uninterrupted one.
+//!
+//! # Format
+//!
+//! Plain text, one record per line:
+//!
+//! ```text
+//! MTRJ1 <base_seed> <fingerprint-hex>
+//! <index> <fnv1a64-hex of entry> <entry>
+//! ```
+//!
+//! The header pins the base seed and a fingerprint of the expanded
+//! scenario list; resuming against a different spec or seed is refused
+//! rather than silently mixed. `<entry>` is the single-line
+//! [`result_json`](crate::report::result_json) record (without its
+//! 4-space indent). Duplicate indices are legal — the last valid record
+//! wins (a retried item may append twice; the rendered entry is
+//! deterministic, so duplicates are byte-equal anyway).
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::scenarios::Scenario;
+
+/// Magic tag of journal format v1.
+pub const JOURNAL_MAGIC: &str = "MTRJ1";
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of a sweep's identity: the base seed plus every expanded
+/// scenario's name and size knobs. Two sweeps with the same fingerprint
+/// produce the same entry at every index, which is exactly what resuming
+/// requires.
+pub fn fingerprint(base_seed: u64, scenarios: &[Scenario]) -> u64 {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&base_seed.to_le_bytes());
+    for s in scenarios {
+        bytes.extend_from_slice(s.name.as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(&(s.cores as u64).to_le_bytes());
+        bytes.extend_from_slice(&s.insts_per_core.to_le_bytes());
+        bytes.extend_from_slice(&s.flip_th.to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+/// What tolerant recovery found in a journal.
+#[derive(Debug)]
+pub struct LoadedJournal {
+    /// Recovered entries by scenario index (`None` = must run).
+    pub entries: Vec<Option<String>>,
+    /// Lines dropped as corrupt, torn, or out of range.
+    pub dropped_lines: usize,
+}
+
+impl LoadedJournal {
+    /// How many entries were recovered intact.
+    pub fn recovered(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+/// Re-reads a journal tolerantly, validating its header strictly.
+///
+/// # Errors
+///
+/// I/O failure, a malformed header, or a header whose seed/fingerprint
+/// disagrees with this sweep (resuming someone else's journal corrupts
+/// silently — refuse instead). Body damage is *not* an error: corrupt,
+/// torn, duplicate or out-of-range lines are dropped and counted.
+pub fn load(
+    path: &Path,
+    base_seed: u64,
+    fingerprint: u64,
+    scenario_count: usize,
+) -> Result<LoadedJournal, String> {
+    let file =
+        File::open(path).map_err(|e| format!("cannot open journal {}: {e}", path.display()))?;
+    let mut lines = BufReader::new(file).lines();
+    let header = match lines.next() {
+        Some(Ok(line)) => line,
+        Some(Err(e)) => return Err(format!("cannot read journal {}: {e}", path.display())),
+        None => return Err(format!("journal {} is empty", path.display())),
+    };
+    let mut parts = header.split(' ');
+    if parts.next() != Some(JOURNAL_MAGIC) {
+        return Err(format!(
+            "journal {} is not a {JOURNAL_MAGIC} file",
+            path.display()
+        ));
+    }
+    let h_seed: u64 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("journal {}: malformed header seed", path.display()))?;
+    let h_fp = parts
+        .next()
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or_else(|| format!("journal {}: malformed header fingerprint", path.display()))?;
+    if h_seed != base_seed {
+        return Err(format!(
+            "journal {} was written for base seed {h_seed}, this sweep uses {base_seed}",
+            path.display()
+        ));
+    }
+    if h_fp != fingerprint {
+        return Err(format!(
+            "journal {} belongs to a different sweep spec (fingerprint {h_fp:016x} != {fingerprint:016x})",
+            path.display()
+        ));
+    }
+
+    let mut out = LoadedJournal {
+        entries: vec![None; scenario_count],
+        dropped_lines: 0,
+    };
+    for line in lines {
+        let line = match line {
+            Ok(l) => l,
+            // A read error mid-body (e.g. invalid UTF-8 in a torn tail)
+            // ends recovery; everything after re-runs.
+            Err(_) => {
+                out.dropped_lines += 1;
+                break;
+            }
+        };
+        let mut fields = line.splitn(3, ' ');
+        let parsed = (|| {
+            let index: usize = fields.next()?.parse().ok()?;
+            let hash = u64::from_str_radix(fields.next()?, 16).ok()?;
+            let entry = fields.next()?;
+            (index < scenario_count && fnv1a64(entry.as_bytes()) == hash)
+                .then(|| (index, entry.to_string()))
+        })();
+        match parsed {
+            Some((index, entry)) => out.entries[index] = Some(entry),
+            None => out.dropped_lines += 1,
+        }
+    }
+    Ok(out)
+}
+
+/// Concurrent append-side of the journal: workers record completions
+/// through a shared mutex, one flushed line per completed scenario.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: Mutex<File>,
+}
+
+impl JournalWriter {
+    /// Creates (truncating) a fresh journal and writes its header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failure as a displayable message.
+    pub fn create(path: &Path, base_seed: u64, fingerprint: u64) -> Result<Self, String> {
+        let mut file = File::create(path)
+            .map_err(|e| format!("cannot create journal {}: {e}", path.display()))?;
+        writeln!(file, "{JOURNAL_MAGIC} {base_seed} {fingerprint:016x}")
+            .and_then(|_| file.flush())
+            .map_err(|e| format!("cannot write journal {}: {e}", path.display()))?;
+        Ok(Self {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Reopens an existing journal for appending (resume path; the
+    /// header was already validated by [`load`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failure as a displayable message.
+    pub fn append(path: &Path) -> Result<Self, String> {
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot reopen journal {}: {e}", path.display()))?;
+        Ok(Self {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Appends one completed scenario and flushes, making it durable
+    /// before the sweep moves on. `entry` must be a single line.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O failure or a multi-line entry; inside the robust
+    /// engine the panic is caught and surfaces as that item's outcome
+    /// instead of killing the sweep.
+    pub fn record(&self, index: usize, entry: &str) {
+        assert!(
+            !entry.contains('\n'),
+            "journal entries are single-line records"
+        );
+        let mut file = self.file.lock().unwrap();
+        writeln!(file, "{index} {:016x} {entry}", fnv1a64(entry.as_bytes()))
+            .and_then(|_| file.flush())
+            .unwrap_or_else(|e| panic!("cannot append to journal: {e}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(name: &str) -> Scenario {
+        Scenario {
+            name: name.into(),
+            scheme_label: "none".into(),
+            scheme: mithril_sim::Scheme::None,
+            workload: "mix-high".into(),
+            geometry: mithril_dram::Geometry::default(),
+            flip_th: 6_250,
+            cores: 1,
+            insts_per_core: 100,
+            faults: None,
+        }
+    }
+
+    #[test]
+    fn roundtrips_entries_by_index() {
+        let dir = std::env::temp_dir().join("mtrj-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.mtrj");
+        let scenarios = vec![scenario("a"), scenario("b"), scenario("c")];
+        let fp = fingerprint(7, &scenarios);
+        let w = JournalWriter::create(&path, 7, fp).unwrap();
+        w.record(2, "{\"name\":\"c\"}");
+        w.record(0, "{\"name\":\"a\"}");
+        let loaded = load(&path, 7, fp, 3).unwrap();
+        assert_eq!(loaded.recovered(), 2);
+        assert_eq!(loaded.dropped_lines, 0);
+        assert_eq!(loaded.entries[0].as_deref(), Some("{\"name\":\"a\"}"));
+        assert!(loaded.entries[1].is_none());
+        assert_eq!(loaded.entries[2].as_deref(), Some("{\"name\":\"c\"}"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn drops_torn_and_corrupt_lines() {
+        let dir = std::env::temp_dir().join("mtrj-torn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.mtrj");
+        let scenarios = vec![scenario("a"), scenario("b")];
+        let fp = fingerprint(1, &scenarios);
+        let w = JournalWriter::create(&path, 1, fp).unwrap();
+        w.record(0, "entry-zero");
+        w.record(1, "entry-one");
+        drop(w);
+        // Corrupt record 1's payload and append a torn (truncated) line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mangled = text.replace("entry-one", "entry-0ne") + "1 deadbeef";
+        std::fs::write(&path, mangled).unwrap();
+        let loaded = load(&path, 1, fp, 2).unwrap();
+        assert_eq!(loaded.entries[0].as_deref(), Some("entry-zero"));
+        assert!(loaded.entries[1].is_none(), "hash mismatch must drop");
+        assert_eq!(loaded.dropped_lines, 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn refuses_foreign_journals() {
+        let dir = std::env::temp_dir().join("mtrj-foreign");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.mtrj");
+        let a = vec![scenario("a")];
+        let b = vec![scenario("b")];
+        let fp_a = fingerprint(1, &a);
+        JournalWriter::create(&path, 1, fp_a).unwrap();
+        assert!(load(&path, 2, fp_a, 1).unwrap_err().contains("base seed"));
+        assert!(load(&path, 1, fingerprint(1, &b), 1)
+            .unwrap_err()
+            .contains("fingerprint"));
+        assert!(load(&path, 1, fp_a, 1).is_ok());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_tracks_spec_identity() {
+        let a = vec![scenario("a")];
+        let mut bigger = a.clone();
+        bigger[0].insts_per_core = 200;
+        assert_ne!(fingerprint(1, &a), fingerprint(2, &a));
+        assert_ne!(fingerprint(1, &a), fingerprint(1, &bigger));
+        assert_eq!(fingerprint(1, &a), fingerprint(1, &a.clone()));
+    }
+}

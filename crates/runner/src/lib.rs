@@ -40,25 +40,190 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod journal;
 pub mod report;
 pub mod scenarios;
 
-use engine::PoolConfig;
-use report::SweepResult;
-use scenarios::SweepSpec;
+use std::path::Path;
+
+use engine::{ItemOutcome, PoolConfig, DEFAULT_RETRIES};
+use report::{FaultRun, SweepResult};
+use scenarios::{FaultCampaignSpec, Scenario, SweepSpec};
 
 /// Executes `spec` on the shard pool and returns per-scenario results in
 /// registry order. Bit-identical for any `pool.threads`.
+///
+/// A scenario that *panics* (rather than erroring) is isolated: the
+/// engine retries it once with its original position seed and, if it
+/// keeps panicking, reports the panic as that scenario's `Err` outcome
+/// instead of taking the whole sweep down.
 pub fn run_sweep(spec: &SweepSpec, pool: PoolConfig, base_seed: u64) -> Vec<SweepResult> {
     let scenarios = spec.scenarios();
-    let outcomes = engine::run_sharded(&scenarios, pool, base_seed, |s, seed| (seed, s.run(seed)));
+    let outcomes =
+        engine::run_sharded_robust(&scenarios, pool, base_seed, DEFAULT_RETRIES, |s, seed| {
+            (seed, s.run(seed))
+        });
     scenarios
         .into_iter()
+        .enumerate()
         .zip(outcomes)
-        .map(|(scenario, (seed, outcome))| SweepResult {
-            scenario,
-            seed,
-            outcome,
+        .map(|((i, scenario), item)| {
+            let (seed, outcome) = match item.into_result() {
+                Ok((seed, outcome)) => (seed, outcome),
+                Err(e) => (engine::position_seed(base_seed, pool.shard_size, i), Err(e)),
+            };
+            SweepResult {
+                scenario,
+                seed,
+                outcome,
+            }
         })
         .collect()
+}
+
+/// Executes a fault-resilience campaign (`spec.base` × `spec.rates_ppm`)
+/// and returns one [`FaultRun`] per scenario in registry (rate-major)
+/// order. Fault plans are seeded by sweep position, so the campaign is
+/// bit-identical at any `pool.threads`.
+pub fn run_fault_campaign(
+    spec: &FaultCampaignSpec,
+    pool: PoolConfig,
+    base_seed: u64,
+) -> Vec<FaultRun> {
+    let scenarios = spec.scenarios();
+    let outcomes =
+        engine::run_sharded_robust(&scenarios, pool, base_seed, DEFAULT_RETRIES, |s, seed| {
+            (seed, s.run_detailed(seed))
+        });
+    let per_rate = scenarios.len() / spec.rates_ppm.len().max(1);
+    scenarios
+        .into_iter()
+        .enumerate()
+        .zip(outcomes)
+        .map(|((i, scenario), item)| {
+            let rate_ppm = scenario.faults.map_or_else(
+                || *spec.rates_ppm.get(i / per_rate.max(1)).unwrap_or(&0),
+                |f| f.rate_ppm,
+            );
+            let (seed, outcome, fault_stats) = match item.into_result() {
+                Ok((seed, Ok((metrics, stats)))) => (seed, Ok(metrics), stats),
+                Ok((seed, Err(e))) => (seed, Err(e), None),
+                Err(e) => (
+                    engine::position_seed(base_seed, pool.shard_size, i),
+                    Err(e),
+                    None,
+                ),
+            };
+            FaultRun {
+                rate_ppm,
+                result: SweepResult {
+                    scenario,
+                    seed,
+                    outcome,
+                },
+                fault_stats,
+            }
+        })
+        .collect()
+}
+
+/// The outcome of a journaled (crash-safe) sweep.
+#[derive(Debug)]
+pub struct JournaledSweep {
+    /// The assembled `BENCH_sweep.json` report.
+    pub report: String,
+    /// Scenarios recovered from the journal instead of re-run.
+    pub recovered: usize,
+    /// Journal lines dropped as corrupt or torn during recovery.
+    pub dropped_lines: usize,
+    /// Scenarios executed (or re-executed) by this invocation.
+    pub ran: usize,
+}
+
+/// Executes `spec` with a crash-safe completion journal at `path`.
+///
+/// Every completed scenario is appended to the journal (hash-guarded,
+/// flushed) *before* the sweep moves on, so a killed process loses only
+/// in-flight work. With `resume`, an existing journal for the same seed
+/// and spec is recovered first — corrupt or torn lines are dropped and
+/// re-run — and only missing scenarios execute, each seeded by its sweep
+/// *position*. The assembled report is byte-identical to what an
+/// uninterrupted [`run_sweep`] + [`report::sweep_json`] would produce.
+///
+/// # Errors
+///
+/// Journal I/O failure, or a journal that belongs to a different sweep
+/// (seed or spec fingerprint mismatch).
+pub fn run_sweep_journaled(
+    spec: &SweepSpec,
+    pool: PoolConfig,
+    base_seed: u64,
+    path: &Path,
+    resume: bool,
+) -> Result<JournaledSweep, String> {
+    let scenarios = spec.scenarios();
+    let fp = journal::fingerprint(base_seed, &scenarios);
+    let (mut entries, dropped_lines, writer) = if resume && path.exists() {
+        let loaded = journal::load(path, base_seed, fp, scenarios.len())?;
+        let writer = journal::JournalWriter::append(path)?;
+        (loaded.entries, loaded.dropped_lines, writer)
+    } else {
+        let writer = journal::JournalWriter::create(path, base_seed, fp)?;
+        (vec![None; scenarios.len()], 0, writer)
+    };
+    let recovered = entries.iter().filter(|e| e.is_some()).count();
+
+    let missing: Vec<(usize, &Scenario)> = entries
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.is_none())
+        .map(|(i, _)| (i, &scenarios[i]))
+        .collect();
+    let ran = missing.len();
+
+    // The engine seeds by position in `missing`, which shifts on resume;
+    // seed by position in the *full* scenario list instead, so resumed
+    // and uninterrupted runs execute identical work.
+    let outcomes = engine::run_sharded_robust(
+        &missing,
+        pool,
+        base_seed,
+        DEFAULT_RETRIES,
+        |&(index, scenario), _| {
+            let seed = engine::position_seed(base_seed, pool.shard_size, index);
+            let result = SweepResult {
+                scenario: scenario.clone(),
+                seed,
+                outcome: scenario.run(seed),
+            };
+            let entry = report::result_json(&result);
+            writer.record(index, entry.trim_start());
+            entry
+        },
+    );
+    for (&(index, scenario), item) in missing.iter().zip(outcomes) {
+        let entry = match item {
+            ItemOutcome::Done(entry) => entry,
+            panicked => {
+                let seed = engine::position_seed(base_seed, pool.shard_size, index);
+                report::result_json(&SweepResult {
+                    scenario: scenario.clone(),
+                    seed,
+                    outcome: Err(panicked.into_result().unwrap_err()),
+                })
+            }
+        };
+        entries[index] = Some(entry.trim_start().to_string());
+    }
+
+    let full: Vec<String> = entries
+        .into_iter()
+        .map(|e| format!("    {}", e.expect("every index recovered or run")))
+        .collect();
+    Ok(JournaledSweep {
+        report: report::sweep_json_from_entries(base_seed, &full),
+        recovered,
+        dropped_lines,
+        ran,
+    })
 }

@@ -8,7 +8,7 @@
 //! stdout, not in the report.
 
 use mithril_dram::EnergyCounters;
-use mithril_sim::{ChannelMetrics, Metrics};
+use mithril_sim::{ChannelMetrics, FaultStats, Metrics};
 
 use crate::scenarios::{geometry_tag, Scenario};
 
@@ -21,6 +21,18 @@ pub struct SweepResult {
     pub seed: u64,
     /// The run's metrics, or the configuration error that prevented it.
     pub outcome: Result<Metrics, String>,
+}
+
+/// One fault-campaign run: a sweep result plus the injection counters
+/// its [`FaultyEngine`](mithril_sim::FaultyEngine) wrappers accumulated.
+#[derive(Debug, Clone)]
+pub struct FaultRun {
+    /// Injected fault rate in faults per million ACTs (0 = anchor run).
+    pub rate_ppm: u64,
+    /// The executed scenario and its metrics.
+    pub result: SweepResult,
+    /// Aggregated fault counters (`None` for the rate-0 anchor).
+    pub fault_stats: Option<FaultStats>,
 }
 
 fn esc(s: &str) -> String {
@@ -111,7 +123,7 @@ pub fn metrics_json(m: &Metrics) -> String {
     )
 }
 
-fn result_json(r: &SweepResult) -> String {
+fn result_json_fields(r: &SweepResult) -> String {
     let s = &r.scenario;
     let g = &s.geometry;
     let outcome = match &r.outcome {
@@ -119,9 +131,9 @@ fn result_json(r: &SweepResult) -> String {
         Err(e) => format!("\"error\":\"{}\"", esc(e)),
     };
     format!(
-        "    {{\"name\":\"{}\",\"scheme\":\"{}\",\"workload\":\"{}\",\
+        "\"name\":\"{}\",\"scheme\":\"{}\",\"workload\":\"{}\",\
          \"geometry\":{{\"tag\":\"{}\",\"channels\":{},\"ranks\":{},\"banks_per_rank\":{}}},\
-         \"flip_th\":{},\"cores\":{},\"insts_per_core\":{},\"seed\":{},{}}}",
+         \"flip_th\":{},\"cores\":{},\"insts_per_core\":{},\"seed\":{},{}",
         esc(&s.name),
         esc(&s.scheme_label),
         esc(&s.workload),
@@ -134,6 +146,29 @@ fn result_json(r: &SweepResult) -> String {
         s.insts_per_core,
         r.seed,
         outcome
+    )
+}
+
+/// Renders one sweep result as a single report entry (one line, 4-space
+/// indent) — the unit the crash-safe sweep journal stores and
+/// [`sweep_json_from_entries`] reassembles.
+pub fn result_json(r: &SweepResult) -> String {
+    format!("    {{{}}}", result_json_fields(r))
+}
+
+/// Renders [`FaultStats`] in the deterministic report dialect.
+pub fn fault_stats_json(f: &FaultStats) -> String {
+    format!(
+        "{{\"bit_flips\":{},\"invalidations\":{},\"stuck_bits\":{},\"stuck_assertions\":{},\
+         \"scrubs\":{},\"scrub_detections\":{},\"repairs\":{},\"dropped\":{}}}",
+        f.bit_flips,
+        f.invalidations,
+        f.stuck_bits,
+        f.stuck_assertions,
+        f.scrubs,
+        f.scrub_detections,
+        f.repairs,
+        f.dropped
     )
 }
 
@@ -172,10 +207,108 @@ pub fn metrics_only_json(base_seed: u64, results: &[SweepResult]) -> String {
 /// byte-for-byte across thread counts.
 pub fn sweep_json(base_seed: u64, results: &[SweepResult]) -> String {
     let entries: Vec<String> = results.iter().map(result_json).collect();
+    sweep_json_from_entries(base_seed, &entries)
+}
+
+/// Assembles a `BENCH_sweep.json` report from pre-rendered
+/// [`result_json`] entries (in scenario-registry order).
+///
+/// This is the resume path's assembly point: entries recovered from a
+/// crash-safe journal and entries rendered live in the same process go
+/// through the same function, so a resumed report is byte-identical to
+/// an uninterrupted one.
+pub fn sweep_json_from_entries(base_seed: u64, entries: &[String]) -> String {
     format!(
         "{{\n  \"base_seed\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
         base_seed,
         entries.join(",\n")
+    )
+}
+
+/// Renders a fault campaign to the `BENCH_faults.json` format: the flat
+/// run list (each entry a [`result_json`] record extended with its rate
+/// and fault counters), followed by one degradation curve per
+/// scheme × workload × geometry cell — protection (`max_disturbance`,
+/// `flips`) and cost (`rfms`, `preventive_rows`) as functions of the
+/// injected fault rate.
+///
+/// Deterministic like [`sweep_json`]: identical campaigns render to
+/// identical strings at any worker count.
+pub fn faults_json(base_seed: u64, scrub: bool, rates_ppm: &[u64], runs: &[FaultRun]) -> String {
+    let entries: Vec<String> = runs
+        .iter()
+        .map(|fr| {
+            let faults = match &fr.fault_stats {
+                Some(f) => fault_stats_json(f),
+                None => "null".to_string(),
+            };
+            format!(
+                "    {{{},\"rate_ppm\":{},\"fault_stats\":{}}}",
+                result_json_fields(&fr.result),
+                fr.rate_ppm,
+                faults
+            )
+        })
+        .collect();
+
+    // One curve per base cell, in first-appearance order (the campaign
+    // expands rate-major, so the rate-0 pass fixes the cell order).
+    let mut cells: Vec<(String, String, String)> = Vec::new();
+    for fr in runs {
+        let s = &fr.result.scenario;
+        let cell = (
+            s.scheme_label.clone(),
+            s.workload.clone(),
+            geometry_tag(&s.geometry),
+        );
+        if !cells.contains(&cell) {
+            cells.push(cell);
+        }
+    }
+    let curves: Vec<String> = cells
+        .iter()
+        .map(|(scheme, workload, geom)| {
+            let points: Vec<String> = runs
+                .iter()
+                .filter(|fr| {
+                    let s = &fr.result.scenario;
+                    s.scheme_label == *scheme
+                        && s.workload == *workload
+                        && geometry_tag(&s.geometry) == *geom
+                })
+                .map(|fr| match &fr.result.outcome {
+                    Ok(m) => format!(
+                        "{{\"rate_ppm\":{},\"injected\":{},\"repairs\":{},\
+                         \"max_disturbance\":{},\"flips\":{},\"rfms\":{},\"preventive_rows\":{}}}",
+                        fr.rate_ppm,
+                        fr.fault_stats.as_ref().map_or(0, |f| f.injected()),
+                        fr.fault_stats.as_ref().map_or(0, |f| f.repairs),
+                        m.max_disturbance,
+                        m.flips,
+                        m.rfms,
+                        m.counters.preventive_rows
+                    ),
+                    Err(e) => format!("{{\"rate_ppm\":{},\"error\":\"{}\"}}", fr.rate_ppm, esc(e)),
+                })
+                .collect();
+            format!(
+                "    {{\"scheme\":\"{}\",\"workload\":\"{}\",\"geometry\":\"{}\",\"points\":[{}]}}",
+                esc(scheme),
+                esc(workload),
+                geom,
+                points.join(",")
+            )
+        })
+        .collect();
+
+    let rates: Vec<String> = rates_ppm.iter().map(|r| r.to_string()).collect();
+    format!(
+        "{{\n  \"base_seed\": {},\n  \"scrub\": {},\n  \"rates_ppm\": [{}],\n  \"runs\": [\n{}\n  ],\n  \"curves\": [\n{}\n  ]\n}}\n",
+        base_seed,
+        scrub,
+        rates.join(","),
+        entries.join(",\n"),
+        curves.join(",\n")
     )
 }
 

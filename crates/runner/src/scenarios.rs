@@ -9,7 +9,7 @@
 use mithril::MithrilConfig;
 use mithril_baselines::{BlockHammerConfig, CbtConfig, GrapheneConfig, TwiCeConfig, FLIP_TH_SWEEP};
 use mithril_dram::{Ddr5Timing, Geometry};
-use mithril_sim::{geomean, Metrics, Scheme, System, SystemConfig};
+use mithril_sim::{geomean, FaultConfig, FaultStats, Metrics, Scheme, System, SystemConfig};
 use mithril_trace::ReplayEnd;
 use mithril_workloads::{
     attack_mix, bh_cover_attack_mix, channel_interference_mix, mix_blend, mix_high, multithreaded,
@@ -141,16 +141,18 @@ pub fn all_schemes(rfm_th: u64, nbl_scale: u64) -> Vec<(&'static str, Scheme)> {
 /// capture. Replay ignores `seed` — the ops are literal; only the
 /// scheme's RNG (seeded from the scenario seed as usual) remains random.
 ///
+/// `trace+skip:<path>` is the corruption-tolerant variant: damaged
+/// chunks of the capture are skipped (reported on stderr) and the
+/// surviving ops replay in order. Strict `trace:` still refuses damaged
+/// files — use `+skip` deliberately, on captures known to be partial.
+///
 /// # Panics
 ///
 /// Panics on an unknown name, when the workload needs more channels than
 /// `cfg` has (see [`workload_compatible`]), or when a `trace:` capture is
 /// unreadable or disagrees with `cfg`'s geometry or `cores`.
 pub fn workload(name: &str, cores: usize, cfg: &SystemConfig, seed: u64) -> ThreadSet {
-    if let Some(path) = name.strip_prefix("trace:") {
-        let (header, set) =
-            mithril_trace::replay_thread_set(std::path::Path::new(path), ReplayEnd::Loop)
-                .unwrap_or_else(|e| panic!("cannot replay {path}: {e}"));
+    let check_header = |path: &str, header: &mithril_trace::TraceHeader| {
         assert_eq!(
             header.cores, cores,
             "{path} records {} cores, scenario asks for {cores}",
@@ -163,6 +165,31 @@ pub fn workload(name: &str, cores: usize, cfg: &SystemConfig, seed: u64) -> Thre
             geometry_tag(&header.geometry),
             geometry_tag(&cfg.geometry)
         );
+    };
+    if let Some(path) = name.strip_prefix("trace:") {
+        let (header, set) =
+            mithril_trace::replay_thread_set(std::path::Path::new(path), ReplayEnd::Loop)
+                .unwrap_or_else(|e| panic!("cannot replay {path}: {e}"));
+        check_header(path, &header);
+        return set;
+    }
+    if let Some(path) = name.strip_prefix("trace+skip:") {
+        let (header, set, report) =
+            mithril_trace::replay_thread_set_resilient(std::path::Path::new(path), ReplayEnd::Loop)
+                .unwrap_or_else(|e| panic!("cannot replay {path}: {e}"));
+        check_header(path, &header);
+        if !report.is_clean() {
+            eprintln!(
+                "# trace+skip:{path}: skipped {} damaged chunk(s) ({} bytes){}",
+                report.skipped_chunks,
+                report.skipped_bytes,
+                if report.missing_end_marker {
+                    "; capture is torn (no end marker)"
+                } else {
+                    ""
+                }
+            );
+        }
         return set;
     }
     match name {
@@ -191,14 +218,17 @@ pub fn workload(name: &str, cores: usize, cfg: &SystemConfig, seed: u64) -> Thre
 }
 
 /// True when `name` can run on `geometry`: the channel-interference mix
-/// needs at least two channels, a `trace:` capture only runs on the
-/// geometry it was recorded against (its line addresses were aimed
-/// through that mapping), and everything else runs anywhere.
+/// needs at least two channels, a `trace:`/`trace+skip:` capture only
+/// runs on the geometry it was recorded against (its line addresses were
+/// aimed through that mapping), and everything else runs anywhere.
 ///
-/// An unreadable `trace:` file counts as compatible here so sweeps don't
+/// An unreadable capture counts as compatible here so sweeps don't
 /// silently skip it — [`workload`] then fails loudly with the I/O error.
 pub fn workload_compatible(name: &str, geometry: &Geometry) -> bool {
-    if let Some(path) = name.strip_prefix("trace:") {
+    let capture = name
+        .strip_prefix("trace:")
+        .or_else(|| name.strip_prefix("trace+skip:"));
+    if let Some(path) = capture {
         return match mithril_trace::read_header_path(std::path::Path::new(path)) {
             Ok(header) => header.geometry == *geometry,
             Err(_) => true,
@@ -214,16 +244,27 @@ pub fn workload_compatible(name: &str, geometry: &Geometry) -> bool {
 /// so figure binaries and sweeps stay comparable.
 const MAX_TIME_PS_PER_INST: u64 = 4_000;
 
+fn run_capped_detailed(
+    cfg: SystemConfig,
+    workload_name: &str,
+    insts_per_core: u64,
+    seed: u64,
+) -> Result<(Metrics, Option<FaultStats>), String> {
+    let threads = workload(workload_name, cfg.cores, &cfg, seed);
+    let mut sys = System::new(cfg, threads)?;
+    let max_time = insts_per_core.saturating_mul(MAX_TIME_PS_PER_INST);
+    let metrics = sys.run(insts_per_core, max_time);
+    let faults = sys.fault_stats();
+    Ok((metrics, faults))
+}
+
 fn run_capped(
     cfg: SystemConfig,
     workload_name: &str,
     insts_per_core: u64,
     seed: u64,
 ) -> Result<Metrics, String> {
-    let threads = workload(workload_name, cfg.cores, &cfg, seed);
-    let mut sys = System::new(cfg, threads)?;
-    let max_time = insts_per_core.saturating_mul(MAX_TIME_PS_PER_INST);
-    Ok(sys.run(insts_per_core, max_time))
+    run_capped_detailed(cfg, workload_name, insts_per_core, seed).map(|(m, _)| m)
 }
 
 /// Runs one configuration over one workload for `insts_per_core`.
@@ -323,6 +364,11 @@ pub struct Scenario {
     pub cores: usize,
     /// Instructions per core.
     pub insts_per_core: u64,
+    /// Soft-error injection into the scheme's tracker state, if any.
+    /// `None` (the default everywhere outside fault campaigns) leaves the
+    /// hot path untouched and the report byte-identical to a fault-free
+    /// build.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Scenario {
@@ -335,6 +381,7 @@ impl Scenario {
         cfg.flip_th = self.flip_th;
         cfg.scheme = self.scheme;
         cfg.seed = seed;
+        cfg.faults = self.faults;
         cfg
     }
 
@@ -346,6 +393,19 @@ impl Scenario {
     /// this scenario's `flip_th`.
     pub fn run(&self, seed: u64) -> Result<Metrics, String> {
         run_capped(
+            self.system_config(seed),
+            &self.workload,
+            self.insts_per_core,
+            seed,
+        )
+    }
+
+    /// Like [`Scenario::run`], additionally returning the aggregated
+    /// fault-injection counters when this scenario runs with faults
+    /// enabled (`None` otherwise — the stats live outside [`Metrics`] so
+    /// fault-free reports stay byte-identical).
+    pub fn run_detailed(&self, seed: u64) -> Result<(Metrics, Option<FaultStats>), String> {
+        run_capped_detailed(
             self.system_config(seed),
             &self.workload,
             self.insts_per_core,
@@ -460,8 +520,65 @@ impl SweepSpec {
                         flip_th: self.flip_th,
                         cores: self.cores,
                         insts_per_core: self.insts_per_core,
+                        faults: None,
                     });
                 }
+            }
+        }
+        out
+    }
+}
+
+/// A fault-resilience campaign: a base sweep crossed with a ladder of
+/// soft-error rates.
+///
+/// Every base scenario is re-run once per rate; rate `0` runs fault-free
+/// (`faults: None`) and anchors each degradation curve. Scenario names
+/// carry a `@f<rate>ppm` suffix so the flat run list stays unambiguous.
+#[derive(Debug, Clone)]
+pub struct FaultCampaignSpec {
+    /// The scheme × workload × geometry grid to stress.
+    pub base: SweepSpec,
+    /// Fault rates to sweep, in injected faults per million ACTs.
+    /// Include `0` for the fault-free anchor point.
+    pub rates_ppm: Vec<u64>,
+    /// Scrub (self-check + repair at RFM cadence) on, or silent mode.
+    pub scrub: bool,
+}
+
+impl FaultCampaignSpec {
+    /// The CI smoke campaign: the Mithril variants and ParFM (the
+    /// tracker schemes with a fault surface) on one benign and one
+    /// attack workload, over a small rate ladder.
+    pub fn smoke() -> Self {
+        let mut base = SweepSpec::smoke();
+        base.geometries.truncate(2);
+        base.workloads = vec!["mix-high".into(), "attack-multi".into()];
+        base.schemes.retain(|(label, _)| label != "none");
+        base.schemes.push(("parfm".into(), Scheme::Parfm));
+        Self {
+            base,
+            rates_ppm: vec![0, 100, 1_000, 10_000],
+            scrub: true,
+        }
+    }
+
+    /// Expands the campaign into concrete scenarios, rate-major: the full
+    /// base grid at `rates_ppm[0]`, then at `rates_ppm[1]`, and so on.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for &rate in &self.rates_ppm {
+            for mut s in self.base.scenarios() {
+                s.name = format!("{}@f{rate}ppm", s.name);
+                s.faults = (rate > 0).then(|| {
+                    let cfg = FaultConfig::mixed(rate);
+                    if self.scrub {
+                        cfg
+                    } else {
+                        cfg.without_scrub()
+                    }
+                });
+                out.push(s);
             }
         }
         out
@@ -471,6 +588,21 @@ impl SweepSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_campaign_expands_rate_major_with_anchor() {
+        let spec = FaultCampaignSpec::smoke();
+        let scenarios = spec.scenarios();
+        let per_rate = spec.base.scenarios().len();
+        assert_eq!(scenarios.len(), per_rate * spec.rates_ppm.len());
+        assert!(scenarios[..per_rate]
+            .iter()
+            .all(|s| s.faults.is_none() && s.name.ends_with("@f0ppm")));
+        let last = &scenarios[scenarios.len() - 1];
+        let faults = last.faults.expect("non-zero rates carry a FaultConfig");
+        assert_eq!(faults.rate_ppm, *spec.rates_ppm.last().unwrap());
+        assert!(faults.scrub);
+    }
 
     #[test]
     fn default_rfmth_covers_sweep() {

@@ -2,10 +2,10 @@
 //! seed must produce a byte-identical `BENCH_sweep.json` report at any
 //! worker thread count.
 
-use mithril_runner::engine::PoolConfig;
-use mithril_runner::report::sweep_json;
-use mithril_runner::run_sweep;
-use mithril_runner::scenarios::SweepSpec;
+use mithril_runner::engine::{run_sharded_robust, PoolConfig};
+use mithril_runner::report::{faults_json, sweep_json};
+use mithril_runner::scenarios::{FaultCampaignSpec, SweepSpec};
+use mithril_runner::{run_fault_campaign, run_sweep, run_sweep_journaled};
 
 fn tiny_spec() -> SweepSpec {
     let mut spec = SweepSpec::smoke();
@@ -68,6 +68,120 @@ fn sweep_covers_multi_channel_multi_rank() {
     // Per-channel counters roll up to the system totals.
     let acts: u64 = m.per_channel.iter().map(|c| c.counters.acts).sum();
     assert_eq!(acts, m.counters.acts);
+}
+
+fn tiny_campaign() -> FaultCampaignSpec {
+    let mut spec = FaultCampaignSpec::smoke();
+    spec.base.insts_per_core = 1_500;
+    spec.base.cores = 2;
+    spec.rates_ppm = vec![0, 10_000];
+    spec
+}
+
+fn campaign_report_at(threads: usize, seed: u64) -> String {
+    let spec = tiny_campaign();
+    let runs = run_fault_campaign(
+        &spec,
+        PoolConfig {
+            threads,
+            shard_size: 1,
+        },
+        seed,
+    );
+    faults_json(seed, spec.scrub, &spec.rates_ppm, &runs)
+}
+
+#[test]
+fn fault_campaign_is_identical_at_1_2_and_8_threads() {
+    let base = campaign_report_at(1, 42);
+    assert_eq!(base, campaign_report_at(2, 42), "2 threads diverged");
+    assert_eq!(base, campaign_report_at(8, 42), "8 threads diverged");
+    // The campaign actually injected something at the non-zero rate.
+    assert!(base.contains("\"rate_ppm\":10000"));
+    assert!(
+        !base.contains("\"fault_stats\":{\"bit_flips\":0,\"invalidations\":0,\"stuck_bits\":0")
+            || base.matches("\"fault_stats\":{").count() > 1
+    );
+}
+
+#[test]
+fn engine_retry_reuses_position_seeds_at_any_thread_count() {
+    // A transiently panicking sweep must report exactly what a clean
+    // sweep reports: the retry re-runs the item under its original
+    // position seed, never a re-drawn one.
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    let scenarios = tiny_spec().scenarios();
+    let clean: Vec<(u64, String)> = run_sharded_robust(
+        &scenarios,
+        PoolConfig {
+            threads: 1,
+            shard_size: 1,
+        },
+        42,
+        0,
+        |s, seed| (seed, format!("{}@{seed}", s.name)),
+    )
+    .into_iter()
+    .map(|o| o.into_result().unwrap())
+    .collect();
+    for threads in [1, 2, 8] {
+        let attempted: Mutex<HashSet<usize>> = Mutex::new(HashSet::new());
+        let flaky: Vec<(u64, String)> = run_sharded_robust(
+            &scenarios,
+            PoolConfig {
+                threads,
+                shard_size: 1,
+            },
+            42,
+            1,
+            |s, seed| {
+                let index = scenarios
+                    .iter()
+                    .position(|c| std::ptr::eq(c, s))
+                    .expect("item is a registry scenario");
+                let first = attempted.lock().unwrap().insert(index);
+                if first && index % 3 == 0 {
+                    panic!("transient failure on {index}");
+                }
+                (seed, format!("{}@{seed}", s.name))
+            },
+        )
+        .into_iter()
+        .map(|o| o.into_result().unwrap())
+        .collect();
+        assert_eq!(flaky, clean, "retries diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn resumed_journal_reproduces_the_uninterrupted_report() {
+    let spec = tiny_spec();
+    let pool = PoolConfig {
+        threads: 4,
+        shard_size: 1,
+    };
+    let dir = std::env::temp_dir().join("mithril-resume-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sweep.mtrj");
+
+    let baseline = sweep_json(42, &run_sweep(&spec, pool, 42));
+    let full = run_sweep_journaled(&spec, pool, 42, &path, false).unwrap();
+    assert_eq!(full.report, baseline, "journaled run diverged");
+    assert_eq!(full.recovered, 0);
+
+    // Simulate a kill: keep the header and a prefix of completions, with
+    // a torn partial record at the cut.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let keep: Vec<&str> = text.lines().take(8).collect();
+    std::fs::write(&path, format!("{}\n9 fee1dead {{\"na", keep.join("\n"))).unwrap();
+
+    let resumed = run_sweep_journaled(&spec, pool, 42, &path, true).unwrap();
+    assert_eq!(resumed.report, baseline, "resumed report diverged");
+    assert_eq!(resumed.recovered, 7);
+    assert_eq!(resumed.dropped_lines, 1, "torn record must be dropped");
+    assert_eq!(resumed.ran, spec.scenarios().len() - 7);
+    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]

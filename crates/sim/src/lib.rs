@@ -40,3 +40,8 @@ pub use core_model::CoreParams;
 pub use llc::{Llc, LlcAccess, LlcConfig};
 pub use metrics::{geomean, ChannelMetrics, Metrics};
 pub use system::{Scheme, System, SystemConfig};
+
+// Re-exported so scenario plumbing (the runner) can configure fault
+// campaigns and read their counters without a direct dependency.
+pub use mithril_dram::FaultStats;
+pub use mithril_faults::{FaultConfig, FaultKind, FaultPlan, FaultyEngine};

@@ -6,7 +6,10 @@ use mithril_baselines::{
     parfm_analysis, BlockHammer, BlockHammerConfig, Cbt, CbtConfig, Graphene, GrapheneConfig, Para,
     ParaConfig, Parfm, TwiCe, TwiCeConfig,
 };
-use mithril_dram::{Ddr5Timing, DramDevice, DramMitigation, EnergyModel, Geometry, TimePs};
+use mithril_dram::{
+    Ddr5Timing, DramDevice, DramMitigation, EnergyModel, FaultStats, Geometry, TimePs,
+};
+use mithril_faults::{FaultConfig, FaultPlan, FaultyEngine};
 use mithril_memctrl::{
     AddressMapping, McConfig, McMitigation, MemRequest, MemoryController, NoMcMitigation, RfmMode,
 };
@@ -94,6 +97,10 @@ pub struct SystemConfig {
     pub epoch_ps: TimePs,
     /// Attackable banks assumed by probabilistic analyses (Appendix C).
     pub attackable_banks: u64,
+    /// Soft-error injection into tracker state (`None` = fault-free; the
+    /// fault-free path constructs no injection wrapper at all, so it
+    /// stays zero-cost and byte-identical to pre-fault builds).
+    pub faults: Option<FaultConfig>,
 }
 
 impl SystemConfig {
@@ -112,6 +119,7 @@ impl SystemConfig {
             seed: 1,
             epoch_ps: 500_000,
             attackable_banks: 22,
+            faults: None,
         }
     }
 
@@ -126,6 +134,10 @@ impl SystemConfig {
         self.geometry.channels
     }
 }
+
+/// Decorrelates per-bank fault-plan seeds from every other use of the
+/// scenario seed (scheme RNGs, workload generators).
+const FAULT_SEED_SALT: u64 = 0xFA_171A_7ED0_5EED;
 
 #[derive(Debug, Clone, Copy)]
 enum ReqKind {
@@ -263,9 +275,26 @@ impl System {
             }
         };
 
-        let device = DramDevice::new(geometry, timing, flip, config.blast_radius, |bank| {
-            engine_for(bank)
-        });
+        let device = match config.faults {
+            None => DramDevice::new(geometry, timing, flip, config.blast_radius, |bank| {
+                engine_for(bank)
+            }),
+            Some(fault_cfg) => {
+                // Each bank's fault stream is a pure function of
+                // (scenario seed, channel, bank) through the workspace
+                // seed contract, so campaigns are thread-count invariant.
+                // The base is salted so fault draws never correlate with
+                // the schemes' own RNG streams.
+                let fault_base = config.seed ^ FAULT_SEED_SALT;
+                DramDevice::new(geometry, timing, flip, config.blast_radius, |bank| {
+                    Box::new(FaultyEngine::new(
+                        engine_for(bank),
+                        fault_cfg,
+                        FaultPlan::at_position(fault_base, channel as u64, bank as u64),
+                    ))
+                })
+            }
+        };
         Ok(MemoryController::new(device, mc_cfg, mitigation))
     }
 
@@ -422,6 +451,24 @@ impl System {
     pub fn config(&self) -> &SystemConfig {
         &self.config
     }
+
+    /// System-wide fault-injection counters, summed over every bank
+    /// engine: `Some` exactly when the system was built with
+    /// `config.faults` set. Kept out of [`Metrics`] so fault-free
+    /// reports stay byte-identical to pre-fault builds.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.config.faults?;
+        let mut total = FaultStats::default();
+        for mc in &self.mcs {
+            let device = mc.device();
+            for bank in 0..device.geometry().banks_total() {
+                if let Some(s) = device.engine(bank).fault_stats() {
+                    total.add(&s);
+                }
+            }
+        }
+        Some(total)
+    }
 }
 
 impl std::fmt::Debug for System {
@@ -554,6 +601,41 @@ mod tests {
             c
         };
         assert!(System::new(cfg, mix_high(4, 1)).is_err());
+    }
+
+    #[test]
+    fn fault_free_systems_report_no_fault_stats() {
+        let cfg = quick_config(Scheme::Mithril {
+            rfm_th: 64,
+            ad_th: None,
+            plus: false,
+        });
+        let mut sys = System::new(cfg, mix_high(4, 11)).unwrap();
+        sys.run(5_000, u64::MAX);
+        assert_eq!(sys.fault_stats(), None);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_and_counted() {
+        let run = || {
+            let mut cfg = quick_config(Scheme::Mithril {
+                rfm_th: 64,
+                ad_th: None,
+                plus: false,
+            });
+            cfg.faults = Some(mithril_faults::FaultConfig::mixed(50_000));
+            let mut sys = System::new(cfg, mix_high(4, 11)).unwrap();
+            let m = sys.run(20_000, u64::MAX);
+            (m, sys.fault_stats().unwrap())
+        };
+        let (ma, sa) = run();
+        let (mb, sb) = run();
+        assert_eq!(sa, sb);
+        assert!(sa.injected() > 0, "5% fault rate must land: {sa:?}");
+        assert!(sa.scrubs > 0);
+        assert_eq!(ma.counters.acts, mb.counters.acts);
+        assert_eq!(ma.sim_time_ps, mb.sim_time_ps);
+        assert_eq!(ma.max_disturbance, mb.max_disturbance);
     }
 
     #[test]

@@ -250,6 +250,144 @@ impl<V: Copy + Eq> BucketList<V> {
         }
     }
 
+    // ------------------------------------------------------ fault recovery
+
+    /// Registered slots (occupied or not yet placed).
+    pub fn slot_count(&self) -> usize {
+        self.ent_bucket.len()
+    }
+
+    /// Verifies every structural invariant of the list against the
+    /// caller's slot state: `value_of(slot)` is the caller's stored
+    /// counter for `slot`, and `key_of(value)` is its rank in the
+    /// caller's order (for wrapping counters, the diff from the current
+    /// minimum; for unbounded counts, the count itself).
+    ///
+    /// Checked invariants:
+    ///
+    /// 1. the bucket chain is doubly linked, starts at `head_bucket`,
+    ///    ends at `tail_bucket`, and bucket keys strictly increase;
+    /// 2. every bucket's slot sub-list is doubly linked, non-empty and
+    ///    consistent with the per-slot `ent_*` links;
+    /// 3. every registered slot appears in exactly one sub-list;
+    /// 4. every slot's bucket value equals `value_of(slot)` — the check
+    ///    that catches a soft error flipping a stored counter bit.
+    ///
+    /// Returns the first violation found, as a human-readable description.
+    /// O(slots).
+    pub fn self_check(
+        &self,
+        value_of: impl Fn(u32) -> V,
+        key_of: impl Fn(V) -> u64,
+    ) -> Result<(), String> {
+        let slots = self.ent_bucket.len();
+        let mut seen = vec![false; slots];
+        let mut visited_buckets = 0usize;
+        let mut prev_bucket = NIL;
+        let mut prev_key: Option<u64> = None;
+        let mut b = self.head_bucket;
+        while b != NIL {
+            visited_buckets += 1;
+            if visited_buckets > self.bucket_count() {
+                return Err("bucket chain longer than live bucket count (cycle?)".into());
+            }
+            let bucket = &self.buckets[b as usize];
+            if bucket.prev != prev_bucket {
+                return Err(format!("bucket {b}: prev link broken"));
+            }
+            let key = key_of(bucket.value);
+            if let Some(pk) = prev_key {
+                if key <= pk {
+                    return Err(format!("bucket {b}: key {key} not above predecessor {pk}"));
+                }
+            }
+            prev_key = Some(key);
+            // Walk the slot sub-list.
+            let mut prev_slot = NIL;
+            let mut s = bucket.head;
+            if s == NIL {
+                return Err(format!("bucket {b}: empty but linked"));
+            }
+            while s != NIL {
+                let si = s as usize;
+                if si >= slots {
+                    return Err(format!("bucket {b}: slot {s} out of range"));
+                }
+                if seen[si] {
+                    return Err(format!("slot {s}: linked twice"));
+                }
+                seen[si] = true;
+                if self.ent_bucket[si] != b {
+                    return Err(format!("slot {s}: ent_bucket disagrees with chain"));
+                }
+                if self.ent_prev[si] != prev_slot {
+                    return Err(format!("slot {s}: prev link broken"));
+                }
+                if value_of(s) != bucket.value {
+                    return Err(format!("slot {s}: stored value disagrees with its bucket"));
+                }
+                prev_slot = s;
+                s = self.ent_next[si];
+            }
+            if bucket.tail != prev_slot {
+                return Err(format!("bucket {b}: tail link broken"));
+            }
+            prev_bucket = b;
+            b = bucket.next;
+        }
+        if self.tail_bucket != prev_bucket {
+            return Err("tail_bucket does not end the chain".into());
+        }
+        if visited_buckets != self.bucket_count() {
+            return Err(format!(
+                "{} buckets linked, {} live in arena",
+                visited_buckets,
+                self.bucket_count()
+            ));
+        }
+        if let Some(s) = seen.iter().position(|&v| !v) {
+            return Err(format!("slot {s}: registered but in no bucket"));
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the whole bucket structure from the caller's slot state
+    /// (the repair to [`self_check`]'s detect): every registered slot is
+    /// re-inserted in ascending `(key_of(value_of(slot)), slot)` order.
+    ///
+    /// True arrival ages are unrecoverable after corruption, so ties
+    /// canonicalize to ascending slot index — callers mirroring a naive
+    /// reference must canonicalize its ages the same way. O(slots·log).
+    ///
+    /// [`self_check`]: BucketList::self_check
+    pub fn rebuild(&mut self, value_of: impl Fn(u32) -> V, key_of: impl Fn(V) -> u64) {
+        let slots = self.ent_bucket.len();
+        let mut order: Vec<u32> = (0..slots as u32).collect();
+        order.sort_unstable_by_key(|&s| (key_of(value_of(s)), s));
+        self.buckets.clear();
+        self.free.clear();
+        self.head_bucket = NIL;
+        self.tail_bucket = NIL;
+        for s in &mut self.ent_bucket {
+            *s = NIL;
+        }
+        for slot in order {
+            let v = value_of(slot);
+            let tail = self.tail_bucket;
+            let target = if tail != NIL && self.buckets[tail as usize].value == v {
+                tail
+            } else {
+                let b = self.alloc_bucket(v);
+                match tail {
+                    NIL => self.link_bucket_front(b),
+                    t => self.link_bucket_after(b, t),
+                }
+                b
+            };
+            self.push_entry_tail(target, slot);
+        }
+    }
+
     /// Places a fresh slot holding value `one` into a list whose only
     /// possible smaller value is `zero` (slots reset by a not-full RFM).
     /// Callers use this while their table is below capacity, where those
@@ -388,6 +526,43 @@ mod tests {
         assert_eq!(h.list.min_value(), Some(0));
         assert_eq!(h.list.max_value(), Some(1));
         assert_eq!(h.list.oldest_max_slot(), Some(b));
+    }
+
+    #[test]
+    fn self_check_detects_flipped_counter() {
+        let mut h = Harness::new();
+        let a = h.insert();
+        let b = h.insert();
+        h.bump(b);
+        let ok = |h: &Harness| h.list.self_check(|s| h.counts[s as usize], |v| v);
+        assert_eq!(ok(&h), Ok(()));
+        // A soft error flips a stored counter bit; the bucket still holds
+        // the old value, so the check trips on the value mismatch.
+        h.counts[a as usize] ^= 1 << 4;
+        assert!(ok(&h).unwrap_err().contains("disagrees"));
+    }
+
+    #[test]
+    fn rebuild_restores_invariants_and_order() {
+        let mut h = Harness::new();
+        let a = h.insert();
+        let b = h.insert();
+        let c = h.insert();
+        h.bump(b);
+        h.bump(b);
+        h.bump(c);
+        // Corrupt two counters without telling the list.
+        h.counts[a as usize] = 9;
+        h.counts[c as usize] = 0;
+        assert!(h.list.self_check(|s| h.counts[s as usize], |v| v).is_err());
+        let counts = h.counts.clone();
+        h.list.rebuild(|s| counts[s as usize], |v| v);
+        assert_eq!(h.list.self_check(|s| h.counts[s as usize], |v| v), Ok(()));
+        assert_eq!(h.list.min_value(), Some(0));
+        assert_eq!(h.list.max_value(), Some(9));
+        assert_eq!(h.list.oldest_min_slot(), Some(c));
+        assert_eq!(h.list.oldest_max_slot(), Some(a));
+        assert_eq!(h.list.slot_count(), 3);
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub const MAGIC: [u8; 4] = *b"MTRC";
 pub const VERSION: u16 = 1;
 
 /// Core-id sentinel introducing the end marker.
-const CORE_END: u64 = u64::MAX;
+pub(crate) const CORE_END: u64 = u64::MAX;
 
 /// Default ops buffered per core before a chunk is flushed.
 pub const DEFAULT_CHUNK_OPS: usize = 4096;
@@ -142,7 +142,7 @@ fn get_varint(buf: &[u8], pos: &mut usize, context: &'static str) -> Result<u64>
     }
 }
 
-fn read_varint<R: Read>(r: &mut R, context: &'static str) -> Result<u64> {
+pub(crate) fn read_varint<R: Read>(r: &mut R, context: &'static str) -> Result<u64> {
     let mut out = 0u64;
     let mut shift = 0u32;
     loop {
@@ -173,7 +173,7 @@ fn read_varint<R: Read>(r: &mut R, context: &'static str) -> Result<u64> {
     }
 }
 
-fn read_exact<R: Read>(r: &mut R, buf: &mut [u8], context: &'static str) -> Result<()> {
+pub(crate) fn read_exact<R: Read>(r: &mut R, buf: &mut [u8], context: &'static str) -> Result<()> {
     r.read_exact(buf).map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
             TraceError::Truncated { context }
@@ -277,7 +277,7 @@ impl TraceHeader {
         out
     }
 
-    fn decode<R: Read>(r: &mut R) -> Result<Self> {
+    pub(crate) fn decode<R: Read>(r: &mut R) -> Result<Self> {
         let mut magic = [0u8; 4];
         read_exact(r, &mut magic, "header magic")?;
         if magic != MAGIC {
@@ -544,111 +544,153 @@ impl<R: Read> MtrcReader<R> {
         if self.done {
             return Ok(None);
         }
-        let mut frame_bytes = Vec::new();
-        let core = {
-            let mut tee = Tee {
-                inner: &mut self.source,
-                copy: &mut frame_bytes,
-            };
-            read_varint(&mut tee, "chunk core id")?
-        };
-        if core == CORE_END {
-            let mut count_bytes = Vec::new();
-            let total = {
-                let mut tee = Tee {
-                    inner: &mut self.source,
-                    copy: &mut count_bytes,
-                };
-                read_varint(&mut tee, "end-marker op count")?
-            };
-            let mut stored = [0u8; 8];
-            read_exact(&mut self.source, &mut stored, "end-marker checksum")?;
-            if u64::from_le_bytes(stored) != fnv1a64(&count_bytes) {
-                return Err(TraceError::Corrupt("end-marker checksum mismatch".into()));
+        match read_raw_chunk(
+            &mut self.source,
+            self.header.cores,
+            self.chunk_index,
+            &mut self.payload,
+            ops,
+        )? {
+            RawChunk::End { total } => {
+                if total != self.ops_seen {
+                    return Err(TraceError::Corrupt(format!(
+                        "end marker claims {total} ops, decoded {}",
+                        self.ops_seen
+                    )));
+                }
+                self.done = true;
+                Ok(None)
             }
-            if total != self.ops_seen {
-                return Err(TraceError::Corrupt(format!(
-                    "end marker claims {total} ops, decoded {}",
-                    self.ops_seen
-                )));
+            RawChunk::Ops { core } => {
+                self.ops_seen += ops.len() as u64;
+                self.chunk_index += 1;
+                Ok(Some(core))
             }
-            self.done = true;
-            return Ok(None);
         }
-        if core as usize >= self.header.cores {
-            return Err(TraceError::Corrupt(format!(
-                "chunk core id {core} >= header core count {}",
-                self.header.cores
-            )));
-        }
-        let (count, payload_len) = {
-            let mut tee = Tee {
-                inner: &mut self.source,
-                copy: &mut frame_bytes,
-            };
-            let count = read_varint(&mut tee, "chunk op count")?;
-            if count == 0 {
-                return Err(TraceError::Corrupt("empty chunk".into()));
-            }
-            let payload_len = read_varint(&mut tee, "chunk payload length")?;
-            (count, payload_len)
-        };
-        if payload_len > (1 << 31) {
-            return Err(TraceError::Corrupt(format!(
-                "implausible chunk payload length {payload_len}"
-            )));
-        }
-        self.payload.resize(payload_len as usize, 0);
-        read_exact(&mut self.source, &mut self.payload, "chunk payload")?;
-        let mut stored = [0u8; 8];
-        read_exact(&mut self.source, &mut stored, "chunk checksum")?;
-        let mut check = Fnv64::new();
-        check.update(&frame_bytes);
-        check.update(&self.payload);
-        if u64::from_le_bytes(stored) != check.finish() {
-            return Err(TraceError::BadChecksum {
-                chunk: self.chunk_index,
-            });
-        }
-
-        ops.reserve(count as usize);
-        let mut pos = 0usize;
-        let mut prev_line = 0u64;
-        let mut prev_nmi = 0i64;
-        for _ in 0..count {
-            let head = get_varint(&self.payload, &mut pos, "op flags/Δnon_mem_insts")?;
-            let nmi = prev_nmi + unzigzag(head >> 2);
-            if !(0..=u32::MAX as i64).contains(&nmi) {
-                return Err(TraceError::Corrupt(format!(
-                    "non_mem_insts {nmi} out of u32 range"
-                )));
-            }
-            let line_z = get_varint(&self.payload, &mut pos, "op Δline_addr")?;
-            let line = prev_line.wrapping_add(unzigzag(line_z) as u64);
-            ops.push(TraceOp {
-                non_mem_insts: nmi as u32,
-                line_addr: line,
-                is_write: head & 1 != 0,
-                uncacheable: head & 2 != 0,
-            });
-            prev_line = line;
-            prev_nmi = nmi;
-        }
-        if pos != self.payload.len() {
-            return Err(TraceError::Corrupt(format!(
-                "chunk payload has {} trailing bytes",
-                self.payload.len() - pos
-            )));
-        }
-        self.ops_seen += count;
-        self.chunk_index += 1;
-        Ok(Some(core as usize))
     }
 
     /// Ops decoded so far.
     pub fn ops_read(&self) -> u64 {
         self.ops_seen
     }
+}
+
+/// One strictly-decoded record: a chunk of ops or the end marker.
+pub(crate) enum RawChunk {
+    /// A checksum-valid ops chunk; the decoded ops are in the caller's
+    /// buffer, its count is `ops.len()`.
+    Ops {
+        /// The recorded core stream this chunk belongs to.
+        core: usize,
+    },
+    /// A checksum-valid end marker claiming `total` ops for the file.
+    End {
+        /// The writer's total op count.
+        total: u64,
+    },
+}
+
+/// Decodes exactly one record at the stream's current position — the
+/// single strict-decode path shared by [`MtrcReader`] and the resilient
+/// reader, so both accept byte-for-byte the same records. `ops` is
+/// cleared first; `chunk_index` only labels [`TraceError::BadChecksum`].
+pub(crate) fn read_raw_chunk<R: Read>(
+    source: &mut R,
+    cores: usize,
+    chunk_index: u64,
+    payload: &mut Vec<u8>,
+    ops: &mut Vec<TraceOp>,
+) -> Result<RawChunk> {
+    ops.clear();
+    let mut frame_bytes = Vec::new();
+    let core = {
+        let mut tee = Tee {
+            inner: source,
+            copy: &mut frame_bytes,
+        };
+        read_varint(&mut tee, "chunk core id")?
+    };
+    if core == CORE_END {
+        let mut count_bytes = Vec::new();
+        let total = {
+            let mut tee = Tee {
+                inner: source,
+                copy: &mut count_bytes,
+            };
+            read_varint(&mut tee, "end-marker op count")?
+        };
+        let mut stored = [0u8; 8];
+        read_exact(source, &mut stored, "end-marker checksum")?;
+        if u64::from_le_bytes(stored) != fnv1a64(&count_bytes) {
+            return Err(TraceError::Corrupt("end-marker checksum mismatch".into()));
+        }
+        return Ok(RawChunk::End { total });
+    }
+    if core as usize >= cores {
+        return Err(TraceError::Corrupt(format!(
+            "chunk core id {core} >= header core count {cores}"
+        )));
+    }
+    let (count, payload_len) = {
+        let mut tee = Tee {
+            inner: source,
+            copy: &mut frame_bytes,
+        };
+        let count = read_varint(&mut tee, "chunk op count")?;
+        if count == 0 {
+            return Err(TraceError::Corrupt("empty chunk".into()));
+        }
+        let payload_len = read_varint(&mut tee, "chunk payload length")?;
+        (count, payload_len)
+    };
+    if payload_len > (1 << 31) {
+        return Err(TraceError::Corrupt(format!(
+            "implausible chunk payload length {payload_len}"
+        )));
+    }
+    payload.resize(payload_len as usize, 0);
+    read_exact(source, payload, "chunk payload")?;
+    let mut stored = [0u8; 8];
+    read_exact(source, &mut stored, "chunk checksum")?;
+    let mut check = Fnv64::new();
+    check.update(&frame_bytes);
+    check.update(payload);
+    if u64::from_le_bytes(stored) != check.finish() {
+        return Err(TraceError::BadChecksum { chunk: chunk_index });
+    }
+
+    ops.reserve(count as usize);
+    let mut pos = 0usize;
+    let mut prev_line = 0u64;
+    let mut prev_nmi = 0i64;
+    for _ in 0..count {
+        let head = get_varint(payload, &mut pos, "op flags/Δnon_mem_insts")?;
+        let nmi = prev_nmi + unzigzag(head >> 2);
+        if !(0..=u32::MAX as i64).contains(&nmi) {
+            return Err(TraceError::Corrupt(format!(
+                "non_mem_insts {nmi} out of u32 range"
+            )));
+        }
+        let line_z = get_varint(payload, &mut pos, "op Δline_addr")?;
+        let line = prev_line.wrapping_add(unzigzag(line_z) as u64);
+        ops.push(TraceOp {
+            non_mem_insts: nmi as u32,
+            line_addr: line,
+            is_write: head & 1 != 0,
+            uncacheable: head & 2 != 0,
+        });
+        prev_line = line;
+        prev_nmi = nmi;
+    }
+    if pos != payload.len() {
+        return Err(TraceError::Corrupt(format!(
+            "chunk payload has {} trailing bytes",
+            payload.len() - pos
+        )));
+    }
+    Ok(RawChunk::Ops {
+        core: core as usize,
+    })
 }
 
 impl<R: Read + Seek> MtrcReader<R> {
@@ -663,9 +705,9 @@ impl<R: Read + Seek> MtrcReader<R> {
 }
 
 /// A `Read` adapter counting the bytes that pass through it.
-struct CountingReader<'a, R> {
-    inner: &'a mut R,
-    bytes: u64,
+pub(crate) struct CountingReader<'a, R> {
+    pub(crate) inner: &'a mut R,
+    pub(crate) bytes: u64,
 }
 
 impl<R: Read> Read for CountingReader<'_, R> {

@@ -21,6 +21,10 @@
 //!   implementing the `TraceSource` trait from a capture, and
 //!   [`replay_thread_set`] for whole-file multi-core loads (what the
 //!   runner's `trace:<path>` registry names use).
+//! * [`resilient`] — [`ResilientMtrcReader`], a skip-and-tally variant of
+//!   the strict reader: corrupt or torn chunks are resynchronized past and
+//!   counted in a [`ResilienceReport`] instead of aborting the read (what
+//!   the runner's `trace+skip:<path>` registry names use).
 //! * [`stat`] — streaming capture statistics (access mix, per-channel /
 //!   per-bank pressure, row-touch histogram, Space-Saving hot rows).
 //!
@@ -64,6 +68,7 @@ mod error;
 pub mod format;
 pub mod recorder;
 pub mod replay;
+pub mod resilient;
 pub mod stat;
 pub mod text;
 
@@ -73,6 +78,13 @@ pub use format::{
     DEFAULT_CHUNK_OPS, MAGIC, VERSION,
 };
 pub use recorder::{record_thread_set, tee_thread_set, SharedWriter, TraceRecorder};
-pub use replay::{replay_thread_set, ReplayEnd, StreamingReplay, TraceReplay};
-pub use stat::{stats_from_reader, HotRow, StatsCollector, TraceStats};
+pub use replay::{
+    replay_thread_set, replay_thread_set_resilient, ReplayEnd, StreamingReplay, TraceReplay,
+};
+pub use resilient::{
+    read_all_resilient, read_all_resilient_path, ResilienceReport, ResilientMtrcReader,
+};
+pub use stat::{
+    stats_from_reader, stats_from_resilient_reader, HotRow, StatsCollector, TraceStats,
+};
 pub use text::{parse_line, read_text, write_text, TextFormat, TextReader};

@@ -27,6 +27,7 @@ use mithril_workloads::{Thread, ThreadSet, TraceOp, TraceSource};
 
 use crate::error::{Result, TraceError};
 use crate::format::{read_all_path, MtrcReader, TraceHeader};
+use crate::resilient::{read_all_resilient_path, ResilienceReport};
 
 /// What a replay source does when the recorded stream runs out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -282,6 +283,49 @@ pub fn replay_thread_set(path: &Path, end: ReplayEnd) -> Result<(TraceHeader, Th
         threads,
     };
     Ok((header, set))
+}
+
+/// As [`replay_thread_set`], but through the corruption-tolerant reader:
+/// damaged chunks are skipped (tallied in the returned
+/// [`ResilienceReport`]) and the surviving ops replay in recorded order.
+/// The runner's `trace+skip:<path>` registry names use this loader.
+///
+/// Not cached: a damaged capture is an incident being inspected, not a
+/// fixture swept over thousands of scenarios — and caching would hide
+/// the report.
+///
+/// # Errors
+///
+/// I/O failure, a damaged header, or a capture where some core's stream
+/// lost *all* its ops to corruption (it could never satisfy the
+/// infinite-source contract).
+pub fn replay_thread_set_resilient(
+    path: &Path,
+    end: ReplayEnd,
+) -> Result<(TraceHeader, ThreadSet, ResilienceReport)> {
+    let (header, per_core, report) = read_all_resilient_path(path)?;
+    for (core, ops) in per_core.iter().enumerate() {
+        if ops.is_empty() {
+            return Err(TraceError::Corrupt(format!(
+                "core {core} of {} has no surviving ops ({} chunk(s) skipped)",
+                path.display(),
+                report.skipped_chunks
+            )));
+        }
+    }
+    let threads = per_core
+        .into_iter()
+        .enumerate()
+        .map(|(core, ops)| {
+            let name = format!("replay:{}/{core}", header.source);
+            Thread::new(name.clone(), Box::new(TraceReplay::new(name, ops, end)))
+        })
+        .collect();
+    let set = ThreadSet {
+        name: format!("trace+skip:{}", header.source),
+        threads,
+    };
+    Ok((header, set, report))
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@ use mithril_workloads::TraceOp;
 
 use crate::error::Result;
 use crate::format::{MtrcReader, TraceHeader};
+use crate::resilient::{ResilienceReport, ResilientMtrcReader};
 
 /// One hot row with its DRAM coordinates and access counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -203,6 +204,23 @@ pub fn stats_from_reader<R: std::io::Read>(
         }
     }
     Ok(collector.finish())
+}
+
+/// Streams a damaged capture through a collector via the resilient
+/// reader: statistics cover exactly the ops of surviving chunks, and the
+/// accompanying [`ResilienceReport`] says what was skipped.
+pub fn stats_from_resilient_reader<R: std::io::Read + std::io::Seek>(
+    mut reader: ResilientMtrcReader<R>,
+    top: usize,
+) -> Result<(TraceStats, ResilienceReport)> {
+    let mut collector = StatsCollector::new(reader.header().clone(), top);
+    let mut chunk = Vec::new();
+    while let Some(core) = reader.next_chunk(&mut chunk)? {
+        for op in &chunk {
+            collector.push(core, op);
+        }
+    }
+    Ok((collector.finish(), reader.report()))
 }
 
 /// Minimal JSON string escaping (the source name is the only free-form

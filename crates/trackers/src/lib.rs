@@ -46,7 +46,7 @@ mod tree;
 pub use cms::{CountMinSketch, CountingBloomFilter};
 pub use hash::MultiplyShiftHasher;
 pub use lossy::{LossyCounting, LossyEntry};
-pub use space_saving::{NaiveSpaceSaving, RecordOutcome, SpaceSaving, TrackedEntry};
+pub use space_saving::{NaiveSpaceSaving, RecordOutcome, SpaceSaving, TrackedEntry, INVALID_ITEM};
 pub use tree::{CounterTree, TreeStats};
 
 /// A streaming algorithm that estimates per-item occurrence counts.

@@ -36,6 +36,11 @@ use mithril_streamsummary::BucketList;
 
 use crate::FrequencyTracker;
 
+/// The item sentinel of an invalidated tracker entry (tag CAM upset):
+/// the slot keeps its counter but stops tracking its item, exactly as
+/// `mithril::INVALID_ROW` does for the Mithril table.
+pub const INVALID_ITEM: u64 = u64::MAX;
+
 /// What [`SpaceSaving::record`] did with the item.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecordOutcome {
@@ -230,6 +235,102 @@ impl SpaceSaving {
             .get(&item)
             .map(|&slot| self.counts[slot as usize])
     }
+
+    // ------------------------------------------------------ fault surface
+
+    /// Flips one bit of slot `slot`'s counter — a silent upset: the
+    /// bucket structure is not told. Returns `false` out of range.
+    pub fn flip_counter_bit(&mut self, slot: usize, bit: u32) -> bool {
+        if slot >= self.counts.len() || bit >= 64 {
+            return false;
+        }
+        self.counts[slot] ^= 1u64 << bit;
+        true
+    }
+
+    /// Forces one bit of slot `slot`'s counter to `one` (stuck-at).
+    /// Returns `true` only if the stored bit changed.
+    pub fn force_counter_bit(&mut self, slot: usize, bit: u32, one: bool) -> bool {
+        if slot >= self.counts.len() || bit >= 64 {
+            return false;
+        }
+        let mask = 1u64 << bit;
+        let forced = if one {
+            self.counts[slot] | mask
+        } else {
+            self.counts[slot] & !mask
+        };
+        let changed = forced != self.counts[slot];
+        self.counts[slot] = forced;
+        changed
+    }
+
+    /// Invalidates slot `slot`'s item tag ([`INVALID_ITEM`] sentinel).
+    /// Returns `false` if out of range or already invalid.
+    pub fn invalidate_entry(&mut self, slot: usize) -> bool {
+        if slot >= self.items.len() || self.items[slot] == INVALID_ITEM {
+            return false;
+        }
+        let item = self.items[slot];
+        self.index.remove(&item);
+        self.items[slot] = INVALID_ITEM;
+        true
+    }
+
+    /// Verifies the tracker's derived structures against its stored
+    /// entries (index ↔ tags, bucket list invariants, bucket values ==
+    /// stored counts — counts are unbounded here, so the chain must
+    /// increase in absolute value). `Err` describes the first broken
+    /// invariant. O(capacity).
+    pub fn self_check(&self) -> Result<(), String> {
+        let mut valid = 0usize;
+        for (slot, &item) in self.items.iter().enumerate() {
+            if item == INVALID_ITEM {
+                continue;
+            }
+            valid += 1;
+            match self.index.get(&item) {
+                Some(&s) if s as usize == slot => {}
+                Some(&s) => {
+                    return Err(format!(
+                        "item {item}: index points at slot {s}, stored in {slot}"
+                    ))
+                }
+                None => return Err(format!("item {item} (slot {slot}): missing from index")),
+            }
+        }
+        if self.index.len() != valid {
+            return Err(format!(
+                "index has {} items, table stores {valid} valid tags",
+                self.index.len()
+            ));
+        }
+        self.list.self_check(|s| self.counts[s as usize], |v| v)
+    }
+
+    /// Rebuilds index and bucket list from the stored entries (the
+    /// repair half of a scrub pass); ages canonicalize to ascending slot
+    /// index, and a duplicated tag invalidates the higher slot —
+    /// mirrored by [`NaiveSpaceSaving::repair`]. O(capacity·log).
+    pub fn repair(&mut self) {
+        self.index.clear();
+        for slot in 0..self.items.len() {
+            let item = self.items[slot];
+            if item == INVALID_ITEM {
+                continue;
+            }
+            match self.index.entry(item) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(slot as u32);
+                }
+                std::collections::hash_map::Entry::Occupied(_) => {
+                    self.items[slot] = INVALID_ITEM;
+                }
+            }
+        }
+        let counts = &self.counts;
+        self.list.rebuild(|s| counts[s as usize], |v| v);
+    }
 }
 
 impl FrequencyTracker for SpaceSaving {
@@ -413,6 +514,69 @@ impl NaiveSpaceSaving {
     /// The tracked count for `item`, or `None` if off-table.
     pub fn tracked_count(&self, item: u64) -> Option<u64> {
         self.index.get(&item).map(|&slot| self.counts[slot])
+    }
+
+    // ------------------------------------------------------ fault surface
+
+    /// Mirror of [`SpaceSaving::flip_counter_bit`].
+    pub fn flip_counter_bit(&mut self, slot: usize, bit: u32) -> bool {
+        if slot >= self.counts.len() || bit >= 64 {
+            return false;
+        }
+        self.counts[slot] ^= 1u64 << bit;
+        true
+    }
+
+    /// Mirror of [`SpaceSaving::force_counter_bit`].
+    pub fn force_counter_bit(&mut self, slot: usize, bit: u32, one: bool) -> bool {
+        if slot >= self.counts.len() || bit >= 64 {
+            return false;
+        }
+        let mask = 1u64 << bit;
+        let forced = if one {
+            self.counts[slot] | mask
+        } else {
+            self.counts[slot] & !mask
+        };
+        let changed = forced != self.counts[slot];
+        self.counts[slot] = forced;
+        changed
+    }
+
+    /// Mirror of [`SpaceSaving::invalidate_entry`].
+    pub fn invalidate_entry(&mut self, slot: usize) -> bool {
+        if slot >= self.items.len() || self.items[slot] == INVALID_ITEM {
+            return false;
+        }
+        let item = self.items[slot];
+        self.index.remove(&item);
+        self.items[slot] = INVALID_ITEM;
+        true
+    }
+
+    /// Mirror of [`SpaceSaving::repair`]: rebuilds the index and
+    /// canonicalizes the lost ages to ascending slot order so both
+    /// implementations keep making identical decisions after a repair.
+    pub fn repair(&mut self) {
+        self.index.clear();
+        for slot in 0..self.items.len() {
+            let item = self.items[slot];
+            if item == INVALID_ITEM {
+                continue;
+            }
+            match self.index.entry(item) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(slot);
+                }
+                std::collections::hash_map::Entry::Occupied(_) => {
+                    self.items[slot] = INVALID_ITEM;
+                }
+            }
+        }
+        for (slot, seq) in self.seqs.iter_mut().enumerate() {
+            *seq = slot as u64;
+        }
+        self.next_seq = self.seqs.len() as u64;
     }
 }
 
