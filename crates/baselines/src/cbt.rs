@@ -150,6 +150,10 @@ impl McMitigation for Cbt {
         }
     }
 
+    fn may_throttle(&self) -> bool {
+        false
+    }
+
     fn name(&self) -> &'static str {
         "cbt"
     }

@@ -179,6 +179,10 @@ impl McMitigation for Graphene {
         }
     }
 
+    fn may_throttle(&self) -> bool {
+        false
+    }
+
     fn name(&self) -> &'static str {
         "graphene"
     }

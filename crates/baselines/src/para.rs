@@ -113,6 +113,10 @@ impl McMitigation for Para {
         }
     }
 
+    fn may_throttle(&self) -> bool {
+        false
+    }
+
     fn name(&self) -> &'static str {
         "para"
     }

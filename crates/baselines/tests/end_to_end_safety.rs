@@ -27,6 +27,7 @@ fn hammer_through_controller(
     let mut mc = MemoryController::new(device, McConfig::default(), mitigation);
     let mut id = 0u64;
     let mut now = 0u64;
+    let mut done = Vec::new();
     let slice = 1_000_000; // 1 µs batches
     while now < duration {
         // Keep the hammer queue saturated: alternating aggressor rows,
@@ -45,7 +46,7 @@ fn hammer_through_controller(
             id += 1;
         }
         now += slice;
-        mc.advance_until(now);
+        mc.advance_until_into(now, &mut done);
     }
     let device = mc.into_device();
     (device.oracle(0).max_disturbance(), device.total_flips())

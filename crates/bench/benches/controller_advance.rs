@@ -1,0 +1,91 @@
+//! Criterion benchmark for the memory-controller scheduler cores: drains
+//! identical random-read batches through the event-driven core and the
+//! naive full-rescan reference across a queue-depth × bank-count grid.
+//!
+//! The event core's advantage grows with bank count (the rescan is
+//! O(banks × queue) per command; the event core only recomputes dirtied
+//! lanes), so this grid is the regression canary for the scaling claim in
+//! ARCHITECTURE.md.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mithril_dram::{Ddr5Timing, DramDevice, Geometry, NoMitigation, PS_PER_US};
+use mithril_memctrl::{
+    AddressMapping, McConfig, MemRequest, MemoryController, NoMcMitigation, SchedulerKind,
+};
+use std::hint::black_box;
+
+/// Requests drained per benchmark iteration.
+const REQS: u64 = 2_000;
+
+fn geometry(banks_per_rank: usize) -> Geometry {
+    Geometry {
+        banks_per_rank,
+        // Small bank arrays keep per-iteration device construction cheap;
+        // row count does not affect scheduling cost.
+        rows_per_bank: 4_096,
+        ..Geometry::default()
+    }
+}
+
+fn controller(kind: SchedulerKind, banks_per_rank: usize) -> MemoryController {
+    let device = DramDevice::new(
+        geometry(banks_per_rank),
+        Ddr5Timing::ddr5_4800(),
+        100_000,
+        1,
+        |_| Box::new(NoMitigation),
+    );
+    MemoryController::with_scheduler(device, McConfig::default(), Box::new(NoMcMitigation), kind)
+}
+
+/// Enqueues batches of `depth` random-row reads and fully drains them.
+fn drain(mut mc: MemoryController, banks_per_rank: usize, depth: u64) -> u64 {
+    let geometry = geometry(banks_per_rank);
+    let map = AddressMapping::new(geometry);
+    let lines = geometry.rows_per_bank * geometry.row_bytes / geometry.line_bytes;
+    let total_lines = lines * (geometry.ranks * geometry.banks_per_rank) as u64;
+    let mut x = 0x2545_f491_4f6c_dd1du64;
+    let mut now = 0u64;
+    let mut done = Vec::new();
+    for i in 0..REQS {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        mc.enqueue(MemRequest::read(i, map.map_line(x % total_lines), 0, now));
+        if i % depth == depth - 1 {
+            now += PS_PER_US;
+            done.clear();
+            mc.advance_until_into(now, &mut done);
+        }
+    }
+    done.clear();
+    mc.advance_until_into(now + 10_000 * PS_PER_US, &mut done);
+    mc.stats().acts
+}
+
+fn bench_controller(c: &mut Criterion) {
+    for (kind, kind_name) in [
+        (SchedulerKind::EventQueue, "event"),
+        (SchedulerKind::NaiveRescan, "naive"),
+    ] {
+        let mut g = c.benchmark_group(format!("controller_advance/{kind_name}"));
+        g.sample_size(10);
+        for banks in [8usize, 32, 64] {
+            for depth in [4u64, 32] {
+                g.bench_function(format!("banks{banks}_depth{depth}"), |b| {
+                    // Device construction (per-row oracle state) dwarfs the
+                    // drain at these sizes; keep it outside the timer.
+                    b.iter_batched(
+                        || controller(kind, banks),
+                        |mc| black_box(drain(mc, banks, depth)),
+                        BatchSize::LargeInput,
+                    )
+                });
+            }
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_controller);
+criterion_main!(benches);

@@ -15,11 +15,17 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use mithril::{MithrilTable, NaiveTable};
+use mithril_sim::{SchedulerKind, Scheme, System, SystemConfig};
 use mithril_trackers::{FrequencyTracker, NaiveSpaceSaving, SpaceSaving};
+use mithril_workloads::mix_high;
 
 const TABLE_SIZES: [usize; 4] = [32, 128, 512, 2048];
 const OPS: usize = 100_000;
 const RFM_EVERY: usize = 64;
+/// Instructions per core for the end-to-end simulator rate measurement.
+/// Both scheduler cores run the same count: the naive rescan's cost grows
+/// with queue occupancy, so a shorter naive run would understate the gap.
+const SIM_INSTS: u64 = 200_000;
 
 fn act_stream(len: usize, universe: u64) -> Vec<u64> {
     let mut x = 0x9e37_79b9_7f4a_7c15u64;
@@ -124,6 +130,81 @@ fn bench_trackers() -> Vec<TableRow> {
         .collect()
 }
 
+struct SimRow {
+    scheme: &'static str,
+    event_acts_per_sec: f64,
+    naive_acts_per_sec: f64,
+    acts: u64,
+}
+
+/// End-to-end simulator activation rate (full System: cores + LLC +
+/// controllers + DRAM) under `scheduler`, best of two runs. Unlike the
+/// bucket-table rows this measures the whole simulation loop, so it is the
+/// number sweeps and fault campaigns actually experience.
+fn sim_acts_per_sec(scheme: Scheme, scheduler: SchedulerKind, insts: u64) -> (f64, u64) {
+    let mut best = 0.0f64;
+    let mut acts = 0;
+    for _ in 0..2 {
+        let mut cfg = SystemConfig::table_iii();
+        cfg.cores = 4;
+        cfg.scheme = scheme;
+        cfg.scheduler = scheduler;
+        let mut sys = System::new(cfg, mix_high(4, 11)).expect("valid scheme config");
+        let t0 = Instant::now();
+        let m = sys.run(insts, u64::MAX);
+        let rate = m.counters.acts as f64 / t0.elapsed().as_secs_f64();
+        acts = m.counters.acts;
+        best = best.max(rate);
+    }
+    (best, acts)
+}
+
+fn bench_sim() -> Vec<SimRow> {
+    let schemes: [(&'static str, Scheme); 3] = [
+        ("none", Scheme::None),
+        (
+            "mithril",
+            Scheme::Mithril {
+                rfm_th: 64,
+                ad_th: None,
+                plus: false,
+            },
+        ),
+        ("para", Scheme::Para),
+    ];
+    schemes
+        .iter()
+        .map(|&(name, scheme)| {
+            let (event, acts) = sim_acts_per_sec(scheme, SchedulerKind::EventQueue, SIM_INSTS);
+            let (naive, _) = sim_acts_per_sec(scheme, SchedulerKind::NaiveRescan, SIM_INSTS);
+            SimRow {
+                scheme: name,
+                event_acts_per_sec: event,
+                naive_acts_per_sec: naive,
+                acts,
+            }
+        })
+        .collect()
+}
+
+fn sim_rows_to_json(rows: &[SimRow]) -> String {
+    let mut s = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"scheme\": \"{}\", \"event_acts_per_sec\": {:.0}, \"naive_acts_per_sec\": {:.0}, \"speedup\": {:.2}, \"acts\": {}}}{}",
+            r.scheme,
+            r.event_acts_per_sec,
+            r.naive_acts_per_sec,
+            r.event_acts_per_sec / r.naive_acts_per_sec,
+            r.acts,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ]");
+    s
+}
+
 fn rows_to_json(rows: &[TableRow]) -> String {
     let mut s = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
@@ -181,10 +262,28 @@ fn main() {
         );
     }
 
+    println!("\n# End-to-end simulator rate: event-driven vs naive-rescan controller core");
+    println!("# (full System loop, 4 cores, mix-high; acts/s of simulated activations)");
+    println!(
+        "{:>10} {:>18} {:>18} {:>9}",
+        "scheme", "event acts/s", "naive acts/s", "speedup"
+    );
+    let sim = bench_sim();
+    for r in &sim {
+        println!(
+            "{:>10} {:>18.0} {:>18.0} {:>8.2}x",
+            r.scheme,
+            r.event_acts_per_sec,
+            r.naive_acts_per_sec,
+            r.event_acts_per_sec / r.naive_acts_per_sec
+        );
+    }
+
     let json = format!(
-        "{{\n  \"ops_per_run\": {OPS},\n  \"rfm_every\": {RFM_EVERY},\n  \"mithril_table\": {},\n  \"space_saving\": {}\n}}\n",
+        "{{\n  \"ops_per_run\": {OPS},\n  \"rfm_every\": {RFM_EVERY},\n  \"mithril_table\": {},\n  \"space_saving\": {},\n  \"sim_insts_per_core\": {SIM_INSTS},\n  \"sim_ops_per_sec\": {}\n}}\n",
         rows_to_json(&tables),
-        rows_to_json(&trackers)
+        rows_to_json(&trackers),
+        sim_rows_to_json(&sim)
     );
     std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     println!("\nwrote {out_path}");

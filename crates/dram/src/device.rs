@@ -167,6 +167,15 @@ impl DramDevice {
             .max(now)
     }
 
+    /// Earliest time rank-level constraints (tRRD / tFAW) allow *any* ACT
+    /// on `rank`, at or after `now` — the rank's next-activate event time.
+    /// The event-driven controller caches per-bank activation candidates
+    /// and applies this rank-wide floor at selection time, so an ACT on a
+    /// sibling bank doesn't have to invalidate the whole rank.
+    pub fn earliest_rank_activate(&self, rank: RankId, now: TimePs) -> TimePs {
+        self.ranks[rank.0].earliest_activate(now)
+    }
+
     /// True if an ACT to `bank` is legal at `now`.
     pub fn can_activate(&self, bank: BankId, now: TimePs) -> bool {
         self.banks[bank].can_activate(now) && {

@@ -67,8 +67,13 @@ impl Bliss {
     }
 
     /// Records that a request of `thread` was serviced at `now`.
-    pub fn on_request_served(&mut self, thread: usize, now: TimePs) {
-        self.maybe_clear(now);
+    ///
+    /// Returns `true` if the blacklist set changed (a thread was newly
+    /// blacklisted, or the clearing interval elapsed and dropped entries)
+    /// — the event-driven scheduler uses this to invalidate cached
+    /// per-bank candidates only when priorities actually moved.
+    pub fn on_request_served(&mut self, thread: usize, now: TimePs) -> bool {
+        let mut changed = self.maybe_clear(now);
         if self.last_thread == Some(thread) {
             self.streak += 1;
         } else {
@@ -77,9 +82,13 @@ impl Bliss {
         }
         if self.streak >= self.config.streak_threshold {
             if let Some(b) = self.blacklisted.get_mut(thread) {
-                *b = true;
+                if !*b {
+                    *b = true;
+                    changed = true;
+                }
             }
         }
+        changed
     }
 
     /// True if `thread` is currently blacklisted (lower priority).
@@ -87,16 +96,22 @@ impl Bliss {
         self.blacklisted.get(thread).copied().unwrap_or(false)
     }
 
-    /// Advances the clearing clock without a service event.
-    pub fn tick(&mut self, now: TimePs) {
-        self.maybe_clear(now);
+    /// Advances the clearing clock without a service event. Returns `true`
+    /// if the clearing interval elapsed and dropped blacklist entries.
+    pub fn tick(&mut self, now: TimePs) -> bool {
+        self.maybe_clear(now)
     }
 
-    fn maybe_clear(&mut self, now: TimePs) {
+    fn maybe_clear(&mut self, now: TimePs) -> bool {
+        let mut changed = false;
         while now >= self.next_clear {
+            if !changed && self.blacklisted.iter().any(|&b| b) {
+                changed = true;
+            }
             self.blacklisted.fill(false);
             self.next_clear += self.config.clearing_interval;
         }
+        changed
     }
 }
 

@@ -1,12 +1,28 @@
 //! The memory controller proper: queues, scheduling, refresh and RFM issue.
 //!
 //! The controller advances an event-driven command loop: at each step it
-//! enumerates the earliest legal action per bank (refresh, RFM, ARR, a
+//! finds the earliest legal action across banks (refresh, RFM, ARR, a
 //! row-hit column command, a page-policy precharge, or an activation) and
 //! executes the globally earliest one. Priorities at equal time follow
 //! maintenance-first order (REF > RFM > ARR > column > PRE > ACT), which
 //! guarantees forward progress and models refresh/RFM head-of-line blocking
 //! — the mechanism behind Mithril's performance overhead (paper Fig. 9/10).
+//!
+//! Two scheduler cores implement the same decision function
+//! ([`SchedulerKind`]):
+//!
+//! * **Event queue** (default): per-bank candidate events cached in flat
+//!   per-bank lanes, recomputed only for banks whose state changed since
+//!   the last command (dirty-bitset invalidation). Global constraints that
+//!   slide with time — the controller clock, the shared data bus, rank
+//!   tRRD/tFAW — are applied as clamps at selection time so cached
+//!   candidates stay valid without recomputation.
+//! * **Naive rescan**: the original O(banks) full enumeration per command,
+//!   kept as the reference implementation for differential testing
+//!   (`tests/event_core_diff.rs`).
+//!
+//! Both cores produce byte-identical command streams; see ARCHITECTURE.md
+//! ("Event-driven controller core") for the decision-identity argument.
 
 use std::collections::VecDeque;
 
@@ -27,6 +43,19 @@ pub enum RfmMode {
     /// Mithril+: poll the mode-register flag first (MRR) and elide the RFM
     /// when the DRAM-side engine reports nothing pending (Section V-B).
     MrrElision,
+}
+
+/// Which scheduling core drives the command loop. Both cores are
+/// decision-identical; they differ only in how the next command is found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Event-driven core: cached per-bank candidates with incremental
+    /// dirty-bitset invalidation. O(changed banks) per command.
+    #[default]
+    EventQueue,
+    /// Full per-command rescan of every bank — the original reference
+    /// implementation, retained for differential testing.
+    NaiveRescan,
 }
 
 /// Controller configuration.
@@ -118,16 +147,83 @@ impl McStats {
     }
 }
 
+/// The DRAM command a [`CommandRecord`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandKind {
+    /// Rank auto-refresh.
+    Ref,
+    /// Precharge issued to clear the way for maintenance (REF/RFM/ARR).
+    MaintPre,
+    /// RFM issued to the bank.
+    Rfm,
+    /// RFM elided after a clear MRR poll (Mithril+).
+    RfmElided,
+    /// ARR on behalf of an MC-side mitigation (`row` = victim count).
+    Arr,
+    /// Column read.
+    Read,
+    /// Column write.
+    Write,
+    /// Page-policy precharge.
+    Pre,
+    /// Row activation.
+    Act,
+}
+
+/// One issued DRAM command, captured when command recording is enabled
+/// via [`MemoryController::record_commands`]. Used by the differential
+/// tests to compare the two scheduler cores command-for-command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommandRecord {
+    /// Issue time.
+    pub at: TimePs,
+    /// Command type.
+    pub kind: CommandKind,
+    /// Target flat bank (first bank of the rank for [`CommandKind::Ref`]).
+    pub bank: BankId,
+    /// Target row; victim count for ARR; 0 where not applicable.
+    pub row: RowId,
+}
+
+/// Flat per-bank scheduling lane: request queue, page-policy and RFM state,
+/// and the cached next-candidate event, packed per bank so the event core's
+/// selection scan walks one contiguous array. Hot scheduling fields sit at
+/// the front of the struct.
 #[derive(Debug, Clone, Default)]
-struct BankQueue {
-    queue: VecDeque<MemRequest>,
+struct BankLane {
+    /// Cached candidate base time — *before* the selection-time clamps
+    /// (clock, data bus, rank tRRD/tFAW), which slide with time and are
+    /// applied in `next_candidate_event`.
+    cand_time: TimePs,
+    /// Cached candidate kind; `Idle` keeps the bank out of the active set.
+    cand: Cand,
     hits_served: u32,
-    raa: u64,
     rfm_pending: bool,
+    raa: u64,
+    queue: VecDeque<MemRequest>,
     arr_queue: VecDeque<Vec<RowId>>,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A cached per-bank candidate (the event payload of the event core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Cand {
+    /// No serviceable work: bank not in the active set.
+    #[default]
+    Idle,
+    MaintPre,
+    Rfm,
+    Arr,
+    Column {
+        pos: u32,
+    },
+    Pre,
+    Act {
+        pos: u32,
+        throttled: bool,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Action {
     Ref {
         rank: RankId,
@@ -155,18 +251,38 @@ enum Action {
     },
 }
 
+const PRIO_REF: u8 = 0;
+const PRIO_MAINT_PRE: u8 = 1;
+const PRIO_RFM: u8 = 2;
+const PRIO_ARR: u8 = 3;
+const PRIO_COLUMN: u8 = 4;
+const PRIO_PRE: u8 = 5;
+const PRIO_ACT: u8 = 6;
+
 impl Action {
     fn priority(&self) -> u8 {
         match self {
-            Action::Ref { .. } => 0,
-            Action::MaintPre { .. } => 1,
-            Action::Rfm { .. } => 2,
-            Action::Arr { .. } => 3,
-            Action::Column { .. } => 4,
-            Action::Pre { .. } => 5,
-            Action::Act { .. } => 6,
+            Action::Ref { .. } => PRIO_REF,
+            Action::MaintPre { .. } => PRIO_MAINT_PRE,
+            Action::Rfm { .. } => PRIO_RFM,
+            Action::Arr { .. } => PRIO_ARR,
+            Action::Column { .. } => PRIO_COLUMN,
+            Action::Pre { .. } => PRIO_PRE,
+            Action::Act { .. } => PRIO_ACT,
         }
     }
+}
+
+/// What the event-core selection scan picked, resolved to an [`Action`]
+/// only once at the end.
+#[derive(Debug, Clone, Copy)]
+enum Pick {
+    Ref(RankId),
+    /// Maintenance precharge found by the overdue-refresh rank scan (the
+    /// bank's cached candidate is suppressed while its rank is overdue).
+    OverduePre(BankId),
+    /// The bank's cached candidate.
+    Lane(BankId),
 }
 
 /// One memory channel's controller, owning its [`DramDevice`].
@@ -175,29 +291,57 @@ impl Action {
 pub struct MemoryController {
     device: DramDevice,
     config: McConfig,
+    scheduler: SchedulerKind,
     mitigation: Box<dyn McMitigation>,
+    /// Cached `mitigation.may_throttle()`: when true, activation release
+    /// times slide with the clock and every bank recomputes each step.
+    throttling: bool,
     bliss: Option<Bliss>,
-    banks: Vec<BankQueue>,
+    lanes: Vec<BankLane>,
+    /// Banks whose cached candidate is stale (bit per flat bank).
+    dirty: Vec<u64>,
+    /// Banks with a non-`Idle` cached candidate (bit per flat bank).
+    active: Vec<u64>,
     next_ref: Vec<TimePs>,
     bus_free: TimePs,
     clock: TimePs,
     stats: McStats,
     completions: Vec<Completion>,
+    log: Option<Vec<CommandRecord>>,
 }
 
 impl MemoryController {
     /// Creates a controller over `device` with the given MC-side
-    /// mitigation (use [`crate::NoMcMitigation`] for DRAM-side schemes).
+    /// mitigation (use [`crate::NoMcMitigation`] for DRAM-side schemes)
+    /// and the default (event-driven) scheduler core.
     pub fn new(device: DramDevice, config: McConfig, mitigation: Box<dyn McMitigation>) -> Self {
+        Self::with_scheduler(device, config, mitigation, SchedulerKind::default())
+    }
+
+    /// Like [`new`](MemoryController::new) but with an explicit scheduler
+    /// core — `SchedulerKind::NaiveRescan` selects the reference rescan
+    /// implementation (differential testing, perf comparison).
+    pub fn with_scheduler(
+        device: DramDevice,
+        config: McConfig,
+        mitigation: Box<dyn McMitigation>,
+        scheduler: SchedulerKind,
+    ) -> Self {
         let nbanks = device.geometry().banks_total();
         let nranks = device.geometry().ranks;
         let trefi = device.timing().trefi;
-        Self {
+        let words = nbanks.div_ceil(64);
+        let throttling = mitigation.may_throttle();
+        let mut mc = Self {
             device,
             config,
+            scheduler,
             mitigation,
+            throttling,
             bliss: config.bliss.map(Bliss::new),
-            banks: (0..nbanks).map(|_| BankQueue::default()).collect(),
+            lanes: (0..nbanks).map(|_| BankLane::default()).collect(),
+            dirty: vec![0; words],
+            active: vec![0; words],
             // Stagger rank refreshes to avoid lock-step tRFC stalls.
             next_ref: (0..nranks)
                 .map(|r| trefi + (r as TimePs) * (trefi / nranks.max(1) as TimePs))
@@ -206,7 +350,25 @@ impl MemoryController {
             clock: 0,
             stats: McStats::default(),
             completions: Vec::new(),
-        }
+            log: None,
+        };
+        mc.mark_all_dirty();
+        mc
+    }
+
+    /// The scheduler core driving this controller.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.scheduler
+    }
+
+    /// Enables or disables command-stream recording (differential tests).
+    pub fn record_commands(&mut self, on: bool) {
+        self.log = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Takes the recorded command stream, leaving recording enabled.
+    pub fn take_command_log(&mut self) -> Vec<CommandRecord> {
+        self.log.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     /// Queues a request.
@@ -216,16 +378,17 @@ impl MemoryController {
     /// Panics if the request's bank is out of range.
     pub fn enqueue(&mut self, req: MemRequest) {
         assert!(
-            req.addr.bank < self.banks.len(),
+            req.addr.bank < self.lanes.len(),
             "bank {} out of range",
             req.addr.bank
         );
-        self.banks[req.addr.bank].queue.push_back(req);
+        self.mark_dirty(req.addr.bank);
+        self.lanes[req.addr.bank].queue.push_back(req);
     }
 
     /// Total queued (not yet serviced) requests.
     pub fn pending(&self) -> usize {
-        self.banks.iter().map(|b| b.queue.len()).sum()
+        self.lanes.iter().map(|b| b.queue.len()).sum()
     }
 
     /// Current controller clock.
@@ -256,24 +419,34 @@ impl MemoryController {
 
     /// Advances the command loop until no action can issue at or before
     /// `end`, returning all completions produced.
-    ///
-    /// The controller clock tracks the last executed command, *not* `end`:
-    /// callers may interleave `enqueue`/`advance_until` at the same fence
-    /// repeatedly (the simulator's intra-epoch relaxation), and requests
-    /// arriving between calls are scheduled at their natural times rather
-    /// than being quantized to the fence.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates a Vec per call; use `advance_until_into` with a reused buffer"
+    )]
     pub fn advance_until(&mut self, end: TimePs) -> Vec<Completion> {
         let mut out = Vec::new();
         self.advance_until_into(end, &mut out);
         out
     }
 
-    /// Allocation-free variant of [`advance_until`]: appends completions to
-    /// a caller-owned buffer, so a simulation loop can reuse one `Vec`
-    /// across epochs instead of allocating per call.
+    /// Advances the command loop until no action can issue at or before
+    /// `end`, appending completions to a caller-owned buffer so a
+    /// simulation loop can reuse one `Vec` across epochs.
     ///
-    /// [`advance_until`]: MemoryController::advance_until
+    /// The controller clock tracks the last executed command, *not* `end`:
+    /// callers may interleave `enqueue`/`advance_until_into` at the same
+    /// fence repeatedly (the simulator's intra-epoch relaxation), and
+    /// requests arriving between calls are scheduled at their natural
+    /// times rather than being quantized to the fence.
     pub fn advance_until_into(&mut self, end: TimePs, out: &mut Vec<Completion>) {
+        match self.scheduler {
+            SchedulerKind::EventQueue => self.advance_event(end),
+            SchedulerKind::NaiveRescan => self.advance_naive(end),
+        }
+        out.append(&mut self.completions);
+    }
+
+    fn advance_naive(&mut self, end: TimePs) {
         loop {
             match self.next_candidate() {
                 Some((t, action)) if t <= end => {
@@ -286,10 +459,294 @@ impl MemoryController {
                 _ => break,
             }
         }
-        out.append(&mut self.completions);
     }
 
-    // ---------------------------------------------------------- candidates
+    fn advance_event(&mut self, end: TimePs) {
+        loop {
+            match self.next_candidate_event() {
+                Some((t, action)) if t <= end => {
+                    self.clock = t;
+                    let cleared = match &mut self.bliss {
+                        Some(b) => b.tick(t),
+                        None => false,
+                    };
+                    if cleared {
+                        // Blacklist changes reorder request priorities on
+                        // every bank.
+                        self.mark_all_dirty();
+                    }
+                    self.execute(action, t);
+                }
+                _ => break,
+            }
+        }
+    }
+
+    // --------------------------------------------------- event-core bitsets
+
+    #[inline]
+    fn mark_dirty(&mut self, b: BankId) {
+        self.dirty[b >> 6] |= 1u64 << (b & 63);
+    }
+
+    fn mark_dirty_range(&mut self, lo: BankId, hi: BankId) {
+        for b in lo..hi {
+            self.mark_dirty(b);
+        }
+    }
+
+    fn mark_all_dirty(&mut self) {
+        for w in &mut self.dirty {
+            *w = !0;
+        }
+        let tail = self.lanes.len() & 63;
+        if tail != 0 {
+            let w = self.dirty.len() - 1;
+            self.dirty[w] = (1u64 << tail) - 1;
+        }
+    }
+
+    /// Recomputes the cached candidate of every dirty bank and clears the
+    /// dirty set.
+    fn refresh_dirty_candidates(&mut self) {
+        for w in 0..self.dirty.len() {
+            let mut bits = self.dirty[w];
+            if bits == 0 {
+                continue;
+            }
+            self.dirty[w] = 0;
+            while bits != 0 {
+                let b = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.recompute_lane(b);
+            }
+        }
+    }
+
+    /// Recomputes bank `b`'s cached candidate. Mirrors the decision logic
+    /// of `bank_candidates` exactly, but stores *base* times: constraints
+    /// that slide with the clock (clock itself, the data bus, rank
+    /// tRRD/tFAW, throttle releases) are left to selection-time clamps —
+    /// except in throttling mode, where the release time is folded in here
+    /// because every bank is recomputed each step anyway.
+    fn recompute_lane(&mut self, b: BankId) {
+        let bank = self.device.bank(b);
+        let open = bank.open_row();
+        let lane = &self.lanes[b];
+        let (cand, time) = if lane.rfm_pending || !lane.arr_queue.is_empty() {
+            match open {
+                Some(row) => match self.best_hit(lane, row) {
+                    // Row hits may drain first (RAAMMT slack), but if none
+                    // are serviceable we close the row for maintenance.
+                    Some(pos) if lane.hits_served < self.config.max_row_hits => {
+                        (Cand::Column { pos: pos as u32 }, bank.earliest_column())
+                    }
+                    _ => (Cand::MaintPre, bank.earliest_precharge()),
+                },
+                None => {
+                    let t = bank.earliest_activate();
+                    if lane.rfm_pending {
+                        (Cand::Rfm, t)
+                    } else {
+                        (Cand::Arr, t)
+                    }
+                }
+            }
+        } else {
+            match open {
+                Some(row) => {
+                    let hit = if lane.hits_served < self.config.max_row_hits {
+                        self.best_hit(lane, row)
+                    } else {
+                        None
+                    };
+                    match hit {
+                        Some(pos) => (Cand::Column { pos: pos as u32 }, bank.earliest_column()),
+                        // Minimalist-open: no serviceable hit (or hit
+                        // budget spent): close the row.
+                        None => (Cand::Pre, bank.earliest_precharge()),
+                    }
+                }
+                None => {
+                    if lane.queue.is_empty() {
+                        (Cand::Idle, 0)
+                    } else if self.throttling {
+                        let (pos, t, throttled) = self
+                            .best_activation(b, lane)
+                            .expect("non-empty queue yields an activation");
+                        (
+                            Cand::Act {
+                                pos: pos as u32,
+                                throttled,
+                            },
+                            t,
+                        )
+                    } else {
+                        // Without throttling every queued request releases
+                        // at `now`, so the FR-FCFS order is independent of
+                        // the activation time: (blacklisted, arrival, pos).
+                        let pos = self
+                            .best_act_stable(lane)
+                            .expect("non-empty queue yields an activation");
+                        (
+                            Cand::Act {
+                                pos: pos as u32,
+                                throttled: false,
+                            },
+                            bank.earliest_activate(),
+                        )
+                    }
+                }
+            }
+        };
+        let word = b >> 6;
+        let bit = 1u64 << (b & 63);
+        let lane = &mut self.lanes[b];
+        lane.cand = cand;
+        lane.cand_time = time;
+        if cand == Cand::Idle {
+            self.active[word] &= !bit;
+        } else {
+            self.active[word] |= bit;
+        }
+    }
+
+    /// The event-core selection scan: refresh stale candidates, then take
+    /// the minimum over (time, priority, flat index) of per-rank refresh
+    /// events and active banks' cached candidates, applying the
+    /// selection-time clamps. The key order equals the naive scan's
+    /// first-wins enumeration order (see ARCHITECTURE.md), so both cores
+    /// pick the same action.
+    fn next_candidate_event(&mut self) -> Option<(TimePs, Action)> {
+        if self.throttling {
+            // Throttle releases are `now + delay`: they slide with the
+            // clock, so cached activation candidates go stale every step.
+            self.mark_all_dirty();
+        }
+        self.refresh_dirty_candidates();
+
+        let geometry = *self.device.geometry();
+        let timing = *self.device.timing();
+        let clock = self.clock;
+        let bus_ready = self.bus_free.saturating_sub(timing.tcl);
+
+        let mut best: Option<(TimePs, u8, usize)> = None;
+        let mut pick = Pick::Lane(0);
+        macro_rules! consider {
+            ($t:expr, $prio:expr, $idx:expr, $pick:expr) => {
+                let key = ($t, $prio, $idx);
+                if best.is_none_or(|bk| key < bk) {
+                    best = Some(key);
+                    pick = $pick;
+                }
+            };
+        }
+
+        for rank in geometry.rank_ids() {
+            let lo = rank.0 * geometry.banks_per_rank;
+            let hi = lo + geometry.banks_per_rank;
+            let due = self.next_ref[rank.0];
+            if clock >= due {
+                // Refresh overdue: close rows, then REF. This is a fresh
+                // per-bank scan (once per tREFI per rank — rare); cached
+                // candidates on the rank are suppressed, matching the
+                // naive core's "no new work while overdue" rule.
+                let mut all_ready = true;
+                let mut ready_at = clock.max(due);
+                for b in lo..hi {
+                    let bank = self.device.bank(b);
+                    if bank.open_row().is_some() {
+                        all_ready = false;
+                        let t = clock.max(bank.earliest_precharge());
+                        consider!(t, PRIO_MAINT_PRE, b, Pick::OverduePre(b));
+                    } else {
+                        ready_at = ready_at.max(bank.earliest_activate());
+                    }
+                }
+                if all_ready {
+                    consider!(ready_at, PRIO_REF, lo, Pick::Ref(rank));
+                }
+                continue;
+            }
+            // Upcoming refresh also schedules itself (so we don't stall
+            // waiting for external events when queues are empty).
+            consider!(due, PRIO_REF, lo, Pick::Ref(rank));
+
+            // Rank-wide ACT floor (tRRD / tFAW): applied here instead of
+            // invalidating every sibling bank on each ACT.
+            let rank_floor = self.device.earliest_rank_activate(rank, clock);
+
+            let wlo = lo >> 6;
+            let whi = (hi - 1) >> 6;
+            for w in wlo..=whi {
+                let mut bits = self.active[w];
+                if w == wlo {
+                    bits &= !0u64 << (lo & 63);
+                }
+                let top = hi & 63;
+                if w == whi && top != 0 {
+                    bits &= (1u64 << top) - 1;
+                }
+                while bits != 0 {
+                    let b = (w << 6) + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let lane = &self.lanes[b];
+                    let (t, prio) = match lane.cand {
+                        Cand::Idle => continue,
+                        Cand::MaintPre => (clock.max(lane.cand_time), PRIO_MAINT_PRE),
+                        Cand::Rfm => (clock.max(lane.cand_time), PRIO_RFM),
+                        Cand::Arr => (clock.max(lane.cand_time), PRIO_ARR),
+                        Cand::Column { .. } => {
+                            (clock.max(lane.cand_time).max(bus_ready), PRIO_COLUMN)
+                        }
+                        Cand::Pre => (clock.max(lane.cand_time), PRIO_PRE),
+                        Cand::Act { .. } => (clock.max(lane.cand_time).max(rank_floor), PRIO_ACT),
+                    };
+                    consider!(t, prio, b, Pick::Lane(b));
+                }
+            }
+        }
+
+        let (t, _, _) = best?;
+        let action = match pick {
+            Pick::Ref(rank) => Action::Ref { rank },
+            Pick::OverduePre(bank) => Action::MaintPre { bank },
+            Pick::Lane(bank) => match self.lanes[bank].cand {
+                Cand::Idle => unreachable!("active bank with idle candidate"),
+                Cand::MaintPre => Action::MaintPre { bank },
+                Cand::Rfm => Action::Rfm { bank },
+                Cand::Arr => Action::Arr { bank },
+                Cand::Column { pos } => Action::Column {
+                    bank,
+                    pos: pos as usize,
+                },
+                Cand::Pre => Action::Pre { bank },
+                Cand::Act { pos, throttled } => Action::Act {
+                    bank,
+                    pos: pos as usize,
+                    throttled,
+                },
+            },
+        };
+        Some((t, action))
+    }
+
+    /// Stable FR-FCFS activation choice when no throttling is in play:
+    /// every request releases at `now`, so the naive key
+    /// (time, blacklisted, arrival, pos) collapses to
+    /// (blacklisted, arrival, pos).
+    fn best_act_stable(&self, lane: &BankLane) -> Option<usize> {
+        let mut best: Option<(bool, TimePs, usize)> = None;
+        for (i, req) in lane.queue.iter().enumerate() {
+            let key = (self.is_blacklisted(req.thread), req.arrival, i);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, _, i)| i)
+    }
+
+    // ------------------------------------------------ naive-core candidates
 
     fn next_candidate(&self) -> Option<(TimePs, Action)> {
         let mut best: Option<(TimePs, Action)> = None;
@@ -349,7 +806,7 @@ impl MemoryController {
         timing: &mithril_dram::Ddr5Timing,
         consider: &mut impl FnMut(TimePs, Action),
     ) {
-        let bq = &self.banks[b];
+        let bq = &self.lanes[b];
         let bank = self.device.bank(b);
         let open = bank.open_row();
 
@@ -420,7 +877,7 @@ impl MemoryController {
     }
 
     /// Highest-priority row-hit request position, if any.
-    fn best_hit(&self, bq: &BankQueue, row: RowId) -> Option<usize> {
+    fn best_hit(&self, bq: &BankLane, row: RowId) -> Option<usize> {
         let mut best: Option<(bool, TimePs, usize)> = None;
         for (i, req) in bq.queue.iter().enumerate() {
             if req.addr.row != row {
@@ -435,7 +892,7 @@ impl MemoryController {
     }
 
     /// Best request to activate for, with its earliest issue time.
-    fn best_activation(&self, b: BankId, bq: &BankQueue) -> Option<(usize, TimePs, bool)> {
+    fn best_activation(&self, b: BankId, bq: &BankLane) -> Option<(usize, TimePs, bool)> {
         let base = self.device.earliest_activate(b, self.clock);
         let mut best: Option<(TimePs, bool, TimePs, usize, bool)> = None;
         for (i, req) in bq.queue.iter().enumerate() {
@@ -472,6 +929,18 @@ impl MemoryController {
 
     // ------------------------------------------------------------ execution
 
+    #[inline]
+    fn log_cmd(&mut self, at: TimePs, kind: CommandKind, bank: BankId, row: RowId) {
+        if let Some(log) = &mut self.log {
+            log.push(CommandRecord {
+                at,
+                kind,
+                bank,
+                row,
+            });
+        }
+    }
+
     fn execute(&mut self, action: Action, now: TimePs) {
         match action {
             Action::Ref { rank } => {
@@ -487,9 +956,21 @@ impl MemoryController {
                 }
                 self.next_ref[rank.0] += self.device.timing().trefi;
                 self.stats.refs += 1;
+                let lo = rank.0 * self.device.geometry().banks_per_rank;
+                let hi = lo + self.device.geometry().banks_per_rank;
+                // Every bank of the rank went busy for tRFC.
+                self.mark_dirty_range(lo, hi);
+                self.log_cmd(now, CommandKind::Ref, lo, 0);
             }
             Action::MaintPre { bank } | Action::Pre { bank } => {
                 self.device.issue_precharge(bank, now);
+                self.mark_dirty(bank);
+                let kind = if matches!(action, Action::MaintPre { .. }) {
+                    CommandKind::MaintPre
+                } else {
+                    CommandKind::Pre
+                };
+                self.log_cmd(now, kind, bank, 0);
             }
             Action::Rfm { bank } => {
                 if self.config.rfm_mode == RfmMode::MrrElision {
@@ -498,26 +979,32 @@ impl MemoryController {
                     if !pending {
                         self.device.note_rfm_elided();
                         self.stats.rfm_elisions += 1;
-                        self.banks[bank].rfm_pending = false;
-                        self.banks[bank].raa = 0;
+                        self.lanes[bank].rfm_pending = false;
+                        self.lanes[bank].raa = 0;
+                        self.mark_dirty(bank);
+                        self.log_cmd(now, CommandKind::RfmElided, bank, 0);
                         return;
                     }
                 }
                 let _ = self.device.issue_rfm(bank, now);
                 self.stats.rfms += 1;
-                self.banks[bank].rfm_pending = false;
-                self.banks[bank].raa = 0;
+                self.lanes[bank].rfm_pending = false;
+                self.lanes[bank].raa = 0;
+                self.mark_dirty(bank);
+                self.log_cmd(now, CommandKind::Rfm, bank, 0);
             }
             Action::Arr { bank } => {
-                let victims = self.banks[bank]
+                let victims = self.lanes[bank]
                     .arr_queue
                     .pop_front()
                     .expect("ARR action requires a queued ARR");
                 self.device.issue_arr(bank, &victims, now);
                 self.stats.arrs += 1;
+                self.mark_dirty(bank);
+                self.log_cmd(now, CommandKind::Arr, bank, victims.len() as RowId);
             }
             Action::Column { bank, pos } => {
-                let req = self.banks[bank]
+                let req = self.lanes[bank]
                     .queue
                     .remove(pos)
                     .expect("valid queue position");
@@ -531,18 +1018,33 @@ impl MemoryController {
                 // Only columns beyond the first per activation are
                 // row-buffer *reuse*; counting the ACT's own column would
                 // pin the hit rate at 1.0.
-                if self.banks[bank].hits_served > 0 {
+                if self.lanes[bank].hits_served > 0 {
                     self.stats.row_hits += 1;
                 }
-                self.banks[bank].hits_served += 1;
+                self.lanes[bank].hits_served += 1;
                 let timing = self.device.timing();
                 self.bus_free = now + timing.tcl + timing.tbl;
                 if !req.is_write {
                     self.stats.total_read_latency += done.saturating_sub(req.arrival);
                 }
-                if let Some(bl) = &mut self.bliss {
-                    bl.on_request_served(req.thread, now);
+                self.mark_dirty(bank);
+                let blacklist_changed = match &mut self.bliss {
+                    Some(bl) => bl.on_request_served(req.thread, now),
+                    None => false,
+                };
+                if blacklist_changed {
+                    self.mark_all_dirty();
                 }
+                self.log_cmd(
+                    now,
+                    if req.is_write {
+                        CommandKind::Write
+                    } else {
+                        CommandKind::Read
+                    },
+                    bank,
+                    req.addr.row,
+                );
                 self.completions.push(Completion {
                     request_id: req.id,
                     thread: req.thread,
@@ -555,19 +1057,21 @@ impl MemoryController {
                 pos,
                 throttled,
             } => {
-                let req = self.banks[bank].queue[pos];
+                let req = self.lanes[bank].queue[pos];
                 self.device.issue_activate(bank, req.addr.row, now);
                 self.stats.acts += 1;
-                self.banks[bank].hits_served = 0;
+                self.lanes[bank].hits_served = 0;
                 if throttled {
                     self.stats.throttled_acts += 1;
                 }
                 if self.config.rfm_mode != RfmMode::Disabled {
-                    self.banks[bank].raa += 1;
-                    if self.banks[bank].raa >= self.config.rfm_th {
-                        self.banks[bank].rfm_pending = true;
+                    self.lanes[bank].raa += 1;
+                    if self.lanes[bank].raa >= self.config.rfm_th {
+                        self.lanes[bank].rfm_pending = true;
                     }
                 }
+                self.mark_dirty(bank);
+                self.log_cmd(now, CommandKind::Act, bank, req.addr.row);
                 match self
                     .mitigation
                     .on_activate(bank, req.addr.row, req.thread, now)
@@ -577,7 +1081,8 @@ impl MemoryController {
                         bank: target,
                         victims,
                     } => {
-                        self.banks[target].arr_queue.push_back(victims);
+                        self.lanes[target].arr_queue.push_back(victims);
+                        self.mark_dirty(target);
                     }
                 }
             }
@@ -589,6 +1094,7 @@ impl std::fmt::Debug for MemoryController {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MemoryController")
             .field("clock", &self.clock)
+            .field("scheduler", &self.scheduler)
             .field("pending", &self.pending())
             .field("stats", &self.stats)
             .finish()
@@ -602,15 +1108,28 @@ mod tests {
     use crate::mitigation::NoMcMitigation;
     use mithril_dram::{Ddr5Timing, Geometry, NoMitigation, PS_PER_MS, PS_PER_US};
 
-    fn controller(config: McConfig) -> (MemoryController, AddressMapping) {
+    fn controller_with(
+        config: McConfig,
+        kind: SchedulerKind,
+    ) -> (MemoryController, AddressMapping) {
         let geometry = Geometry::default();
         let device = DramDevice::new(geometry, Ddr5Timing::ddr5_4800(), 100_000, 1, |_| {
             Box::new(NoMitigation)
         });
         (
-            MemoryController::new(device, config, Box::new(NoMcMitigation)),
+            MemoryController::with_scheduler(device, config, Box::new(NoMcMitigation), kind),
             AddressMapping::new(geometry),
         )
+    }
+
+    fn controller(config: McConfig) -> (MemoryController, AddressMapping) {
+        controller_with(config, SchedulerKind::default())
+    }
+
+    fn drain(mc: &mut MemoryController, end: TimePs) -> Vec<Completion> {
+        let mut out = Vec::new();
+        mc.advance_until_into(end, &mut out);
+        out
     }
 
     #[test]
@@ -618,10 +1137,54 @@ mod tests {
         let (mut mc, map) = controller(McConfig::default());
         let t = Ddr5Timing::ddr5_4800();
         mc.enqueue(MemRequest::read(1, map.map_line(64), 0, 0));
-        let done = mc.advance_until(PS_PER_US);
+        let done = drain(&mut mc, PS_PER_US);
         assert_eq!(done.len(), 1);
         // ACT at 0, RD at tRCD, data at tRCD + tCL + tBL.
         assert_eq!(done[0].at, t.trcd + t.tcl + t.tbl);
+    }
+
+    #[test]
+    fn naive_scheduler_completes_single_read_identically() {
+        let t = Ddr5Timing::ddr5_4800();
+        let (mut mc, map) = controller_with(McConfig::default(), SchedulerKind::NaiveRescan);
+        mc.enqueue(MemRequest::read(1, map.map_line(64), 0, 0));
+        let done = drain(&mut mc, PS_PER_US);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].at, t.trcd + t.tcl + t.tbl);
+        assert_eq!(mc.scheduler(), SchedulerKind::NaiveRescan);
+    }
+
+    #[test]
+    fn event_priority_consts_match_action_priorities() {
+        assert_eq!(Action::Ref { rank: RankId(0) }.priority(), PRIO_REF);
+        assert_eq!(Action::MaintPre { bank: 0 }.priority(), PRIO_MAINT_PRE);
+        assert_eq!(Action::Rfm { bank: 0 }.priority(), PRIO_RFM);
+        assert_eq!(Action::Arr { bank: 0 }.priority(), PRIO_ARR);
+        assert_eq!(Action::Column { bank: 0, pos: 0 }.priority(), PRIO_COLUMN);
+        assert_eq!(Action::Pre { bank: 0 }.priority(), PRIO_PRE);
+        assert_eq!(
+            Action::Act {
+                bank: 0,
+                pos: 0,
+                throttled: false
+            }
+            .priority(),
+            PRIO_ACT
+        );
+    }
+
+    #[test]
+    fn command_log_records_act_and_read() {
+        let (mut mc, map) = controller(McConfig::default());
+        mc.record_commands(true);
+        mc.enqueue(MemRequest::read(1, map.map_line(64), 0, 0));
+        drain(&mut mc, PS_PER_US);
+        let log = mc.take_command_log();
+        let kinds: Vec<CommandKind> = log.iter().map(|c| c.kind).collect();
+        assert!(kinds.contains(&CommandKind::Act));
+        assert!(kinds.contains(&CommandKind::Read));
+        // Taking the log leaves recording on and the buffer empty.
+        assert!(mc.take_command_log().is_empty());
     }
 
     #[test]
@@ -642,7 +1205,7 @@ mod tests {
         };
         mc.enqueue(MemRequest::read(1, a, 0, 0));
         mc.enqueue(MemRequest::read(2, b, 0, 0));
-        let done = mc.advance_until(PS_PER_US);
+        let done = drain(&mut mc, PS_PER_US);
         assert_eq!(done.len(), 2);
         assert_eq!(mc.stats().acts, 1, "second access must be a row hit");
     }
@@ -659,7 +1222,7 @@ mod tests {
             };
             mc.enqueue(MemRequest::read(i, addr, 0, 0));
         }
-        let done = mc.advance_until(10 * PS_PER_US);
+        let done = drain(&mut mc, 10 * PS_PER_US);
         assert_eq!(done.len(), 6);
         // 6 same-row requests with max 4 hits per activation: 2 ACTs.
         assert_eq!(mc.stats().acts, 2);
@@ -682,7 +1245,7 @@ mod tests {
         };
         mc.enqueue(MemRequest::read(1, a, 0, 0));
         mc.enqueue(MemRequest::read(2, b, 0, 0));
-        let done = mc.advance_until(PS_PER_US);
+        let done = drain(&mut mc, PS_PER_US);
         assert_eq!(done.len(), 2);
         assert_eq!(mc.stats().acts, 2);
         // Second completes after a full row cycle.
@@ -693,7 +1256,7 @@ mod tests {
     fn auto_refresh_happens_every_trefi() {
         let (mut mc, _) = controller(McConfig::default());
         let t = Ddr5Timing::ddr5_4800();
-        mc.advance_until(10 * t.trefi + t.trefi / 2);
+        drain(&mut mc, 10 * t.trefi + t.trefi / 2);
         assert_eq!(mc.stats().refs, 10);
     }
 
@@ -715,7 +1278,7 @@ mod tests {
             };
             mc.enqueue(MemRequest::read(i, addr, 0, 0));
         }
-        let done = mc.advance_until(PS_PER_MS);
+        let done = drain(&mut mc, PS_PER_MS);
         assert_eq!(done.len(), 8);
         assert_eq!(mc.stats().acts, 8);
         assert_eq!(mc.stats().rfms, 2, "RAA reaches 4 twice");
@@ -739,7 +1302,7 @@ mod tests {
             };
             mc.enqueue(MemRequest::read(i, addr, 0, 0));
         }
-        mc.advance_until(PS_PER_MS);
+        drain(&mut mc, PS_PER_MS);
         assert_eq!(mc.stats().rfms, 0);
         assert_eq!(mc.stats().rfm_elisions, 2);
         assert_eq!(mc.stats().mrrs, 2);
@@ -762,6 +1325,9 @@ mod tests {
                     victims: vec![row.saturating_sub(1), row + 1],
                 }
             }
+            fn may_throttle(&self) -> bool {
+                false
+            }
             fn name(&self) -> &'static str {
                 "arr-every"
             }
@@ -778,7 +1344,7 @@ mod tests {
             col: 0,
         };
         mc.enqueue(MemRequest::read(1, addr, 0, 0));
-        mc.advance_until(PS_PER_US);
+        drain(&mut mc, PS_PER_US);
         assert_eq!(mc.stats().arrs, 1);
         // The oracle saw the preventive refresh of both neighbours.
         assert_eq!(mc.device().oracle(3).disturbance(99), 0);
@@ -817,32 +1383,42 @@ mod tests {
                 "delay-thread0"
             }
         }
-        let geometry = Geometry::default();
-        let device = DramDevice::new(geometry, Ddr5Timing::ddr5_4800(), 100_000, 1, |_| {
-            Box::new(NoMitigation)
-        });
-        let mut mc = MemoryController::new(device, McConfig::default(), Box::new(DelayThread0));
-        let a = crate::mapping::MappedAddr {
-            channel: mithril_dram::ChannelId(0),
-            bank: 0,
-            row: 1,
-            col: 0,
-        };
-        let b = crate::mapping::MappedAddr {
-            channel: mithril_dram::ChannelId(0),
-            bank: 1,
-            row: 2,
-            col: 0,
-        };
-        mc.enqueue(MemRequest::read(1, a, 0, 0));
-        mc.enqueue(MemRequest::read(2, b, 1, 0));
-        let done = mc.advance_until(10 * PS_PER_US);
-        assert_eq!(done.len(), 2);
-        let t0 = done.iter().find(|c| c.thread == 0).unwrap();
-        let t1 = done.iter().find(|c| c.thread == 1).unwrap();
-        assert!(t0.at > PS_PER_US, "thread 0 must be throttled");
-        assert!(t1.at < PS_PER_US, "thread 1 must not be throttled");
-        assert_eq!(mc.stats().throttled_acts, 1);
+        for kind in [SchedulerKind::EventQueue, SchedulerKind::NaiveRescan] {
+            let geometry = Geometry::default();
+            let device = DramDevice::new(geometry, Ddr5Timing::ddr5_4800(), 100_000, 1, |_| {
+                Box::new(NoMitigation)
+            });
+            let mut mc = MemoryController::with_scheduler(
+                device,
+                McConfig::default(),
+                Box::new(DelayThread0),
+                kind,
+            );
+            let a = crate::mapping::MappedAddr {
+                channel: mithril_dram::ChannelId(0),
+                bank: 0,
+                row: 1,
+                col: 0,
+            };
+            let b = crate::mapping::MappedAddr {
+                channel: mithril_dram::ChannelId(0),
+                bank: 1,
+                row: 2,
+                col: 0,
+            };
+            mc.enqueue(MemRequest::read(1, a, 0, 0));
+            mc.enqueue(MemRequest::read(2, b, 1, 0));
+            let done = drain(&mut mc, 10 * PS_PER_US);
+            assert_eq!(done.len(), 2);
+            let t0 = done.iter().find(|c| c.thread == 0).unwrap();
+            let t1 = done.iter().find(|c| c.thread == 1).unwrap();
+            assert!(t0.at > PS_PER_US, "thread 0 must be throttled ({kind:?})");
+            assert!(
+                t1.at < PS_PER_US,
+                "thread 1 must not be throttled ({kind:?})"
+            );
+            assert_eq!(mc.stats().throttled_acts, 1);
+        }
     }
 
     #[test]
@@ -875,7 +1451,7 @@ mod tests {
             col: 0,
         };
         mc.enqueue(MemRequest::read(999, addr1, 1, 0));
-        let done = mc.advance_until(PS_PER_MS);
+        let done = drain(&mut mc, PS_PER_MS);
         assert_eq!(done.len(), 9);
         // After 4 consecutive services, thread 0 is blacklisted and thread
         // 1's row-miss request wins the next activation.
@@ -892,7 +1468,7 @@ mod tests {
         mc.enqueue(MemRequest::read(1, map.map_line(0), 0, 0));
         mc.enqueue(MemRequest::read(2, map.map_line(1), 0, 0));
         assert_eq!(mc.pending(), 2);
-        mc.advance_until(PS_PER_US);
+        drain(&mut mc, PS_PER_US);
         assert_eq!(mc.pending(), 0);
     }
 
@@ -900,7 +1476,7 @@ mod tests {
     fn writes_complete_and_count() {
         let (mut mc, map) = controller(McConfig::default());
         mc.enqueue(MemRequest::write(1, map.map_line(0), 0, 0));
-        let done = mc.advance_until(PS_PER_US);
+        let done = drain(&mut mc, PS_PER_US);
         assert_eq!(done.len(), 1);
         assert!(done[0].is_write);
         assert_eq!(mc.stats().writes_done, 1);

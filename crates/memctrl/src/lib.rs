@@ -32,7 +32,8 @@
 //!
 //! let mapping = AddressMapping::new(geometry);
 //! mc.enqueue(MemRequest::read(1, mapping.map_line(0x4000), 0, 0));
-//! let done = mc.advance_until(1_000_000); // 1 µs
+//! let mut done = Vec::new();
+//! mc.advance_until_into(1_000_000, &mut done); // 1 µs
 //! assert_eq!(done.len(), 1);
 //! assert_eq!(done[0].request_id, 1);
 //! ```
@@ -47,7 +48,10 @@ mod mitigation;
 mod request;
 
 pub use bliss::{Bliss, BlissConfig};
-pub use controller::{Completion, McConfig, McStats, MemoryController, RfmMode};
+pub use controller::{
+    CommandKind, CommandRecord, Completion, McConfig, McStats, MemoryController, RfmMode,
+    SchedulerKind,
+};
 pub use mapping::{AddressMapping, MappedAddr};
 pub use mitigation::{McAction, McMitigation, NoMcMitigation};
 pub use request::MemRequest;

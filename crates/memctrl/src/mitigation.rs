@@ -73,6 +73,19 @@ pub trait McMitigation {
         let _ = (bank, lo, hi);
     }
 
+    /// Whether [`activate_allowed_at`] can ever return a time later than
+    /// `now`. The event-driven scheduler caches per-bank activation
+    /// candidates; a throttling mitigation's release times slide with the
+    /// clock (`now + delay`), so candidates must be recomputed every step
+    /// when this returns `true`. Non-throttling schemes should override to
+    /// `false` to keep the incremental fast path enabled. The default is
+    /// `true` (conservative: always correct, never fast).
+    ///
+    /// [`activate_allowed_at`]: McMitigation::activate_allowed_at
+    fn may_throttle(&self) -> bool {
+        true
+    }
+
     /// Scheme name for reporting.
     fn name(&self) -> &'static str;
 }
@@ -90,6 +103,10 @@ impl McMitigation for NoMcMitigation {
         _now: TimePs,
     ) -> McAction {
         McAction::None
+    }
+
+    fn may_throttle(&self) -> bool {
+        false
     }
 
     fn name(&self) -> &'static str {

@@ -1,0 +1,259 @@
+//! Differential property tests: the event-driven scheduler core must be
+//! *decision-identical* to the retained naive rescan core — identical
+//! command streams (kind, bank, row, issue time), identical controller and
+//! device statistics, identical completions — on random and adversarial
+//! workloads, across geometries and mitigation styles.
+
+use mithril_dram::{Ddr5Timing, DramDevice, Geometry, NoMitigation, RowId, TimePs, PS_PER_US};
+use mithril_memctrl::{
+    MappedAddr, McAction, McConfig, McMitigation, MemRequest, MemoryController, NoMcMitigation,
+    RfmMode, SchedulerKind,
+};
+use proptest::prelude::*;
+
+type Req = (usize, u64, u64, bool, usize, u64);
+
+/// Deterministic ARR-issuing mitigation: refresh neighbours of every k-th
+/// activation (a de-randomized PARA).
+struct ArrEveryK {
+    k: u64,
+    seen: u64,
+}
+
+impl McMitigation for ArrEveryK {
+    fn on_activate(&mut self, bank: usize, row: RowId, _thread: usize, _now: TimePs) -> McAction {
+        self.seen += 1;
+        if self.seen.is_multiple_of(self.k) {
+            McAction::Arr {
+                bank,
+                victims: vec![row.saturating_sub(1), row + 1],
+            }
+        } else {
+            McAction::None
+        }
+    }
+    fn may_throttle(&self) -> bool {
+        false
+    }
+    fn name(&self) -> &'static str {
+        "arr-every-k"
+    }
+}
+
+/// Deterministic throttling mitigation: delays even threads' ACTs by a
+/// bank-dependent amount (exercises the event core's conservative
+/// recompute-every-step fallback).
+struct DelayEvenThreads;
+
+impl McMitigation for DelayEvenThreads {
+    fn on_activate(&mut self, _bank: usize, _row: RowId, _thread: usize, _now: TimePs) -> McAction {
+        McAction::None
+    }
+    fn activate_allowed_at(&self, bank: usize, _row: RowId, thread: usize, now: TimePs) -> TimePs {
+        if thread.is_multiple_of(2) {
+            now + (bank as TimePs % 3 + 1) * 50_000
+        } else {
+            now
+        }
+    }
+    fn name(&self) -> &'static str {
+        "delay-even-threads"
+    }
+}
+
+fn build(
+    geometry: Geometry,
+    cfg: McConfig,
+    mitigation: Box<dyn McMitigation>,
+    kind: SchedulerKind,
+) -> MemoryController {
+    let device = DramDevice::new(geometry, Ddr5Timing::ddr5_4800(), 100_000, 1, |_| {
+        Box::new(NoMitigation)
+    });
+    let mut mc = MemoryController::with_scheduler(device, cfg, mitigation, kind);
+    mc.record_commands(true);
+    mc
+}
+
+/// Drives both cores through the same enqueue/advance interleaving and
+/// asserts every observable output matches.
+fn assert_cores_agree(
+    geometry: Geometry,
+    cfg: McConfig,
+    mk_mitigation: impl Fn() -> Box<dyn McMitigation>,
+    reqs: &[Req],
+) {
+    let mut event = build(geometry, cfg, mk_mitigation(), SchedulerKind::EventQueue);
+    let mut naive = build(geometry, cfg, mk_mitigation(), SchedulerKind::NaiveRescan);
+
+    let nbanks = geometry.banks_total();
+    let mut done_event = Vec::new();
+    let mut done_naive = Vec::new();
+    let mut now = 0u64;
+    for (i, &(bank, row, col, is_write, thread, gap)) in reqs.iter().enumerate() {
+        now += gap * PS_PER_US / 8;
+        let addr = MappedAddr {
+            channel: mithril_dram::ChannelId(0),
+            bank: bank % nbanks,
+            row,
+            col,
+        };
+        let req = if is_write {
+            MemRequest::write(i as u64, addr, thread, now)
+        } else {
+            MemRequest::read(i as u64, addr, thread, now)
+        };
+        event.enqueue(req);
+        naive.enqueue(req);
+        // Interleave advances mid-stream (the simulator's intra-epoch
+        // relaxation pattern) so candidates go stale between fences.
+        if i % 16 == 15 {
+            event.advance_until_into(now, &mut done_event);
+            naive.advance_until_into(now, &mut done_naive);
+        }
+    }
+    let horizon = now + 4_000 * PS_PER_US;
+    event.advance_until_into(horizon, &mut done_event);
+    naive.advance_until_into(horizon, &mut done_naive);
+
+    assert_eq!(event.pending(), 0, "event core lost requests");
+    assert_eq!(naive.pending(), 0, "naive core lost requests");
+    assert_eq!(done_event, done_naive, "completion streams diverge");
+    assert_eq!(event.stats(), naive.stats(), "controller stats diverge");
+    assert_eq!(
+        event.device().stats(),
+        naive.device().stats(),
+        "device stats diverge"
+    );
+    assert_eq!(
+        event.device().max_disturbance(),
+        naive.device().max_disturbance(),
+        "oracle disturbance diverges"
+    );
+    let log_event = event.take_command_log();
+    let log_naive = naive.take_command_log();
+    assert_eq!(log_event.len(), log_naive.len(), "command counts diverge");
+    for (i, (e, n)) in log_event.iter().zip(&log_naive).enumerate() {
+        assert_eq!(e, n, "command {i} diverges");
+    }
+}
+
+/// Arbitrary request batches: (bank, row, col, is_write, thread, gap).
+fn batches(max_len: usize) -> impl Strategy<Value = Vec<Req>> {
+    prop::collection::vec(
+        (
+            0usize..64,
+            0u64..256,
+            0u64..64,
+            any::<bool>(),
+            0usize..8,
+            0u64..6,
+        ),
+        1..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Default geometry (1 rank x 32 banks), standard RFM, BLISS on.
+    #[test]
+    fn random_traffic_matches(reqs in batches(160)) {
+        let cfg = McConfig {
+            rfm_mode: RfmMode::Standard,
+            rfm_th: 8,
+            ..Default::default()
+        };
+        assert_cores_agree(
+            Geometry::default(),
+            cfg,
+            || Box::new(NoMcMitigation),
+            &reqs,
+        );
+    }
+
+    /// Two ranks (staggered REF, per-rank tRRD/tFAW), Mithril+ MRR
+    /// elision, BLISS off (pure FR-FCFS).
+    #[test]
+    fn two_rank_mrr_elision_matches(reqs in batches(120)) {
+        let geometry = Geometry {
+            ranks: 2,
+            ..Geometry::default()
+        };
+        let cfg = McConfig {
+            rfm_mode: RfmMode::MrrElision,
+            rfm_th: 6,
+            bliss: None,
+            ..Default::default()
+        };
+        assert_cores_agree(geometry, cfg, || Box::new(NoMcMitigation), &reqs);
+    }
+
+    /// MC-side ARR mitigation injecting maintenance mid-stream.
+    #[test]
+    fn arr_mitigation_matches(reqs in batches(120), k in 2u64..6) {
+        assert_cores_agree(
+            Geometry::default(),
+            McConfig::default(),
+            || Box::new(ArrEveryK { k, seen: 0 }),
+            &reqs,
+        );
+    }
+
+    /// Throttling mitigation: the event core must fall back to
+    /// recompute-every-step and still match the naive core exactly.
+    #[test]
+    fn throttling_mitigation_matches(reqs in batches(100)) {
+        assert_cores_agree(
+            Geometry::default(),
+            McConfig::default(),
+            || Box::new(DelayEvenThreads),
+            &reqs,
+        );
+    }
+}
+
+/// Adversarial double-sided hammer plus a conflicting victim stream on the
+/// per-channel view of the paper's 2-channel Table III system: long
+/// same-bank runs maximize row-hit/precharge churn and RFM pressure.
+#[test]
+fn adversarial_hammer_matches_table_iii_channel() {
+    let geometry = Geometry::table_iii_system().channel_view();
+    let mut reqs = Vec::new();
+    for i in 0..400u64 {
+        let row = if i.is_multiple_of(2) { 100 } else { 102 }; // double-sided pair
+        reqs.push((0usize, row, i % 4, false, 0usize, 0u64));
+        if i % 5 == 0 {
+            // Victim-row reads on the same bank, different row: forces
+            // precharge/activate conflicts against the hammer stream.
+            reqs.push((0usize, 101, 0, false, 1usize, 0u64));
+        }
+        if i % 7 == 0 {
+            // Background traffic on a sibling bank of the same rank
+            // (tRRD/tFAW interaction with the rank-floor clamp).
+            reqs.push((1usize, i % 64, 0, i % 3 == 0, 2usize, 1u64));
+        }
+    }
+    let cfg = McConfig {
+        rfm_mode: RfmMode::Standard,
+        rfm_th: 16,
+        ..Default::default()
+    };
+    assert_cores_agree(geometry, cfg, || Box::new(NoMcMitigation), &reqs);
+}
+
+/// Empty-queue idle advance: both cores issue exactly the same refresh
+/// schedule with no demand traffic.
+#[test]
+fn idle_refresh_schedule_matches() {
+    let geometry = Geometry {
+        ranks: 2,
+        ..Geometry::default()
+    };
+    assert_cores_agree(
+        geometry,
+        McConfig::default(),
+        || Box::new(NoMcMitigation),
+        &[],
+    );
+}

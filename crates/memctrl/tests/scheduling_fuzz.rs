@@ -5,11 +5,17 @@
 //! request streams is itself a strong test: any scheduling bug that emits
 //! a command too early aborts the run.
 
-use mithril_dram::{Ddr5Timing, DramDevice, Geometry, NoMitigation, PS_PER_US};
+use mithril_dram::{Ddr5Timing, DramDevice, Geometry, NoMitigation, TimePs, PS_PER_US};
 use mithril_memctrl::{
-    MappedAddr, McConfig, MemRequest, MemoryController, NoMcMitigation, RfmMode,
+    Completion, MappedAddr, McConfig, MemRequest, MemoryController, NoMcMitigation, RfmMode,
 };
 use proptest::prelude::*;
+
+fn drain(mc: &mut MemoryController, end: TimePs) -> Vec<Completion> {
+    let mut out = Vec::new();
+    mc.advance_until_into(end, &mut out);
+    out
+}
 
 fn controller(rfm_mode: RfmMode, rfm_th: u64) -> MemoryController {
     let geometry = Geometry::default();
@@ -58,7 +64,7 @@ proptest! {
             mc.enqueue(req);
         }
         // Long enough for any queue to drain incl. refresh interference.
-        let done = mc.advance_until(now + 2_000 * PS_PER_US);
+        let done = drain(&mut mc, now + 2_000 * PS_PER_US);
         prop_assert_eq!(done.len(), reqs.len(), "requests lost");
         prop_assert_eq!(mc.pending(), 0);
         // Read data can never appear before the minimal pipeline latency.
@@ -83,7 +89,7 @@ proptest! {
             };
             mc.enqueue(req);
         }
-        mc.advance_until(4_000 * PS_PER_US);
+        drain(&mut mc, 4_000 * PS_PER_US);
         prop_assert_eq!(mc.pending(), 0);
         let stats = mc.stats();
         // Total RFMs bounded by total ACTs / RFMTH (+1 per bank slack is
@@ -104,7 +110,7 @@ proptest! {
         }
         let t = Ddr5Timing::ddr5_4800();
         let horizon = 20 * t.trefi;
-        mc.advance_until(horizon);
+        drain(&mut mc, horizon);
         // All 20 due refreshes happened (the 20th lands exactly at the
         // horizon; allow it to be pending).
         prop_assert!(mc.stats().refs >= 19, "refs = {}", mc.stats().refs);

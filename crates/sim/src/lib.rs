@@ -41,6 +41,10 @@ pub use llc::{Llc, LlcAccess, LlcConfig};
 pub use metrics::{geomean, ChannelMetrics, Metrics};
 pub use system::{Scheme, System, SystemConfig};
 
+// Re-exported so benches and the runner can select the controller's
+// scheduler core without a direct memctrl dependency.
+pub use mithril_memctrl::SchedulerKind;
+
 // Re-exported so scenario plumbing (the runner) can configure fault
 // campaigns and read their counters without a direct dependency.
 pub use mithril_dram::FaultStats;

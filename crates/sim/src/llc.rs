@@ -58,7 +58,12 @@ struct Line {
 /// ```
 #[derive(Debug)]
 pub struct Llc {
-    sets: Vec<Vec<Line>>,
+    /// All lines in one flat arena, `ways` slots per set; `lens[set]` of
+    /// them are live. One contiguous block keeps the per-access tag scan
+    /// free of pointer-chasing — this is the hottest shared structure in
+    /// the system loop.
+    lines: Vec<Line>,
+    lens: Vec<u8>,
     set_mask: u64,
     ways: usize,
     /// Outstanding fills: line address → dirty-on-fill flag.
@@ -78,8 +83,17 @@ impl Llc {
         assert!(config.ways > 0, "ways must be non-zero");
         let sets = config.size_bytes / config.line_bytes / config.ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(config.ways <= u8::MAX as usize, "ways must fit in u8");
         Self {
-            sets: vec![Vec::with_capacity(config.ways); sets],
+            lines: vec![
+                Line {
+                    tag: 0,
+                    dirty: false,
+                    lru: 0,
+                };
+                sets * config.ways
+            ],
+            lens: vec![0; sets],
             set_mask: sets as u64 - 1,
             ways: config.ways,
             mshr: FastHashMap::default(),
@@ -93,7 +107,9 @@ impl Llc {
     pub fn access(&mut self, line_addr: u64, is_write: bool) -> LlcAccess {
         self.clock += 1;
         let set = (line_addr & self.set_mask) as usize;
-        if let Some(line) = self.sets[set].iter_mut().find(|l| l.tag == line_addr) {
+        let base = set * self.ways;
+        let live = &mut self.lines[base..base + self.lens[set] as usize];
+        if let Some(line) = live.iter_mut().find(|l| l.tag == line_addr) {
             line.lru = self.clock;
             line.dirty |= is_write;
             self.hits += 1;
@@ -114,28 +130,34 @@ impl Llc {
         let dirty = self.mshr.remove(&line_addr).unwrap_or(false);
         let set = (line_addr & self.set_mask) as usize;
         self.clock += 1;
-        let lines = &mut self.sets[set];
-        if lines.iter().any(|l| l.tag == line_addr) {
+        let base = set * self.ways;
+        let len = self.lens[set] as usize;
+        let live = &mut self.lines[base..base + len];
+        if live.iter().any(|l| l.tag == line_addr) {
             return None; // already filled (rare double-fill)
         }
         let mut writeback = None;
-        if lines.len() == self.ways {
-            // Evict the LRU way.
-            let (victim_idx, _) = lines
+        let slot = if len == self.ways {
+            // Evict the LRU way (LRU stamps are unique, so this victim is
+            // the same one the nested-Vec layout would have picked).
+            let (victim_idx, victim) = live
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, l)| l.lru)
                 .expect("full set");
-            let victim = lines.swap_remove(victim_idx);
             if victim.dirty {
                 writeback = Some(victim.tag);
             }
-        }
-        lines.push(Line {
+            base + victim_idx
+        } else {
+            self.lens[set] += 1;
+            base + len
+        };
+        self.lines[slot] = Line {
             tag: line_addr,
             dirty,
             lru: self.clock,
-        });
+        };
         writeback
     }
 

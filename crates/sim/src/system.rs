@@ -12,6 +12,7 @@ use mithril_dram::{
 use mithril_faults::{FaultConfig, FaultPlan, FaultyEngine};
 use mithril_memctrl::{
     AddressMapping, McConfig, McMitigation, MemRequest, MemoryController, NoMcMitigation, RfmMode,
+    SchedulerKind,
 };
 use mithril_workloads::{ThreadSet, TraceOp};
 
@@ -91,6 +92,10 @@ pub struct SystemConfig {
     pub blast_radius: u64,
     /// The protection scheme.
     pub scheme: Scheme,
+    /// Controller scheduler core. The default event-driven core and the
+    /// naive rescan are decision-identical (differentially tested); the
+    /// naive core exists for reference measurements and cross-checks.
+    pub scheduler: SchedulerKind,
     /// RNG seed for probabilistic schemes.
     pub seed: u64,
     /// Simulation epoch length (core/MC synchronization quantum).
@@ -116,6 +121,7 @@ impl SystemConfig {
             flip_th: 6_250,
             blast_radius: 1,
             scheme: Scheme::None,
+            scheduler: SchedulerKind::EventQueue,
             seed: 1,
             epoch_ps: 500_000,
             attackable_banks: 22,
@@ -157,8 +163,12 @@ pub struct System {
     llc: Llc,
     mcs: Vec<MemoryController>,
     mapping: AddressMapping,
-    next_req_id: u64,
-    requests: FastHashMap<u64, ReqKind>,
+    /// In-flight request slab: the request id *is* the slot index, slots
+    /// recycle through `free_req_ids`. Scheduling decisions never depend
+    /// on id values (FR-FCFS keys on arrival/queue position), so reuse is
+    /// invisible to the command stream.
+    requests: Vec<Option<ReqKind>>,
+    free_req_ids: Vec<u64>,
     /// line address → threads waiting for the fill.
     waiters: FastHashMap<u64, Vec<usize>>,
     /// Reusable completion buffer for [`MemoryController::advance_until_into`].
@@ -190,8 +200,8 @@ impl System {
             llc: Llc::new(config.llc),
             mcs,
             mapping: config.mapping(),
-            next_req_id: 0,
-            requests: FastHashMap::default(),
+            requests: Vec::new(),
+            free_req_ids: Vec::new(),
             waiters: FastHashMap::default(),
             completions_scratch: Vec::new(),
             config,
@@ -295,7 +305,12 @@ impl System {
                 })
             }
         };
-        Ok(MemoryController::new(device, mc_cfg, mitigation))
+        Ok(MemoryController::with_scheduler(
+            device,
+            mc_cfg,
+            mitigation,
+            config.scheduler,
+        ))
     }
 
     /// Runs until every core retires `insts_per_core` instructions or the
@@ -377,7 +392,14 @@ impl System {
             self.mcs[ch].advance_until_into(fence, &mut completions);
             for &c in &completions {
                 any = true;
-                match self.requests.remove(&c.request_id) {
+                let kind = self
+                    .requests
+                    .get_mut(c.request_id as usize)
+                    .and_then(Option::take);
+                if kind.is_some() {
+                    self.free_req_ids.push(c.request_id);
+                }
+                match kind {
                     Some(ReqKind::Fill { line_addr }) => {
                         if let Some(wb_line) = self.llc.fill(line_addr) {
                             let id = self.alloc_request(ReqKind::Writeback);
@@ -403,10 +425,17 @@ impl System {
     }
 
     fn alloc_request(&mut self, kind: ReqKind) -> u64 {
-        let id = self.next_req_id;
-        self.next_req_id += 1;
-        self.requests.insert(id, kind);
-        id
+        match self.free_req_ids.pop() {
+            Some(id) => {
+                self.requests[id as usize] = Some(kind);
+                id
+            }
+            None => {
+                let id = self.requests.len() as u64;
+                self.requests.push(Some(kind));
+                id
+            }
+        }
     }
 
     fn collect_metrics(&self) -> Metrics {
@@ -636,6 +665,51 @@ mod tests {
         assert_eq!(ma.counters.acts, mb.counters.acts);
         assert_eq!(ma.sim_time_ps, mb.sim_time_ps);
         assert_eq!(ma.max_disturbance, mb.max_disturbance);
+    }
+
+    /// End-to-end decision identity: a full System run must produce
+    /// identical metrics under either scheduler core, on 1- and 2-channel
+    /// geometries and across scheme styles (none, RFM, ARR, throttling).
+    #[test]
+    fn scheduler_cores_agree_end_to_end() {
+        let schemes = [
+            Scheme::None,
+            Scheme::Mithril {
+                rfm_th: 64,
+                ad_th: None,
+                plus: false,
+            },
+            Scheme::Para,
+            Scheme::BlockHammer { nbl_scale: 6 },
+        ];
+        for channels in [1usize, 2] {
+            for scheme in schemes {
+                let run = |scheduler: SchedulerKind| {
+                    let mut cfg = quick_config(scheme);
+                    cfg.geometry.channels = channels;
+                    cfg.scheduler = scheduler;
+                    let mut sys = System::new(cfg, mix_high(4, 11)).unwrap();
+                    sys.run(8_000, u64::MAX)
+                };
+                let ev = run(SchedulerKind::EventQueue);
+                let na = run(SchedulerKind::NaiveRescan);
+                let tag = format!("{}ch/{}", channels, scheme.name());
+                assert_eq!(ev.total_insts, na.total_insts, "insts diverge ({tag})");
+                assert_eq!(ev.sim_time_ps, na.sim_time_ps, "time diverges ({tag})");
+                assert_eq!(ev.counters, na.counters, "counters diverge ({tag})");
+                assert_eq!(ev.rfms, na.rfms, "rfms diverge ({tag})");
+                assert_eq!(ev.arrs, na.arrs, "arrs diverge ({tag})");
+                assert_eq!(
+                    ev.throttled_acts, na.throttled_acts,
+                    "throttles diverge ({tag})"
+                );
+                assert_eq!(
+                    ev.max_disturbance, na.max_disturbance,
+                    "disturbance diverges ({tag})"
+                );
+                assert_eq!(ev.aggregate_ipc, na.aggregate_ipc, "IPC diverges ({tag})");
+            }
+        }
     }
 
     #[test]

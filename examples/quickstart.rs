@@ -7,6 +7,8 @@
 
 use mithril_repro::core::{MithrilConfig, MithrilScheme};
 use mithril_repro::dram::{AttackHarness, Ddr5Timing};
+use mithril_repro::sim::{SchedulerKind, Scheme, System, SystemConfig};
+use mithril_repro::workloads::mix_high;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Pick the protection target: the Row Hammer threshold of the DRAM
@@ -72,7 +74,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         per_sec / 1e6
     );
 
-    // 6. Beyond synthetic generators: capture and replay traces with the
+    // 6. Full-system rate: the number above is the per-bank attack harness;
+    //    the figure sweeps actually experience is the full System loop
+    //    (cores + LLC + controllers + DRAM) on the event-driven controller
+    //    core. BENCH_table.json's `sim_ops_per_sec` section tracks this
+    //    against the naive-rescan reference scheduler.
+    let mut cfg = SystemConfig::table_iii();
+    cfg.cores = 4;
+    cfg.scheme = Scheme::None;
+    cfg.scheduler = SchedulerKind::EventQueue;
+    let mut sys = System::new(cfg, mix_high(4, 11))?;
+    let started = std::time::Instant::now();
+    let metrics = sys.run(60_000, u64::MAX);
+    let dt = started.elapsed().as_secs_f64().max(1e-9);
+    println!(
+        "\nEnd-to-end system rate (event-driven controller core, 4 cores):\n  \
+         {:.2}M simulated activations/sec, {:.2}M instructions/sec",
+        metrics.counters.acts as f64 / dt / 1e6,
+        metrics.total_insts as f64 / dt / 1e6
+    );
+
+    // 7. Beyond synthetic generators: capture and replay traces with the
     //    `trace` CLI (see examples/trace_roundtrip.rs for the library API).
     println!("\nTrace capture & replay quickstart:");
     println!("  trace record  --workload mix-high --cores 4 --insts 20000 --out mix.mtrc");
