@@ -4,8 +4,13 @@
 //! trajectory.
 //!
 //! ```text
-//! cargo run --release -p mithril-bench --bin perf_report [-- --out PATH]
+//! cargo run --release -p mithril-bench --bin perf_report [-- --out PATH] [-- --obs]
 //! ```
+//!
+//! With `--obs` the report additionally runs one observed simulation
+//! (ring sinks + cycle-domain sampler attached) and records its exact
+//! per-kind event counts plus the observed vs unobserved activation rate
+//! — a quick read on both the event mix and the instrumentation's cost.
 //!
 //! The workload is the `table_hot_path` criterion stream: 30% hot-row hits,
 //! 70% cold misses over a 4×K row universe, one RFM every 64 ACTs — the
@@ -15,7 +20,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use mithril::{MithrilTable, NaiveTable};
-use mithril_sim::{SchedulerKind, Scheme, System, SystemConfig};
+use mithril_obs::KIND_NAMES;
+use mithril_sim::{ObsConfig, SchedulerKind, Scheme, System, SystemConfig};
 use mithril_trackers::{FrequencyTracker, NaiveSpaceSaving, SpaceSaving};
 use mithril_workloads::mix_high;
 
@@ -187,6 +193,56 @@ fn bench_sim() -> Vec<SimRow> {
         .collect()
 }
 
+/// One observed simulation (ring sinks + sampler) under the default
+/// mithril scheme: exact per-kind event counts, the number of time-series
+/// rows sampled, and observed vs unobserved acts/s. The counts are
+/// deterministic (fixed seed); the rates are measurements.
+struct ObsSummary {
+    counts: [u64; mithril_obs::KINDS],
+    series_rows: usize,
+    observed_acts_per_sec: f64,
+    plain_acts_per_sec: f64,
+}
+
+fn bench_obs() -> ObsSummary {
+    let scheme = Scheme::Mithril {
+        rfm_th: 64,
+        ad_th: None,
+        plus: false,
+    };
+    let mut cfg = SystemConfig::table_iii();
+    cfg.cores = 4;
+    cfg.scheme = scheme;
+    let mut sys =
+        System::with_obs(cfg, mix_high(4, 11), ObsConfig::default()).expect("valid scheme config");
+    let t0 = Instant::now();
+    let m = sys.run(SIM_INSTS, u64::MAX);
+    let observed = m.counters.acts as f64 / t0.elapsed().as_secs_f64();
+    let capture = sys.take_obs();
+    let (plain, _) = sim_acts_per_sec(scheme, SchedulerKind::EventQueue, SIM_INSTS);
+    ObsSummary {
+        counts: capture.total_counts(),
+        series_rows: capture.channels.iter().map(|c| c.rows.len()).sum(),
+        observed_acts_per_sec: observed,
+        plain_acts_per_sec: plain,
+    }
+}
+
+fn obs_summary_json(o: &ObsSummary) -> String {
+    let counts: Vec<String> = KIND_NAMES
+        .iter()
+        .zip(o.counts.iter())
+        .map(|(name, c)| format!("\"{name}\": {c}"))
+        .collect();
+    format!(
+        "{{\n    \"counts\": {{{}}},\n    \"series_rows\": {},\n    \"observed_acts_per_sec\": {:.0},\n    \"plain_acts_per_sec\": {:.0}\n  }}",
+        counts.join(", "),
+        o.series_rows,
+        o.observed_acts_per_sec,
+        o.plain_acts_per_sec
+    )
+}
+
 fn sim_rows_to_json(rows: &[SimRow]) -> String {
     let mut s = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
@@ -230,6 +286,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_table.json".to_string());
+    let with_obs = args.iter().any(|a| a == "--obs");
 
     println!("# Mithril table hot path: bucket vs naive ({OPS} ACTs, RFM every {RFM_EVERY})");
     println!(
@@ -279,8 +336,29 @@ fn main() {
         );
     }
 
+    let obs_section = if with_obs {
+        let o = bench_obs();
+        println!("\n# Observability summary: one observed run (mithril, 4 cores, mix-high)");
+        println!(
+            "# observed {:.0} acts/s vs plain {:.0} acts/s ({:.1}% overhead); {} series rows",
+            o.observed_acts_per_sec,
+            o.plain_acts_per_sec,
+            (1.0 - o.observed_acts_per_sec / o.plain_acts_per_sec) * 100.0,
+            o.series_rows
+        );
+        for (name, c) in KIND_NAMES.iter().zip(o.counts.iter()) {
+            if *c > 0 {
+                println!("{name:>20} {c:>12}");
+            }
+        }
+        format!(",\n  \"obs_summary\": {}", obs_summary_json(&o))
+    } else {
+        String::new()
+    };
+
     let json = format!(
-        "{{\n  \"ops_per_run\": {OPS},\n  \"rfm_every\": {RFM_EVERY},\n  \"mithril_table\": {},\n  \"space_saving\": {},\n  \"sim_insts_per_core\": {SIM_INSTS},\n  \"sim_ops_per_sec\": {}\n}}\n",
+        "{{\n  \"format_version\": {},\n  \"ops_per_run\": {OPS},\n  \"rfm_every\": {RFM_EVERY},\n  \"mithril_table\": {},\n  \"space_saving\": {},\n  \"sim_insts_per_core\": {SIM_INSTS},\n  \"sim_ops_per_sec\": {}{obs_section}\n}}\n",
+        mithril_obs::FORMAT_VERSION,
         rows_to_json(&tables),
         rows_to_json(&trackers),
         sim_rows_to_json(&sim)

@@ -160,6 +160,10 @@ impl DramMitigation for MithrilScheme {
     fn fault_surface(&mut self) -> Option<&mut dyn FaultSurface> {
         Some(self)
     }
+
+    fn observe_tracker(&self) -> Option<mithril_obs::TrackerObservation> {
+        Some(mithril_obs::Observe::observe(&self.table))
+    }
 }
 
 /// The engine's injectable state is its counter table: soft errors land

@@ -241,6 +241,8 @@ pub struct MithrilTable<C: Counter = u16> {
     /// The shared Stream-Summary bucket list over the slots.
     list: BucketList<C>,
     capacity: usize,
+    /// Cumulative minimum-entry evictions (observability counter).
+    evictions: u64,
 }
 
 impl<C: Counter> MithrilTable<C> {
@@ -257,6 +259,7 @@ impl<C: Counter> MithrilTable<C> {
             index: fast_map_with_capacity(capacity),
             list: BucketList::with_capacity(capacity),
             capacity,
+            evictions: 0,
         }
     }
 
@@ -346,7 +349,14 @@ impl<C: Counter> MithrilTable<C> {
         self.index.remove(&old);
         self.addrs[victim as usize] = row;
         self.index.insert(row, victim);
+        self.evictions += 1;
         self.increment(victim);
+    }
+
+    /// Cumulative minimum-entry evictions since construction — the
+    /// Space-Saving replacement pressure the observability layer tracks.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Processes one RFM command: greedy selection of the `MaxPtr` entry and
@@ -511,6 +521,23 @@ impl<C: Counter> MithrilTable<C> {
         };
         let counts = &self.counts;
         self.list.rebuild(|s| counts[s as usize], |v| v.diff(floor));
+    }
+}
+
+impl<C: Counter> mithril_obs::Observe for MithrilTable<C> {
+    /// O(1) snapshot for the cycle-domain sampler. The wrapping hardware
+    /// counters have no absolute value, so min/max are reported *relative
+    /// to the table floor*: `min` is always `0` and `max` is the spread —
+    /// exactly the quantity the adaptive-refresh decision reads.
+    fn observe(&self) -> mithril_obs::TrackerObservation {
+        mithril_obs::TrackerObservation {
+            len: self.len() as u64,
+            capacity: self.capacity as u64,
+            min: 0,
+            max: self.spread(),
+            evictions: self.evictions,
+            invalidations: (self.len() - self.index.len()) as u64,
+        }
     }
 }
 

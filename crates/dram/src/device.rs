@@ -123,6 +123,20 @@ impl DramDevice {
         self.engines[bank].as_ref()
     }
 
+    /// Aggregate tracker snapshot across all bank engines (observability
+    /// probe): per-bank observations merged per
+    /// [`mithril_obs::TrackerObservation::merge`]. Engines without a
+    /// tracker contribute nothing.
+    pub fn observe_trackers(&self) -> mithril_obs::TrackerObservation {
+        let mut agg = mithril_obs::TrackerObservation::default();
+        for engine in &self.engines {
+            if let Some(obs) = engine.observe_tracker() {
+                agg.merge(obs);
+            }
+        }
+        agg
+    }
+
     /// Worst victim disturbance across all banks (safety metric).
     pub fn max_disturbance(&self) -> u64 {
         self.oracles

@@ -15,6 +15,8 @@
 //! `tREFW(1 − tRFC/tREFI)/tRC` of the paper's analysis, so worst-case
 //! attacks measured on this harness are directly comparable to the bound M.
 
+use mithril_obs::{Event, EventSink, NullSink};
+
 use crate::energy::EnergyCounters;
 use crate::mitigation::{DramMitigation, RfmOutcome};
 use crate::oracle::RowHammerOracle;
@@ -41,7 +43,7 @@ use crate::types::{RowId, TimePs};
 /// assert!(acts < t.act_budget_per_trefw());
 /// assert!(acts > t.act_budget_per_trefw() * 9 / 10);
 /// ```
-pub struct AttackHarness {
+pub struct AttackHarness<S: EventSink = NullSink> {
     timing: Ddr5Timing,
     engine: Box<dyn DramMitigation>,
     oracle: RowHammerOracle,
@@ -59,12 +61,11 @@ pub struct AttackHarness {
     rfms_elided: u64,
     /// Reusable RFM outcome buffer (see `DramMitigation::on_rfm_into`).
     rfm_scratch: RfmOutcome,
+    /// Event sink; `NullSink` (the default) compiles every emission out.
+    obs: S,
 }
 
 impl AttackHarness {
-    /// Default number of rows in the harness bank.
-    pub const DEFAULT_ROWS: u64 = 65_536;
-
     /// Creates a harness around `engine` with the given RFM threshold and
     /// oracle FlipTH, over one tREFW window.
     ///
@@ -93,6 +94,38 @@ impl AttackHarness {
         rows: u64,
         blast_radius: u64,
     ) -> Self {
+        Self::with_obs(
+            timing,
+            engine,
+            rfm_th,
+            flip_th,
+            rows,
+            blast_radius,
+            NullSink,
+        )
+    }
+}
+
+impl<S: EventSink> AttackHarness<S> {
+    /// Default number of rows in the harness bank.
+    pub const DEFAULT_ROWS: u64 = 65_536;
+
+    /// Creates an instrumented harness emitting events into `obs`
+    /// (timestamped with the harness clock; the single bank is bank 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rfm_th` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_obs(
+        timing: Ddr5Timing,
+        engine: Box<dyn DramMitigation>,
+        rfm_th: u64,
+        flip_th: u64,
+        rows: u64,
+        blast_radius: u64,
+        obs: S,
+    ) -> Self {
         assert!(rfm_th > 0, "rfm_th must be non-zero");
         Self {
             timing,
@@ -111,6 +144,7 @@ impl AttackHarness {
             rfms_issued: 0,
             rfms_elided: 0,
             rfm_scratch: RfmOutcome::default(),
+            obs,
         }
     }
 
@@ -134,7 +168,23 @@ impl AttackHarness {
         }
         // One closed-page row cycle.
         self.oracle.on_activate(row);
-        self.engine.on_activate(row);
+        if S::ENABLED {
+            let before = self.tracker_evictions();
+            self.engine.on_activate(row);
+            self.obs.emit(self.now, Event::Act { bank: 0, row });
+            let evicted = self.tracker_evictions() - before;
+            if evicted > 0 {
+                self.obs.emit(
+                    self.now,
+                    Event::TableEvict {
+                        bank: 0,
+                        evictions: evicted,
+                    },
+                );
+            }
+        } else {
+            self.engine.on_activate(row);
+        }
         self.counters.acts += 1;
         self.counters.pres += 1;
         self.now += self.timing.trc;
@@ -186,11 +236,27 @@ impl AttackHarness {
         self.engine.as_ref()
     }
 
+    /// The event sink (for collectors to drain after a run).
+    pub fn obs(&self) -> &S {
+        &self.obs
+    }
+
+    /// Cumulative tracker evictions, `0` for engines without a tracker.
+    fn tracker_evictions(&self) -> u64 {
+        self.engine
+            .observe_tracker()
+            .map(|o| o.evictions)
+            .unwrap_or(0)
+    }
+
     fn issue_rfm(&mut self) {
         if self.mrr_elision {
             self.counters.mrr_commands += 1;
             if !self.engine.refresh_pending() {
                 self.rfms_elided += 1;
+                if S::ENABLED {
+                    self.obs.emit(self.now, Event::RfmElided { bank: 0 });
+                }
                 return; // MC skips the RFM entirely: no time, no energy.
             }
         }
@@ -202,6 +268,17 @@ impl AttackHarness {
             self.oracle.on_row_refreshed(victim);
         }
         self.counters.preventive_rows += outcome.refreshed_victims.len() as u64;
+        if S::ENABLED {
+            self.obs.emit(
+                self.now,
+                Event::Rfm {
+                    bank: 0,
+                    aggressor: outcome.selected_aggressor,
+                    victims: outcome.refreshed_victims.len() as u32,
+                    skipped: outcome.skipped,
+                },
+            );
+        }
         self.rfm_scratch = outcome;
         self.now += self.timing.trfm;
     }
@@ -214,13 +291,16 @@ impl AttackHarness {
             self.engine.on_auto_refresh(lo, hi);
             self.counters.auto_refresh_rows += hi - lo;
             self.ref_ptr = if hi >= self.rows { 0 } else { hi };
+            if S::ENABLED {
+                self.obs.emit(self.now, Event::Ref { rank: 0, banks: 1 });
+            }
             self.now += self.timing.trfc;
             self.next_ref += self.timing.trefi;
         }
     }
 }
 
-impl std::fmt::Debug for AttackHarness {
+impl<S: EventSink> std::fmt::Debug for AttackHarness<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AttackHarness")
             .field("engine", &self.engine.name())

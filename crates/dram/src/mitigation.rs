@@ -232,6 +232,14 @@ pub trait DramMitigation {
     fn fault_stats(&self) -> Option<FaultStats> {
         None
     }
+
+    /// O(1) snapshot of the engine's tracker structure, for the
+    /// observability sampler (`mithril-obs`). Engines backed by a
+    /// Stream-Summary table override this; the default — no tracker —
+    /// means the sampler records an all-zero observation for the bank.
+    fn observe_tracker(&self) -> Option<mithril_obs::TrackerObservation> {
+        None
+    }
 }
 
 /// The unit mitigation: tracks nothing, refreshes nothing.

@@ -59,6 +59,6 @@ proptest! {
         // per window: accumulated disturbance < 2x one-window budget.
         prop_assert!(h.oracle().max_disturbance() < 2 * t.act_budget_per_trefw());
         // And the oracle did see refreshes (full coverage of the bank).
-        prop_assert!(h.counters().auto_refresh_rows >= AttackHarness::DEFAULT_ROWS);
+        prop_assert!(h.counters().auto_refresh_rows >= AttackHarness::<mithril_obs::NullSink>::DEFAULT_ROWS);
     }
 }

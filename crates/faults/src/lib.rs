@@ -322,6 +322,10 @@ impl DramMitigation for FaultyEngine {
     fn fault_stats(&self) -> Option<FaultStats> {
         Some(self.stats)
     }
+
+    fn observe_tracker(&self) -> Option<mithril_obs::TrackerObservation> {
+        self.inner.observe_tracker()
+    }
 }
 
 #[cfg(test)]

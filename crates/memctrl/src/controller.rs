@@ -26,7 +26,8 @@
 
 use std::collections::VecDeque;
 
-use mithril_dram::{BankId, DramDevice, RankId, RowId, TimePs};
+use mithril_dram::{BankId, DramDevice, FaultStats, RankId, RowId, TimePs};
+use mithril_obs::{Event, EventSink, LaneCause, NullSink, TrackerObservation};
 
 use crate::bliss::{Bliss, BlissConfig};
 use crate::mitigation::{McAction, McMitigation};
@@ -287,8 +288,13 @@ enum Pick {
 
 /// One memory channel's controller, owning its [`DramDevice`].
 ///
+/// Generic over an observability sink `S` (default: the disabled
+/// [`NullSink`], under which every `if S::ENABLED` guard folds away and
+/// the controller compiles to the un-instrumented hot path). Construct
+/// with an enabled sink via [`with_obs`](MemoryController::with_obs).
+///
 /// See the crate-level example for typical use.
-pub struct MemoryController {
+pub struct MemoryController<S: EventSink = NullSink> {
     device: DramDevice,
     config: McConfig,
     scheduler: SchedulerKind,
@@ -308,6 +314,16 @@ pub struct MemoryController {
     stats: McStats,
     completions: Vec<Completion>,
     log: Option<Vec<CommandRecord>>,
+    /// The observability sink (zero-sized for [`NullSink`]).
+    obs: S,
+    /// Per-bank cumulative ACT counts (obs-only; empty when disabled).
+    obs_acts_per_bank: Vec<u64>,
+    /// Event-core candidate reuses: active lanes considered from cache
+    /// during selection scans (obs-only).
+    obs_cand_hits: u64,
+    /// Event-core candidate recomputations (dirty-lane refreshes,
+    /// obs-only).
+    obs_cand_invalidations: u64,
 }
 
 impl MemoryController {
@@ -326,6 +342,21 @@ impl MemoryController {
         config: McConfig,
         mitigation: Box<dyn McMitigation>,
         scheduler: SchedulerKind,
+    ) -> Self {
+        MemoryController::with_obs(device, config, mitigation, scheduler, NullSink)
+    }
+}
+
+impl<S: EventSink> MemoryController<S> {
+    /// Like [`with_scheduler`](MemoryController::with_scheduler) but with
+    /// an explicit observability sink, enabling structured event tracing
+    /// on this channel.
+    pub fn with_obs(
+        device: DramDevice,
+        config: McConfig,
+        mitigation: Box<dyn McMitigation>,
+        scheduler: SchedulerKind,
+        obs: S,
     ) -> Self {
         let nbanks = device.geometry().banks_total();
         let nranks = device.geometry().ranks;
@@ -351,9 +382,115 @@ impl MemoryController {
             stats: McStats::default(),
             completions: Vec::new(),
             log: None,
+            obs,
+            obs_acts_per_bank: if S::ENABLED {
+                vec![0; nbanks]
+            } else {
+                Vec::new()
+            },
+            obs_cand_hits: 0,
+            obs_cand_invalidations: 0,
         };
         mc.mark_all_dirty();
         mc
+    }
+
+    /// The observability sink.
+    pub fn obs(&self) -> &S {
+        &self.obs
+    }
+
+    /// Mutable access to the observability sink (draining captured
+    /// events at the end of a run).
+    pub fn obs_mut(&mut self) -> &mut S {
+        &mut self.obs
+    }
+
+    /// Per-bank cumulative ACT counts. Empty when obs is disabled.
+    pub fn obs_bank_acts(&self) -> &[u64] {
+        &self.obs_acts_per_bank
+    }
+
+    /// Event-core candidate-cache counters: `(hits, invalidations)` —
+    /// lanes considered from cache vs. lanes recomputed. Zero when obs is
+    /// disabled or under the naive core.
+    pub fn obs_cand_counters(&self) -> (u64, u64) {
+        (self.obs_cand_hits, self.obs_cand_invalidations)
+    }
+
+    /// Total queued requests, as sampled by the observability probes.
+    pub fn queue_depth(&self) -> u64 {
+        self.pending() as u64
+    }
+
+    /// Aggregate snapshot of every bank engine's tracker structure.
+    pub fn observe_trackers(&self) -> TrackerObservation {
+        self.device.observe_trackers()
+    }
+
+    /// O(1) snapshot of one bank engine's tracker (all-zero when the
+    /// engine exposes none).
+    #[inline]
+    fn tracker_obs(&self, bank: BankId) -> TrackerObservation {
+        self.device
+            .engine(bank)
+            .observe_tracker()
+            .unwrap_or_default()
+    }
+
+    /// One bank engine's fault counters (all-zero when not fault-wrapped).
+    #[inline]
+    fn bank_fault_stats(&self, bank: BankId) -> FaultStats {
+        self.device.engine(bank).fault_stats().unwrap_or_default()
+    }
+
+    /// Emits a lane-invalidation event (obs-on builds only).
+    #[inline]
+    fn obs_lane(&mut self, at: TimePs, bank: BankId, cause: LaneCause) {
+        if S::ENABLED {
+            self.obs.emit(
+                at,
+                Event::LaneInvalidate {
+                    bank: bank as u32,
+                    cause,
+                },
+            );
+        }
+    }
+
+    /// Emits fault inject/detect/repair events for any counter movement
+    /// on `bank`'s engine since `pre` (obs-on builds only; call sites
+    /// guard with `S::ENABLED`).
+    fn obs_fault_deltas(&mut self, at: TimePs, bank: BankId, pre: FaultStats) {
+        let post = self.bank_fault_stats(bank);
+        let injected = post.injected() - pre.injected();
+        if injected > 0 {
+            self.obs.emit(
+                at,
+                Event::FaultInject {
+                    bank: bank as u32,
+                    count: injected,
+                },
+            );
+        }
+        if post.scrub_detections > pre.scrub_detections {
+            self.obs.emit(
+                at,
+                Event::FaultDetect {
+                    bank: bank as u32,
+                    count: post.scrub_detections - pre.scrub_detections,
+                },
+            );
+        }
+        if post.repairs > pre.repairs {
+            self.obs.emit(
+                at,
+                Event::FaultRepair {
+                    bank: bank as u32,
+                    count: post.repairs - pre.repairs,
+                },
+            );
+        }
     }
 
     /// The scheduler core driving this controller.
@@ -383,6 +520,7 @@ impl MemoryController {
             req.addr.bank
         );
         self.mark_dirty(req.addr.bank);
+        self.obs_lane(self.clock, req.addr.bank, LaneCause::Enqueue);
         self.lanes[req.addr.bank].queue.push_back(req);
     }
 
@@ -474,6 +612,9 @@ impl MemoryController {
                         // Blacklist changes reorder request priorities on
                         // every bank.
                         self.mark_all_dirty();
+                        if S::ENABLED {
+                            self.obs.emit(t, Event::BlissClear);
+                        }
                     }
                     self.execute(action, t);
                 }
@@ -518,6 +659,9 @@ impl MemoryController {
             while bits != 0 {
                 let b = (w << 6) + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
+                if S::ENABLED {
+                    self.obs_cand_invalidations += 1;
+                }
                 self.recompute_lane(b);
             }
         }
@@ -622,6 +766,7 @@ impl MemoryController {
             // Throttle releases are `now + delay`: they slide with the
             // clock, so cached activation candidates go stale every step.
             self.mark_all_dirty();
+            self.obs_lane(self.clock, 0, LaneCause::Throttle);
         }
         self.refresh_dirty_candidates();
 
@@ -690,6 +835,9 @@ impl MemoryController {
                 while bits != 0 {
                     let b = (w << 6) + bits.trailing_zeros() as usize;
                     bits &= bits - 1;
+                    if S::ENABLED {
+                        self.obs_cand_hits += 1;
+                    }
                     let lane = &self.lanes[b];
                     let (t, prio) = match lane.cand {
                         Cand::Idle => continue,
@@ -960,11 +1108,22 @@ impl MemoryController {
                 let hi = lo + self.device.geometry().banks_per_rank;
                 // Every bank of the rank went busy for tRFC.
                 self.mark_dirty_range(lo, hi);
+                if S::ENABLED {
+                    self.obs.emit(
+                        now,
+                        Event::Ref {
+                            rank: rank.0 as u32,
+                            banks: (hi - lo) as u32,
+                        },
+                    );
+                    self.obs_lane(now, lo, LaneCause::RefSegment);
+                }
                 self.log_cmd(now, CommandKind::Ref, lo, 0);
             }
             Action::MaintPre { bank } | Action::Pre { bank } => {
                 self.device.issue_precharge(bank, now);
                 self.mark_dirty(bank);
+                self.obs_lane(now, bank, LaneCause::Execute);
                 let kind = if matches!(action, Action::MaintPre { .. }) {
                     CommandKind::MaintPre
                 } else {
@@ -982,15 +1141,44 @@ impl MemoryController {
                         self.lanes[bank].rfm_pending = false;
                         self.lanes[bank].raa = 0;
                         self.mark_dirty(bank);
+                        if S::ENABLED {
+                            self.obs.emit(now, Event::RfmElided { bank: bank as u32 });
+                            self.obs_lane(now, bank, LaneCause::Execute);
+                        }
                         self.log_cmd(now, CommandKind::RfmElided, bank, 0);
                         return;
                     }
                 }
-                let _ = self.device.issue_rfm(bank, now);
+                let pre_faults = if S::ENABLED {
+                    self.bank_fault_stats(bank)
+                } else {
+                    FaultStats::default()
+                };
+                let (aggressor, victims, skipped) = {
+                    let (out, _) = self.device.issue_rfm(bank, now);
+                    (
+                        out.selected_aggressor,
+                        out.refreshed_victims.len() as u32,
+                        out.skipped,
+                    )
+                };
                 self.stats.rfms += 1;
                 self.lanes[bank].rfm_pending = false;
                 self.lanes[bank].raa = 0;
                 self.mark_dirty(bank);
+                if S::ENABLED {
+                    self.obs.emit(
+                        now,
+                        Event::Rfm {
+                            bank: bank as u32,
+                            aggressor,
+                            victims,
+                            skipped,
+                        },
+                    );
+                    self.obs_lane(now, bank, LaneCause::Execute);
+                    self.obs_fault_deltas(now, bank, pre_faults);
+                }
                 self.log_cmd(now, CommandKind::Rfm, bank, 0);
             }
             Action::Arr { bank } => {
@@ -1001,6 +1189,16 @@ impl MemoryController {
                 self.device.issue_arr(bank, &victims, now);
                 self.stats.arrs += 1;
                 self.mark_dirty(bank);
+                if S::ENABLED {
+                    self.obs.emit(
+                        now,
+                        Event::Arr {
+                            bank: bank as u32,
+                            victims: victims.len() as u32,
+                        },
+                    );
+                    self.obs_lane(now, bank, LaneCause::Execute);
+                }
                 self.log_cmd(now, CommandKind::Arr, bank, victims.len() as RowId);
             }
             Action::Column { bank, pos } => {
@@ -1028,12 +1226,14 @@ impl MemoryController {
                     self.stats.total_read_latency += done.saturating_sub(req.arrival);
                 }
                 self.mark_dirty(bank);
+                self.obs_lane(now, bank, LaneCause::Execute);
                 let blacklist_changed = match &mut self.bliss {
                     Some(bl) => bl.on_request_served(req.thread, now),
                     None => false,
                 };
                 if blacklist_changed {
                     self.mark_all_dirty();
+                    self.obs_lane(now, bank, LaneCause::BlissChange);
                 }
                 self.log_cmd(
                     now,
@@ -1058,6 +1258,11 @@ impl MemoryController {
                 throttled,
             } => {
                 let req = self.lanes[bank].queue[pos];
+                let (pre_obs, pre_faults) = if S::ENABLED {
+                    (self.tracker_obs(bank), self.bank_fault_stats(bank))
+                } else {
+                    (TrackerObservation::default(), FaultStats::default())
+                };
                 self.device.issue_activate(bank, req.addr.row, now);
                 self.stats.acts += 1;
                 self.lanes[bank].hits_served = 0;
@@ -1071,6 +1276,37 @@ impl MemoryController {
                     }
                 }
                 self.mark_dirty(bank);
+                if S::ENABLED {
+                    self.obs_acts_per_bank[bank] += 1;
+                    self.obs.emit(
+                        now,
+                        Event::Act {
+                            bank: bank as u32,
+                            row: req.addr.row,
+                        },
+                    );
+                    self.obs_lane(now, bank, LaneCause::Execute);
+                    let post = self.tracker_obs(bank);
+                    if post.evictions > pre_obs.evictions {
+                        self.obs.emit(
+                            now,
+                            Event::TableEvict {
+                                bank: bank as u32,
+                                evictions: post.evictions - pre_obs.evictions,
+                            },
+                        );
+                    }
+                    if post.invalidations > pre_obs.invalidations {
+                        self.obs.emit(
+                            now,
+                            Event::TableInvalidate {
+                                bank: bank as u32,
+                                invalidations: post.invalidations - pre_obs.invalidations,
+                            },
+                        );
+                    }
+                    self.obs_fault_deltas(now, bank, pre_faults);
+                }
                 self.log_cmd(now, CommandKind::Act, bank, req.addr.row);
                 match self
                     .mitigation
@@ -1081,6 +1317,16 @@ impl MemoryController {
                         bank: target,
                         victims,
                     } => {
+                        if S::ENABLED {
+                            self.obs.emit(
+                                now,
+                                Event::MitigationTrigger {
+                                    bank: target as u32,
+                                    victims: victims.len() as u32,
+                                },
+                            );
+                            self.obs_lane(now, target, LaneCause::ArrTarget);
+                        }
                         self.lanes[target].arr_queue.push_back(victims);
                         self.mark_dirty(target);
                     }
@@ -1090,7 +1336,7 @@ impl MemoryController {
     }
 }
 
-impl std::fmt::Debug for MemoryController {
+impl<S: EventSink> std::fmt::Debug for MemoryController<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MemoryController")
             .field("clock", &self.clock)

@@ -1,14 +1,18 @@
 //! Differential property tests: the event-driven scheduler core must be
 //! *decision-identical* to the retained naive rescan core — identical
 //! command streams (kind, bank, row, issue time), identical controller and
-//! device statistics, identical completions — on random and adversarial
-//! workloads, across geometries and mitigation styles.
+//! device statistics, identical completions, and identical observability
+//! event streams (after filtering the scheduler-internal kinds
+//! `lane_invalidate`/`bliss_clear`, whose cadence is an implementation
+//! detail of each core) — on random and adversarial workloads, across
+//! geometries and mitigation styles.
 
 use mithril_dram::{Ddr5Timing, DramDevice, Geometry, NoMitigation, RowId, TimePs, PS_PER_US};
 use mithril_memctrl::{
     MappedAddr, McAction, McConfig, McMitigation, MemRequest, MemoryController, NoMcMitigation,
     RfmMode, SchedulerKind,
 };
+use mithril_obs::{Event, RingSink};
 use proptest::prelude::*;
 
 type Req = (usize, u64, u64, bool, usize, u64);
@@ -66,13 +70,27 @@ fn build(
     cfg: McConfig,
     mitigation: Box<dyn McMitigation>,
     kind: SchedulerKind,
-) -> MemoryController {
+) -> MemoryController<RingSink> {
     let device = DramDevice::new(geometry, Ddr5Timing::ddr5_4800(), 100_000, 1, |_| {
         Box::new(NoMitigation)
     });
-    let mut mc = MemoryController::with_scheduler(device, cfg, mitigation, kind);
+    // Large enough that these bounded workloads never wrap the ring, so
+    // the drained streams are complete.
+    let mut mc = MemoryController::with_obs(device, cfg, mitigation, kind, RingSink::new(1 << 18));
     mc.record_commands(true);
     mc
+}
+
+/// The cross-core-comparable projection of an event stream: everything
+/// except the scheduler-internal kinds (candidate-lane invalidation
+/// cadence and BLISS clear notifications differ between cores by design).
+fn external_events(mc: &mut MemoryController<RingSink>) -> Vec<(u64, Event)> {
+    let sink = mc.obs_mut();
+    assert_eq!(sink.dropped(), 0, "ring wrapped; grow the test capacity");
+    sink.take_events()
+        .into_iter()
+        .filter(|(_, ev)| !matches!(ev, Event::LaneInvalidate { .. } | Event::BlissClear))
+        .collect()
 }
 
 /// Drives both cores through the same enqueue/advance interleaving and
@@ -135,6 +153,16 @@ fn assert_cores_agree(
     assert_eq!(log_event.len(), log_naive.len(), "command counts diverge");
     for (i, (e, n)) in log_event.iter().zip(&log_naive).enumerate() {
         assert_eq!(e, n, "command {i} diverges");
+    }
+    let ev_event = external_events(&mut event);
+    let ev_naive = external_events(&mut naive);
+    assert_eq!(
+        ev_event.len(),
+        ev_naive.len(),
+        "observability event counts diverge"
+    );
+    for (i, (e, n)) in ev_event.iter().zip(&ev_naive).enumerate() {
+        assert_eq!(e, n, "observability event {i} diverges");
     }
 }
 

@@ -1,0 +1,876 @@
+//! Deterministic observability: structured event sinks and cycle-domain
+//! time-series probes.
+//!
+//! The simulator's aggregate reports (`Metrics`/`McStats`/`FaultStats`)
+//! say *what* happened over a whole run; this crate records *when*. Two
+//! complementary instruments share one design rule — everything is keyed
+//! to simulated time, never host time, so output is bit-identical at any
+//! worker-thread count:
+//!
+//! * **Events** ([`Event`] + [`EventSink`]): typed, timestamped records of
+//!   the individual commands and state transitions the stack takes — ACT,
+//!   REF, RFM (with the greedy selection it triggered), ARR, table
+//!   evictions/invalidations, fault injection/detection/repair,
+//!   scheduler-lane invalidations by cause, BLISS blacklist clears.
+//!   Instrumented code is generic over the sink and guards every emission
+//!   with `if S::ENABLED { ... }`; with the [`NullSink`] (the default) the
+//!   constant is `false`, the branch is monomorphized away, and the hot
+//!   path compiles to exactly the un-instrumented code. [`RingSink`] is
+//!   the real collector: a bounded ring that keeps the most recent events,
+//!   counts what it had to drop, and keeps *exact* per-kind totals even
+//!   when the ring wraps (so count baselines are capacity-independent).
+//!
+//! * **Samples** ([`Sampler`] + [`SampleRow`]): a time series on a fixed
+//!   cycle grid. Every `interval_cycles` memory cycles the probe snapshots
+//!   tracker occupancy and counter span (via the [`Observe`] hook),
+//!   RFM/ACT/REF totals, per-bank ACT pressure, queue depth, LLC hit
+//!   counters and the event core's candidate-cache counters. Rows are
+//!   stamped with the *scheduled* grid cycle (`k * interval_cycles`), and
+//!   a catch-up loop emits one row per missed grid point, so the grid —
+//!   not the cadence of simulator progress — defines the series.
+//!
+//! This crate is dependency-free and sits below every other crate in the
+//! workspace; `dram`, `core`, `trackers`, `faults`, `memctrl`, `sim` and
+//! the runner all hook into it.
+
+/// Version stamp carried by every emitted JSON report (sweep, metrics-only
+/// replay, fault campaign, perf report, obs summaries). Bump when a report
+/// schema changes shape; diff-based gates validate it before comparing.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// DDR5-4800 command-clock period in picoseconds (2400 MHz), the default
+/// cycle unit of the sample grid. `Ddr5Timing` expresses everything in
+/// picoseconds; this is the conversion the cycle domain is defined by.
+pub const DEFAULT_CYCLE_PS: u64 = 416;
+
+/// Checks that `json` carries this crate's [`FORMAT_VERSION`] stamp.
+/// Used by tests and CI gates before byte-diffing two reports, so a
+/// schema drift fails with a version message instead of a wall of diff.
+pub fn validate_format_version(json: &str) -> Result<(), String> {
+    let want = format!("\"format_version\": {FORMAT_VERSION}");
+    if json.contains(&want) {
+        Ok(())
+    } else {
+        Err(format!(
+            "report is missing the `{want}` stamp (schema drift or pre-versioned report)"
+        ))
+    }
+}
+
+// ---------------------------------------------------------------- events
+
+/// Why the event-driven controller core invalidated a per-bank scheduler
+/// lane (forcing a candidate recompute). Mirrors the invalidation rules
+/// in ARCHITECTURE.md's event-core section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneCause {
+    /// A new request was enqueued onto the bank.
+    Enqueue,
+    /// A command executed on the bank (its own lane state changed).
+    Execute,
+    /// The bank became the target of a queued ARR.
+    ArrTarget,
+    /// A rank-segment auto-refresh touched the bank.
+    RefSegment,
+    /// The BLISS blacklist changed, reordering every lane's priorities.
+    BlissChange,
+    /// Throttling is active: per-cycle fallback marks all lanes dirty.
+    Throttle,
+}
+
+impl LaneCause {
+    /// Stable lower-snake name used in JSONL output.
+    pub fn name(self) -> &'static str {
+        match self {
+            LaneCause::Enqueue => "enqueue",
+            LaneCause::Execute => "execute",
+            LaneCause::ArrTarget => "arr_target",
+            LaneCause::RefSegment => "ref_segment",
+            LaneCause::BlissChange => "bliss_change",
+            LaneCause::Throttle => "throttle",
+        }
+    }
+}
+
+/// One structured, typed observability event. Timestamps ride separately
+/// (see [`EventSink::emit`]); payloads are the minimal coordinates needed
+/// to interpret the transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// An ACT was issued to `bank` for `row`.
+    Act { bank: u32, row: u64 },
+    /// A rank auto-refresh covered `banks` banks of `rank`.
+    Ref { rank: u32, banks: u32 },
+    /// An RFM was issued: the engine greedily selected `aggressor`
+    /// (absent when the table was empty or the tag was invalid) and
+    /// refreshed `victims` rows; `skipped` marks adaptive-refresh skips.
+    Rfm {
+        bank: u32,
+        aggressor: Option<u64>,
+        victims: u32,
+        skipped: bool,
+    },
+    /// A Mithril+ MRR round found no pending refresh; the RFM cadence
+    /// slot was elided entirely.
+    RfmElided { bank: u32 },
+    /// An ARR (targeted victim refresh) retired for `bank`.
+    Arr { bank: u32, victims: u32 },
+    /// A mitigation engine asked the controller to act (queued an ARR
+    /// with `victims` victim rows) in response to an ACT.
+    MitigationTrigger { bank: u32, victims: u32 },
+    /// The bank's tracker evicted `evictions` minimum entries since the
+    /// previous ACT (Space-Saving replacement pressure).
+    TableEvict { bank: u32, evictions: u64 },
+    /// The bank's tracker has `invalidations` tag-invalidated entries
+    /// (CAM upsets) outstanding.
+    TableInvalidate { bank: u32, invalidations: u64 },
+    /// The fault plan landed `count` new faults on `bank`'s engine.
+    FaultInject { bank: u32, count: u64 },
+    /// A scrub pass detected `count` new corruptions on `bank`.
+    FaultDetect { bank: u32, count: u64 },
+    /// A scrub pass repaired `bank`'s tracker `count` times.
+    FaultRepair { bank: u32, count: u64 },
+    /// The event core invalidated `bank`'s scheduler lane.
+    LaneInvalidate { bank: u32, cause: LaneCause },
+    /// BLISS cleared its blacklist (interval rollover or served-streak
+    /// change forcing a full candidate refresh).
+    BlissClear,
+}
+
+/// Number of event kinds (the length of [`KIND_NAMES`]).
+pub const KINDS: usize = 13;
+
+/// Stable lower-snake names of the event kinds, indexed by
+/// [`Event::kind_index`]. Order is append-only: new kinds go at the end
+/// so committed count baselines stay comparable.
+pub const KIND_NAMES: [&str; KINDS] = [
+    "act",
+    "ref",
+    "rfm",
+    "rfm_elided",
+    "arr",
+    "mitigation_trigger",
+    "table_evict",
+    "table_invalidate",
+    "fault_inject",
+    "fault_detect",
+    "fault_repair",
+    "lane_invalidate",
+    "bliss_clear",
+];
+
+impl Event {
+    /// Index of this event's kind into [`KIND_NAMES`].
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Event::Act { .. } => 0,
+            Event::Ref { .. } => 1,
+            Event::Rfm { .. } => 2,
+            Event::RfmElided { .. } => 3,
+            Event::Arr { .. } => 4,
+            Event::MitigationTrigger { .. } => 5,
+            Event::TableEvict { .. } => 6,
+            Event::TableInvalidate { .. } => 7,
+            Event::FaultInject { .. } => 8,
+            Event::FaultDetect { .. } => 9,
+            Event::FaultRepair { .. } => 10,
+            Event::LaneInvalidate { .. } => 11,
+            Event::BlissClear => 12,
+        }
+    }
+
+    /// Stable name of this event's kind.
+    pub fn kind_name(&self) -> &'static str {
+        KIND_NAMES[self.kind_index()]
+    }
+
+    /// Renders the kind-specific payload fields as JSON object members
+    /// (no braces), e.g. `"bank":3,"row":55`. Empty for payload-free
+    /// kinds.
+    pub fn payload_json(&self) -> String {
+        match *self {
+            Event::Act { bank, row } => format!("\"bank\":{bank},\"row\":{row}"),
+            Event::Ref { rank, banks } => format!("\"rank\":{rank},\"banks\":{banks}"),
+            Event::Rfm {
+                bank,
+                aggressor,
+                victims,
+                skipped,
+            } => {
+                let agg = match aggressor {
+                    Some(a) => a.to_string(),
+                    None => "null".to_string(),
+                };
+                format!("\"bank\":{bank},\"aggressor\":{agg},\"victims\":{victims},\"skipped\":{skipped}")
+            }
+            Event::RfmElided { bank } => format!("\"bank\":{bank}"),
+            Event::Arr { bank, victims } => format!("\"bank\":{bank},\"victims\":{victims}"),
+            Event::MitigationTrigger { bank, victims } => {
+                format!("\"bank\":{bank},\"victims\":{victims}")
+            }
+            Event::TableEvict { bank, evictions } => {
+                format!("\"bank\":{bank},\"evictions\":{evictions}")
+            }
+            Event::TableInvalidate {
+                bank,
+                invalidations,
+            } => format!("\"bank\":{bank},\"invalidations\":{invalidations}"),
+            Event::FaultInject { bank, count }
+            | Event::FaultDetect { bank, count }
+            | Event::FaultRepair { bank, count } => format!("\"bank\":{bank},\"count\":{count}"),
+            Event::LaneInvalidate { bank, cause } => {
+                format!("\"bank\":{bank},\"cause\":\"{}\"", cause.name())
+            }
+            Event::BlissClear => String::new(),
+        }
+    }
+}
+
+/// Where instrumented code sends its events.
+///
+/// The contract that makes observability free when unused: callers are
+/// generic over `S: EventSink` and guard every emission (and any payload
+/// construction) with `if S::ENABLED { ... }`. [`NullSink`] sets the
+/// constant to `false`, so monomorphization deletes the branch and the
+/// obs-off binary is instruction-identical to un-instrumented code.
+pub trait EventSink {
+    /// Compile-time switch: `false` means `emit` is unreachable and all
+    /// guarded instrumentation folds away.
+    const ENABLED: bool;
+
+    /// Records `ev` at simulated time `at` (picoseconds).
+    fn emit(&mut self, at: u64, ev: Event);
+}
+
+/// The disabled sink: observability compiled out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn emit(&mut self, _at: u64, _ev: Event) {}
+}
+
+/// A bounded ring-buffer sink with drop accounting.
+///
+/// Keeps the most recent `capacity` events (oldest are overwritten) and
+/// counts how many were dropped. Per-kind totals in [`counts`] are exact
+/// over *all* emitted events, wrapped or not, so event-count baselines do
+/// not depend on the ring capacity.
+///
+/// [`counts`]: RingSink::counts
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    buf: Vec<(u64, Event)>,
+    capacity: usize,
+    /// Index of the oldest retained event once the ring has wrapped.
+    start: usize,
+    dropped: u64,
+    counts: [u64; KINDS],
+}
+
+impl RingSink {
+    /// Creates a ring retaining at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be non-zero");
+        Self {
+            buf: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            start: 0,
+            dropped: 0,
+            counts: [0; KINDS],
+        }
+    }
+
+    /// Events currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Exact per-kind totals over everything ever emitted, indexed like
+    /// [`KIND_NAMES`].
+    pub fn counts(&self) -> &[u64; KINDS] {
+        &self.counts
+    }
+
+    /// Total events ever emitted (retained + dropped).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Retained `(at, event)` pairs, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Event)> + '_ {
+        self.buf[self.start..]
+            .iter()
+            .chain(self.buf[..self.start].iter())
+            .copied()
+    }
+
+    /// Drains the ring into an ordered vector (oldest first), keeping the
+    /// counts and drop totals.
+    pub fn take_events(&mut self) -> Vec<(u64, Event)> {
+        let events: Vec<(u64, Event)> = self.iter().collect();
+        self.buf.clear();
+        self.start = 0;
+        events
+    }
+}
+
+impl EventSink for RingSink {
+    const ENABLED: bool = true;
+
+    fn emit(&mut self, at: u64, ev: Event) {
+        self.counts[ev.kind_index()] += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push((at, ev));
+        } else {
+            self.buf[self.start] = (at, ev);
+            self.start += 1;
+            if self.start == self.capacity {
+                self.start = 0;
+            }
+            self.dropped += 1;
+        }
+    }
+}
+
+// ----------------------------------------------------------- observation
+
+/// A point-in-time snapshot of a frequency-tracker structure, produced by
+/// the [`Observe`] hook. All O(1) reads: min/max come from the
+/// Stream-Summary bucket-list pointers, the rest are stored counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrackerObservation {
+    /// Occupied entries.
+    pub len: u64,
+    /// Total entries (`Nentry`).
+    pub capacity: u64,
+    /// Minimum counter value. Wrapping-counter tables (Mithril's `u16`)
+    /// report *relative* values — min is the floor, i.e. `0`.
+    pub min: u64,
+    /// Maximum counter value (relative for wrapping tables, so
+    /// `max - min` is the adaptive-refresh spread).
+    pub max: u64,
+    /// Cumulative minimum-entry evictions since construction.
+    pub evictions: u64,
+    /// Entries currently tag-invalidated (CAM upsets awaiting scrub).
+    pub invalidations: u64,
+}
+
+impl TrackerObservation {
+    /// Folds another bank's observation into an aggregate: sizes and
+    /// cumulative counters add, the counter span widens.
+    pub fn merge(&mut self, other: TrackerObservation) {
+        self.len += other.len;
+        self.capacity += other.capacity;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+    }
+}
+
+/// Pull-based probe hook for tracker structures (`MithrilTable`,
+/// `SpaceSaving`, ...). Must be O(1) and side-effect free so sampling
+/// never perturbs the simulation.
+pub trait Observe {
+    /// Snapshots the structure.
+    fn observe(&self) -> TrackerObservation;
+}
+
+// -------------------------------------------------------------- sampling
+
+/// One row of the cycle-domain time series: per-channel cumulative
+/// command counters, instantaneous queue/tracker state and LLC counters,
+/// stamped with the grid cycle it was scheduled for.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SampleRow {
+    /// Grid cycle (`k * interval_cycles`) this row samples.
+    pub cycle: u64,
+    /// Memory channel the row describes.
+    pub channel: u32,
+    /// Cumulative ACTs issued by the channel's controller.
+    pub acts: u64,
+    /// Cumulative rank auto-refreshes.
+    pub refs: u64,
+    /// Cumulative RFMs.
+    pub rfms: u64,
+    /// Cumulative Mithril+ RFM elisions.
+    pub rfm_elisions: u64,
+    /// Cumulative ARRs.
+    pub arrs: u64,
+    /// Requests waiting in the controller queue right now.
+    pub queue_depth: u64,
+    /// Aggregate tracker snapshot across the channel's banks.
+    pub tracker: TrackerObservation,
+    /// Cumulative event-core candidate-cache hits (scans that reused
+    /// every cached lane candidate).
+    pub cand_hits: u64,
+    /// Cumulative event-core lane recomputes (cache invalidations
+    /// consumed).
+    pub cand_invalidations: u64,
+    /// Cumulative LLC hits (system-wide; identical across channels of
+    /// the same cycle).
+    pub llc_hits: u64,
+    /// Cumulative LLC misses (system-wide).
+    pub llc_misses: u64,
+    /// Cumulative ACTs per bank (pressure skew).
+    pub bank_acts: Vec<u64>,
+}
+
+/// CSV header matching [`SampleRow::csv_line`].
+pub const SERIES_CSV_HEADER: &str = "cycle,channel,acts,refs,rfms,rfm_elisions,arrs,queue_depth,\
+     occupancy,capacity,ctr_min,ctr_max,evictions,invalidations,\
+     cand_hits,cand_invalidations,llc_hits,llc_misses,bank_acts";
+
+impl SampleRow {
+    /// Renders the row as one CSV line (no trailing newline). The
+    /// per-bank ACT vector is `|`-joined inside the final column.
+    pub fn csv_line(&self) -> String {
+        let banks: Vec<String> = self.bank_acts.iter().map(u64::to_string).collect();
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.cycle,
+            self.channel,
+            self.acts,
+            self.refs,
+            self.rfms,
+            self.rfm_elisions,
+            self.arrs,
+            self.queue_depth,
+            self.tracker.len,
+            self.tracker.capacity,
+            self.tracker.min,
+            self.tracker.max,
+            self.tracker.evictions,
+            self.tracker.invalidations,
+            self.cand_hits,
+            self.cand_invalidations,
+            self.llc_hits,
+            self.llc_misses,
+            banks.join("|")
+        )
+    }
+}
+
+/// Snapshots probes on a fixed cycle grid.
+///
+/// The caller polls with the current simulated time; whenever one or more
+/// grid deadlines have passed, the probe closure runs once per missed
+/// deadline and each produced row is stamped with the *scheduled* grid
+/// cycle. The grid therefore defines the series: two simulations that
+/// reach the same states produce the same rows no matter how unevenly
+/// their event loops advance time.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    interval_cycles: u64,
+    cycle_ps: u64,
+    /// Next grid index to emit (grid cycle `next_k * interval_cycles`).
+    next_k: u64,
+    rows: Vec<SampleRow>,
+}
+
+impl Sampler {
+    /// Creates a sampler on a grid of `interval_cycles` cycles of
+    /// `cycle_ps` picoseconds each. The zero-cycle row is skipped (the
+    /// initial state is all zeros by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(interval_cycles: u64, cycle_ps: u64) -> Self {
+        assert!(interval_cycles > 0, "interval must be non-zero");
+        assert!(cycle_ps > 0, "cycle period must be non-zero");
+        Self {
+            interval_cycles,
+            cycle_ps,
+            next_k: 1,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The sample grid spacing in cycles.
+    pub fn interval_cycles(&self) -> u64 {
+        self.interval_cycles
+    }
+
+    /// The cycle period in picoseconds.
+    pub fn cycle_ps(&self) -> u64 {
+        self.cycle_ps
+    }
+
+    fn next_deadline_ps(&self) -> u64 {
+        self.next_k
+            .saturating_mul(self.interval_cycles)
+            .saturating_mul(self.cycle_ps)
+    }
+
+    /// Emits one row per grid deadline at or before `now_ps`. The probe
+    /// receives the scheduled grid cycle and must stamp it into the row.
+    pub fn poll(&mut self, now_ps: u64, probe: &mut dyn FnMut(u64) -> SampleRow) {
+        while self.next_deadline_ps() <= now_ps {
+            let cycle = self.next_k * self.interval_cycles;
+            self.rows.push(probe(cycle));
+            self.next_k += 1;
+        }
+    }
+
+    /// Rows recorded so far, in grid order.
+    pub fn rows(&self) -> &[SampleRow] {
+        &self.rows
+    }
+
+    /// Consumes the sampler, yielding its rows.
+    pub fn into_rows(self) -> Vec<SampleRow> {
+        self.rows
+    }
+
+    /// Drains the recorded rows, keeping the grid position so sampling
+    /// continues where it left off.
+    pub fn take_rows(&mut self) -> Vec<SampleRow> {
+        std::mem::take(&mut self.rows)
+    }
+}
+
+// --------------------------------------------------------------- capture
+
+/// Everything observed on one memory channel over a run.
+#[derive(Debug, Clone)]
+pub struct ChannelCapture {
+    /// The channel index.
+    pub channel: u32,
+    /// Retained `(at_ps, event)` pairs, oldest first.
+    pub events: Vec<(u64, Event)>,
+    /// Exact per-kind totals (capacity-independent).
+    pub counts: [u64; KINDS],
+    /// Events the ring had to overwrite.
+    pub dropped: u64,
+    /// The channel's time-series rows, grid order.
+    pub rows: Vec<SampleRow>,
+}
+
+/// A full observability capture of one simulation: per-channel events and
+/// time series plus the grid parameters, with deterministic renderers for
+/// each artifact the CLI writes.
+#[derive(Debug, Clone)]
+pub struct ObsCapture {
+    /// Cycle period used for the grid (picoseconds).
+    pub cycle_ps: u64,
+    /// Grid spacing in cycles.
+    pub interval_cycles: u64,
+    /// Per-channel captures, channel order.
+    pub channels: Vec<ChannelCapture>,
+}
+
+impl ObsCapture {
+    /// Exact per-kind totals across all channels.
+    pub fn total_counts(&self) -> [u64; KINDS] {
+        let mut totals = [0u64; KINDS];
+        for ch in &self.channels {
+            for (t, c) in totals.iter_mut().zip(ch.counts.iter()) {
+                *t += c;
+            }
+        }
+        totals
+    }
+
+    /// Total events emitted across all channels.
+    pub fn total_events(&self) -> u64 {
+        self.total_counts().iter().sum()
+    }
+
+    /// Total events dropped by the rings.
+    pub fn total_dropped(&self) -> u64 {
+        self.channels.iter().map(|c| c.dropped).sum()
+    }
+
+    /// Renders the retained events of all channels as JSONL, merged in
+    /// `(t_ps, channel, emit order)` order. Each line carries the
+    /// timestamp in picoseconds and in grid cycles.
+    pub fn events_jsonl(&self) -> String {
+        let mut merged: Vec<(u64, u32, usize, Event)> = Vec::new();
+        for ch in &self.channels {
+            for (seq, &(at, ev)) in ch.events.iter().enumerate() {
+                merged.push((at, ch.channel, seq, ev));
+            }
+        }
+        merged.sort_by_key(|&(at, channel, seq, _)| (at, channel, seq));
+        let mut out = String::new();
+        for (at, channel, _, ev) in merged {
+            let payload = ev.payload_json();
+            let sep = if payload.is_empty() { "" } else { "," };
+            out.push_str(&format!(
+                "{{\"t_ps\":{at},\"cycle\":{},\"channel\":{channel},\"kind\":\"{}\"{sep}{payload}}}\n",
+                at / self.cycle_ps,
+                ev.kind_name(),
+            ));
+        }
+        out
+    }
+
+    /// Renders the merged time series as CSV, rows sorted by
+    /// `(cycle, channel)`.
+    pub fn series_csv(&self) -> String {
+        let mut rows: Vec<&SampleRow> = self.channels.iter().flat_map(|c| c.rows.iter()).collect();
+        rows.sort_by_key(|r| (r.cycle, r.channel));
+        let mut out = String::from(SERIES_CSV_HEADER);
+        out.push('\n');
+        for row in rows {
+            out.push_str(&row.csv_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders per-kind totals as JSON object members (one per line,
+    /// zero kinds included so the shape is fixed).
+    fn counts_json(counts: &[u64; KINDS], indent: &str) -> String {
+        let lines: Vec<String> = KIND_NAMES
+            .iter()
+            .zip(counts.iter())
+            .map(|(name, n)| format!("{indent}\"{name}\": {n}"))
+            .collect();
+        lines.join(",\n")
+    }
+
+    /// Renders the capture summary: grid parameters, exact per-kind
+    /// totals, drop accounting and per-channel volumes.
+    pub fn summary_json(&self) -> String {
+        let per_channel: Vec<String> = self
+            .channels
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{\"channel\": {}, \"events\": {}, \"retained\": {}, \"dropped\": {}, \"samples\": {}}}",
+                    c.channel,
+                    c.counts.iter().sum::<u64>(),
+                    c.events.len(),
+                    c.dropped,
+                    c.rows.len()
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"format_version\": {FORMAT_VERSION},\n  \"cycle_ps\": {},\n  \
+             \"interval_cycles\": {},\n  \"events_total\": {},\n  \"events_dropped\": {},\n  \
+             \"samples\": {},\n  \"counts\": {{\n{}\n  }},\n  \"per_channel\": [\n{}\n  ]\n}}\n",
+            self.cycle_ps,
+            self.interval_cycles,
+            self.total_events(),
+            self.total_dropped(),
+            self.channels.iter().map(|c| c.rows.len()).sum::<usize>(),
+            Self::counts_json(&self.total_counts(), "    "),
+            per_channel.join(",\n")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        const { assert!(!NullSink::ENABLED) };
+        // Emission through the trait is a no-op.
+        let mut s = NullSink;
+        s.emit(1, Event::BlissClear);
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_exactly() {
+        let mut ring = RingSink::new(3);
+        for i in 0..5u64 {
+            ring.emit(i, Event::Act { bank: 0, row: i });
+        }
+        ring.emit(5, Event::BlissClear);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 3);
+        assert_eq!(ring.counts()[0], 5); // all five ACTs counted
+        assert_eq!(ring.counts()[KINDS - 1], 1);
+        assert_eq!(ring.total(), 6);
+        let kept: Vec<u64> = ring.iter().map(|(at, _)| at).collect();
+        assert_eq!(kept, vec![3, 4, 5]);
+        let drained = ring.take_events();
+        assert_eq!(drained.len(), 3);
+        assert!(ring.is_empty());
+        assert_eq!(ring.total(), 6, "draining keeps the totals");
+    }
+
+    #[test]
+    fn kind_names_cover_every_variant() {
+        let all = [
+            Event::Act { bank: 0, row: 0 },
+            Event::Ref { rank: 0, banks: 0 },
+            Event::Rfm {
+                bank: 0,
+                aggressor: None,
+                victims: 0,
+                skipped: false,
+            },
+            Event::RfmElided { bank: 0 },
+            Event::Arr {
+                bank: 0,
+                victims: 0,
+            },
+            Event::MitigationTrigger {
+                bank: 0,
+                victims: 0,
+            },
+            Event::TableEvict {
+                bank: 0,
+                evictions: 0,
+            },
+            Event::TableInvalidate {
+                bank: 0,
+                invalidations: 0,
+            },
+            Event::FaultInject { bank: 0, count: 0 },
+            Event::FaultDetect { bank: 0, count: 0 },
+            Event::FaultRepair { bank: 0, count: 0 },
+            Event::LaneInvalidate {
+                bank: 0,
+                cause: LaneCause::Enqueue,
+            },
+            Event::BlissClear,
+        ];
+        assert_eq!(all.len(), KINDS);
+        for (i, ev) in all.iter().enumerate() {
+            assert_eq!(ev.kind_index(), i);
+            assert_eq!(ev.kind_name(), KIND_NAMES[i]);
+        }
+    }
+
+    #[test]
+    fn sampler_catches_up_on_grid_cycles() {
+        let mut s = Sampler::new(10, 2); // deadline every 20 ps
+        let mut probe = |cycle: u64| SampleRow {
+            cycle,
+            ..SampleRow::default()
+        };
+        s.poll(19, &mut probe);
+        assert!(s.rows().is_empty(), "before the first deadline");
+        s.poll(20, &mut probe);
+        assert_eq!(s.rows().len(), 1);
+        // A big jump emits one row per missed grid point.
+        s.poll(65, &mut probe);
+        let cycles: Vec<u64> = s.rows().iter().map(|r| r.cycle).collect();
+        assert_eq!(cycles, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn capture_renderers_are_deterministic() {
+        let capture = ObsCapture {
+            cycle_ps: 2,
+            interval_cycles: 10,
+            channels: vec![
+                ChannelCapture {
+                    channel: 0,
+                    events: vec![
+                        (4, Event::Act { bank: 1, row: 7 }),
+                        (
+                            8,
+                            Event::Rfm {
+                                bank: 1,
+                                aggressor: Some(7),
+                                victims: 2,
+                                skipped: false,
+                            },
+                        ),
+                    ],
+                    counts: {
+                        let mut c = [0; KINDS];
+                        c[0] = 1;
+                        c[2] = 1;
+                        c
+                    },
+                    dropped: 0,
+                    rows: vec![SampleRow {
+                        cycle: 10,
+                        channel: 0,
+                        acts: 1,
+                        bank_acts: vec![0, 1],
+                        ..SampleRow::default()
+                    }],
+                },
+                ChannelCapture {
+                    channel: 1,
+                    events: vec![(4, Event::BlissClear)],
+                    counts: {
+                        let mut c = [0; KINDS];
+                        c[KINDS - 1] = 1;
+                        c
+                    },
+                    dropped: 0,
+                    rows: vec![],
+                },
+            ],
+        };
+        let jsonl = capture.events_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Same timestamp: channel 0 sorts before channel 1.
+        assert!(lines[0].contains("\"kind\":\"act\""), "{jsonl}");
+        assert!(lines[1].contains("\"kind\":\"bliss_clear\""), "{jsonl}");
+        assert!(lines[2].contains("\"aggressor\":7"), "{jsonl}");
+        assert!(lines[0].contains("\"cycle\":2"), "{jsonl}");
+
+        let csv = capture.series_csv();
+        assert!(csv.starts_with("cycle,channel,"));
+        assert!(csv.contains("10,0,1,"), "{csv}");
+        assert!(csv.ends_with("0|1\n"), "{csv}");
+
+        let summary = capture.summary_json();
+        assert!(validate_format_version(&summary).is_ok());
+        assert!(summary.contains("\"events_total\": 3"), "{summary}");
+        assert_eq!(capture.total_events(), 3);
+        assert_eq!(summary, capture.summary_json());
+    }
+
+    #[test]
+    fn merge_widens_span_and_sums_counters() {
+        let mut a = TrackerObservation {
+            len: 3,
+            capacity: 8,
+            min: 0,
+            max: 5,
+            evictions: 2,
+            invalidations: 1,
+        };
+        a.merge(TrackerObservation {
+            len: 4,
+            capacity: 8,
+            min: 0,
+            max: 9,
+            evictions: 1,
+            invalidations: 0,
+        });
+        assert_eq!(a.len, 7);
+        assert_eq!(a.capacity, 16);
+        assert_eq!(a.max, 9);
+        assert_eq!(a.evictions, 3);
+        assert_eq!(a.invalidations, 1);
+    }
+
+    #[test]
+    fn format_version_validation() {
+        assert!(validate_format_version("{\n  \"format_version\": 1,\n}").is_ok());
+        assert!(validate_format_version("{}").is_err());
+    }
+}

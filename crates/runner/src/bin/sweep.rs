@@ -12,6 +12,12 @@
 //!   --cores N         override cores per scenario
 //!   --out PATH        report path (default BENCH_sweep.json,
 //!                     BENCH_faults.json in --faults mode)
+//!   --obs DIR         attach observability: per-scenario event logs
+//!                     (events.jsonl), cycle-domain time series
+//!                     (series.csv) and summaries under DIR, plus the
+//!                     aggregate DIR/obs_counts.json baseline
+//!   --progress        heartbeat on stderr: one `# progress: d/total`
+//!                     line per finished scenario (journal-aware)
 //!   --journal PATH    crash-safe mode: append each completed scenario to
 //!                     PATH as it finishes
 //!   --resume          recover completed scenarios from --journal PATH
@@ -35,7 +41,11 @@ use std::time::Instant;
 
 use mithril_runner::engine::{default_threads, PoolConfig};
 use mithril_runner::scenarios::{FaultCampaignSpec, SweepSpec};
-use mithril_runner::{report, run_fault_campaign, run_sweep, run_sweep_journaled};
+use mithril_runner::{
+    report, run_fault_campaign, run_sweep_journaled_with, run_sweep_observed, run_sweep_with,
+    write_obs_outputs, Progress,
+};
+use mithril_sim::ObsConfig;
 
 struct Args {
     smoke: bool,
@@ -45,6 +55,8 @@ struct Args {
     insts: Option<u64>,
     cores: Option<usize>,
     out: Option<String>,
+    obs: Option<String>,
+    progress: bool,
     journal: Option<String>,
     resume: bool,
     faults: bool,
@@ -79,6 +91,8 @@ fn parse_args() -> Args {
         insts: None,
         cores: None,
         out: None,
+        obs: None,
+        progress: false,
         journal: None,
         resume: false,
         faults: false,
@@ -97,6 +111,8 @@ fn parse_args() -> Args {
             "--insts" => out.insts = Some(parsed(&args, &mut i, "--insts N")),
             "--cores" => out.cores = Some(parsed(&args, &mut i, "--cores N")),
             "--out" => out.out = Some(value(&args, &mut i, "--out PATH").to_string()),
+            "--obs" => out.obs = Some(value(&args, &mut i, "--obs DIR").to_string()),
+            "--progress" => out.progress = true,
             "--journal" => out.journal = Some(value(&args, &mut i, "--journal PATH").to_string()),
             "--resume" => out.resume = true,
             "--faults" => out.faults = true,
@@ -121,6 +137,12 @@ fn parse_args() -> Args {
     }
     if out.faults && out.journal.is_some() {
         die("--faults and --journal are mutually exclusive");
+    }
+    if out.obs.is_some() && out.journal.is_some() {
+        die("--obs and --journal are mutually exclusive");
+    }
+    if out.obs.is_some() && out.faults {
+        die("--obs and --faults are mutually exclusive");
     }
     out
 }
@@ -235,12 +257,13 @@ fn main() {
     let out = args.out.as_deref().unwrap_or("BENCH_sweep.json");
     let t0 = Instant::now();
     if let Some(journal) = &args.journal {
-        let sweep = run_sweep_journaled(
+        let sweep = run_sweep_journaled_with(
             &spec,
             pool,
             args.seed,
             std::path::Path::new(journal),
             args.resume,
+            args.progress,
         )
         .unwrap_or_else(|e| die(e));
         let wall = t0.elapsed();
@@ -257,7 +280,25 @@ fn main() {
         return;
     }
 
-    let results = run_sweep(&spec, pool, args.seed);
+    let heartbeat = args.progress.then(|| Progress::new(n));
+    let (results, obs_written) = if let Some(obs_dir) = &args.obs {
+        let observed = run_sweep_observed(
+            &spec,
+            pool,
+            args.seed,
+            ObsConfig::default(),
+            heartbeat.as_ref(),
+        );
+        let dir = std::path::Path::new(obs_dir);
+        write_obs_outputs(dir, args.seed, &observed).unwrap_or_else(|e| die(e));
+        let results: Vec<_> = observed.into_iter().map(|(r, _)| r).collect();
+        (results, Some(obs_dir.as_str()))
+    } else {
+        (
+            run_sweep_with(&spec, pool, args.seed, heartbeat.as_ref()),
+            None,
+        )
+    };
     let wall = t0.elapsed();
 
     println!(
@@ -277,6 +318,9 @@ fn main() {
     let json = report::sweep_json(args.seed, &results);
     write_report(out, &json);
     let ok = results.iter().filter(|r| r.outcome.is_ok()).count();
+    if let Some(dir) = obs_written {
+        println!("# obs: wrote event logs, time series and {dir}/obs_counts.json");
+    }
     println!(
         "# {ok}/{} scenarios ok; wall-clock {:.2}s at {} threads; wrote {out}",
         results.len(),

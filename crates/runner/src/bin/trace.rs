@@ -29,10 +29,14 @@
 //!   --metrics-only     emit the label-independent metrics projection
 //!   --resilient        tolerate a damaged capture: skip corrupt/torn
 //!                      chunks (reported on stderr) instead of aborting
+//!   --obs DIR          attach observability: per-run event logs, cycle-
+//!                      domain time series and DIR/obs_counts.json
 //!   --out PATH         write the JSON report here instead of stdout
 //!
 //! stat      access-mix / hot-row statistics of a capture
 //!   --trace PATH  [--top N (default 10)]  [--resilient]  [--out PATH]
+//!   with --resilient the JSON embeds the resilience report (skipped
+//!   chunks/bytes, end-marker status) alongside the statistics
 //!
 //! convert   re-encode between trace dialects
 //!   --in PATH --out PATH  [--resilient (mtrc input only)]
@@ -55,9 +59,9 @@ use std::path::{Path, PathBuf};
 use mithril_fasthash::splitmix64_seed;
 use mithril_runner::engine::{default_threads, PoolConfig};
 use mithril_runner::report::{metrics_only_json, sweep_json};
-use mithril_runner::run_sweep;
 use mithril_runner::scenarios::{all_schemes, default_rfm_th, workload, SweepSpec};
-use mithril_sim::{Scheme, SystemConfig};
+use mithril_runner::{run_sweep, run_sweep_observed, write_obs_outputs};
+use mithril_sim::{ObsConfig, Scheme, SystemConfig};
 use mithril_trace::{
     read_header_path, record_thread_set, stats_from_reader, stats_from_resilient_reader,
     write_text, MtrcReader, MtrcWriter, ResilientMtrcReader, TextFormat, TextReader, TraceHeader,
@@ -282,6 +286,7 @@ fn cmd_replay(flags: Vec<String>, mut args: Args) {
     let threads: usize = args.take_parsed("threads").unwrap_or_else(default_threads);
     let shard_size: usize = args.take_parsed("shard-size").unwrap_or(1);
     let out = args.take("out");
+    let obs_dir = args.take("obs");
 
     // Header defaults, CLI overrides on top.
     let base_seed: u64 = args
@@ -322,7 +327,16 @@ fn cmd_replay(flags: Vec<String>, mut args: Args) {
         threads,
         shard_size,
     };
-    let results = run_sweep(&spec, pool, base_seed);
+    let results = match &obs_dir {
+        Some(dir) => {
+            let observed = run_sweep_observed(&spec, pool, base_seed, ObsConfig::default(), None);
+            write_obs_outputs(Path::new(dir), base_seed, &observed)
+                .unwrap_or_else(|e| die(&format!("--obs {dir}: {e}")));
+            eprintln!("# obs: wrote event logs, time series and {dir}/obs_counts.json");
+            observed.into_iter().map(|(r, _)| r).collect()
+        }
+        None => run_sweep(&spec, pool, base_seed),
+    };
 
     let mut table = String::new();
     for r in &results {
@@ -355,19 +369,20 @@ fn cmd_stat(flags: Vec<String>, mut args: Args) {
     args.finish();
 
     let file = std::fs::File::open(&path).unwrap_or_else(|e| die(&format!("{path}: {e}")));
-    let stats = if flags.iter().any(|f| f == "resilient") {
+    let (stats, resilience) = if flags.iter().any(|f| f == "resilient") {
         let reader = ResilientMtrcReader::new(BufReader::new(file))
             .unwrap_or_else(|e| die(&format!("{path}: {e}")));
         let (stats, report) = stats_from_resilient_reader(reader, top)
             .unwrap_or_else(|e| die(&format!("{path}: {e}")));
         print_skip_report(&path, report);
-        stats
+        (stats, Some(report))
     } else {
         let reader =
             MtrcReader::new(BufReader::new(file)).unwrap_or_else(|e| die(&format!("{path}: {e}")));
-        stats_from_reader(reader, top).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+        let stats = stats_from_reader(reader, top).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+        (stats, None)
     };
-    write_output(out, &stats.render_json());
+    write_output(out, &stats.render_json_with(resilience.as_ref()));
 }
 
 /// What a `--resilient` read had to step over, on stderr so it never

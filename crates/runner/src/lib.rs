@@ -45,10 +45,49 @@ pub mod report;
 pub mod scenarios;
 
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use engine::{ItemOutcome, PoolConfig, DEFAULT_RETRIES};
-use report::{FaultRun, SweepResult};
+use mithril_obs::ObsCapture;
+use mithril_sim::ObsConfig;
+use report::{FaultRun, ObsCountEntry, SweepResult};
 use scenarios::{FaultCampaignSpec, Scenario, SweepSpec};
+
+/// A sweep heartbeat: worker threads [`tick`](Progress::tick) it after
+/// every finished scenario and it prints `# progress: done/total (name)`
+/// lines to **stderr** — never stdout, which carries the result table,
+/// and never the report, which must stay deterministic.
+///
+/// Journal-aware: a resumed sweep starts the counter at the number of
+/// recovered scenarios, so the heartbeat counts toward the same total an
+/// uninterrupted run would.
+#[derive(Debug)]
+pub struct Progress {
+    done: AtomicUsize,
+    total: usize,
+}
+
+impl Progress {
+    /// A heartbeat over `total` scenarios starting from zero done.
+    pub fn new(total: usize) -> Self {
+        Self::start_at(total, 0)
+    }
+
+    /// A heartbeat starting from `done` already-finished scenarios
+    /// (journal recovery).
+    pub fn start_at(total: usize, done: usize) -> Self {
+        Self {
+            done: AtomicUsize::new(done),
+            total,
+        }
+    }
+
+    /// Records one finished scenario and prints the heartbeat line.
+    pub fn tick(&self, name: &str) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        eprintln!("# progress: {done}/{} ({name})", self.total);
+    }
+}
 
 /// Executes `spec` on the shard pool and returns per-scenario results in
 /// registry order. Bit-identical for any `pool.threads`.
@@ -58,10 +97,25 @@ use scenarios::{FaultCampaignSpec, Scenario, SweepSpec};
 /// keeps panicking, reports the panic as that scenario's `Err` outcome
 /// instead of taking the whole sweep down.
 pub fn run_sweep(spec: &SweepSpec, pool: PoolConfig, base_seed: u64) -> Vec<SweepResult> {
+    run_sweep_with(spec, pool, base_seed, None)
+}
+
+/// [`run_sweep`] with an optional [`Progress`] heartbeat ticked after
+/// every finished scenario.
+pub fn run_sweep_with(
+    spec: &SweepSpec,
+    pool: PoolConfig,
+    base_seed: u64,
+    progress: Option<&Progress>,
+) -> Vec<SweepResult> {
     let scenarios = spec.scenarios();
     let outcomes =
         engine::run_sharded_robust(&scenarios, pool, base_seed, DEFAULT_RETRIES, |s, seed| {
-            (seed, s.run(seed))
+            let outcome = s.run(seed);
+            if let Some(p) = progress {
+                p.tick(&s.name);
+            }
+            (seed, outcome)
         });
     scenarios
         .into_iter()
@@ -79,6 +133,125 @@ pub fn run_sweep(spec: &SweepSpec, pool: PoolConfig, base_seed: u64) -> Vec<Swee
             }
         })
         .collect()
+}
+
+/// Executes `spec` with ring-sink observability attached to every
+/// scenario and returns, per registry position, the sweep result plus
+/// its [`ObsCapture`] (`None` when the scenario errored or panicked
+/// before producing one).
+///
+/// Determinism: every position runs its own independent [`System`]
+/// seeded by sweep position, so both the metrics *and* the captures are
+/// bit-identical at any `pool.threads`.
+///
+/// [`System`]: mithril_sim::System
+pub fn run_sweep_observed(
+    spec: &SweepSpec,
+    pool: PoolConfig,
+    base_seed: u64,
+    obs: ObsConfig,
+    progress: Option<&Progress>,
+) -> Vec<(SweepResult, Option<ObsCapture>)> {
+    let scenarios = spec.scenarios();
+    let outcomes =
+        engine::run_sharded_robust(&scenarios, pool, base_seed, DEFAULT_RETRIES, |s, seed| {
+            let out = s.run_observed(seed, obs);
+            if let Some(p) = progress {
+                p.tick(&s.name);
+            }
+            match out {
+                Ok((metrics, capture)) => (seed, Ok(metrics), Some(capture)),
+                Err(e) => (seed, Err(e), None),
+            }
+        });
+    scenarios
+        .into_iter()
+        .enumerate()
+        .zip(outcomes)
+        .map(|((i, scenario), item)| {
+            let (seed, outcome, capture) = match item.into_result() {
+                Ok((seed, outcome, capture)) => (seed, outcome, capture),
+                Err(e) => (
+                    engine::position_seed(base_seed, pool.shard_size, i),
+                    Err(e),
+                    None,
+                ),
+            };
+            (
+                SweepResult {
+                    scenario,
+                    seed,
+                    outcome,
+                },
+                capture,
+            )
+        })
+        .collect()
+}
+
+/// Directory-name-safe projection of a scenario name: alphanumerics,
+/// `-`, `_` and `.` pass through, everything else becomes `-`.
+fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+/// Writes the observability artifacts of an observed sweep under `dir`:
+///
+/// * `dir/NNN_<scenario>/events.jsonl` — merged per-position event log;
+/// * `dir/NNN_<scenario>/series.csv` — cycle-domain time series;
+/// * `dir/NNN_<scenario>/summary.json` — per-position counts summary;
+/// * `dir/obs_counts.json` — the aggregate per-kind count baseline
+///   ([`report::obs_counts_json`], the `BENCH_obs.json` format CI diffs).
+///
+/// Returns the aggregate `obs_counts.json` string so callers can also
+/// write it elsewhere (e.g. refresh the committed baseline).
+///
+/// # Errors
+///
+/// Any I/O failure, rendered with the offending path.
+pub fn write_obs_outputs(
+    dir: &Path,
+    base_seed: u64,
+    observed: &[(SweepResult, Option<ObsCapture>)],
+) -> Result<String, String> {
+    let io = |path: &Path, e: std::io::Error| format!("{}: {e}", path.display());
+    std::fs::create_dir_all(dir).map_err(|e| io(dir, e))?;
+    let mut entries = Vec::new();
+    for (index, (result, capture)) in observed.iter().enumerate() {
+        let Some(capture) = capture else { continue };
+        let sub = dir.join(format!(
+            "{index:03}_{}",
+            sanitize_name(&result.scenario.name)
+        ));
+        std::fs::create_dir_all(&sub).map_err(|e| io(&sub, e))?;
+        for (file, contents) in [
+            ("events.jsonl", capture.events_jsonl()),
+            ("series.csv", capture.series_csv()),
+            ("summary.json", capture.summary_json()),
+        ] {
+            let path = sub.join(file);
+            std::fs::write(&path, contents).map_err(|e| io(&path, e))?;
+        }
+        entries.push(ObsCountEntry {
+            index,
+            name: result.scenario.name.clone(),
+            seed: result.seed,
+            counts: capture.total_counts(),
+            dropped: capture.total_dropped(),
+        });
+    }
+    let counts = report::obs_counts_json(base_seed, &entries);
+    let path = dir.join("obs_counts.json");
+    std::fs::write(&path, &counts).map_err(|e| io(&path, e))?;
+    Ok(counts)
 }
 
 /// Executes a fault-resilience campaign (`spec.base` × `spec.rates_ppm`)
@@ -161,6 +334,20 @@ pub fn run_sweep_journaled(
     path: &Path,
     resume: bool,
 ) -> Result<JournaledSweep, String> {
+    run_sweep_journaled_with(spec, pool, base_seed, path, resume, false)
+}
+
+/// [`run_sweep_journaled`] with an optional stderr [`Progress`]
+/// heartbeat; the counter starts at the number of journal-recovered
+/// scenarios so it counts toward the full sweep total.
+pub fn run_sweep_journaled_with(
+    spec: &SweepSpec,
+    pool: PoolConfig,
+    base_seed: u64,
+    path: &Path,
+    resume: bool,
+    progress: bool,
+) -> Result<JournaledSweep, String> {
     let scenarios = spec.scenarios();
     let fp = journal::fingerprint(base_seed, &scenarios);
     let (mut entries, dropped_lines, writer) = if resume && path.exists() {
@@ -180,6 +367,7 @@ pub fn run_sweep_journaled(
         .map(|(i, _)| (i, &scenarios[i]))
         .collect();
     let ran = missing.len();
+    let heartbeat = progress.then(|| Progress::start_at(scenarios.len(), recovered));
 
     // The engine seeds by position in `missing`, which shifts on resume;
     // seed by position in the *full* scenario list instead, so resumed
@@ -198,6 +386,9 @@ pub fn run_sweep_journaled(
             };
             let entry = report::result_json(&result);
             writer.record(index, entry.trim_start());
+            if let Some(p) = &heartbeat {
+                p.tick(&scenario.name);
+            }
             entry
         },
     );

@@ -12,6 +12,9 @@ use mithril_sim::{ChannelMetrics, FaultStats, Metrics};
 
 use crate::scenarios::{geometry_tag, Scenario};
 
+pub use mithril_obs::{validate_format_version, FORMAT_VERSION};
+use mithril_obs::{KINDS, KIND_NAMES};
+
 /// One executed scenario with its seed and results.
 #[derive(Debug, Clone)]
 pub struct SweepResult {
@@ -194,7 +197,7 @@ pub fn metrics_only_json(base_seed: u64, results: &[SweepResult]) -> String {
         })
         .collect();
     format!(
-        "{{\n  \"base_seed\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"format_version\": {FORMAT_VERSION},\n  \"base_seed\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
         base_seed,
         entries.join(",\n")
     )
@@ -219,7 +222,7 @@ pub fn sweep_json(base_seed: u64, results: &[SweepResult]) -> String {
 /// an uninterrupted one.
 pub fn sweep_json_from_entries(base_seed: u64, entries: &[String]) -> String {
     format!(
-        "{{\n  \"base_seed\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"format_version\": {FORMAT_VERSION},\n  \"base_seed\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
         base_seed,
         entries.join(",\n")
     )
@@ -303,12 +306,75 @@ pub fn faults_json(base_seed: u64, scrub: bool, rates_ppm: &[u64], runs: &[Fault
 
     let rates: Vec<String> = rates_ppm.iter().map(|r| r.to_string()).collect();
     format!(
-        "{{\n  \"base_seed\": {},\n  \"scrub\": {},\n  \"rates_ppm\": [{}],\n  \"runs\": [\n{}\n  ],\n  \"curves\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"format_version\": {FORMAT_VERSION},\n  \"base_seed\": {},\n  \"scrub\": {},\n  \"rates_ppm\": [{}],\n  \"runs\": [\n{}\n  ],\n  \"curves\": [\n{}\n  ]\n}}\n",
         base_seed,
         scrub,
         rates.join(","),
         entries.join(",\n"),
         curves.join(",\n")
+    )
+}
+
+/// One observed position's exact per-kind event counts, as recorded by
+/// the observability ring sinks (counts are exact even when the ring
+/// dropped payloads).
+#[derive(Debug, Clone)]
+pub struct ObsCountEntry {
+    /// Position of the scenario in the sweep registry.
+    pub index: usize,
+    /// Scenario name.
+    pub name: String,
+    /// Seed the engine assigned to this position.
+    pub seed: u64,
+    /// Exact per-kind counts summed over channels, indexed like
+    /// [`KIND_NAMES`].
+    pub counts: [u64; KINDS],
+    /// Events evicted from the bounded rings (payloads lost, counts kept).
+    pub dropped: u64,
+}
+
+fn kind_counts_json(counts: &[u64; KINDS]) -> String {
+    let fields: Vec<String> = KIND_NAMES
+        .iter()
+        .zip(counts.iter())
+        .map(|(name, c)| format!("\"{name}\":{c}"))
+        .collect();
+    format!("{{{}}}", fields.join(","))
+}
+
+/// Renders the aggregate observability baseline (`BENCH_obs.json`): exact
+/// per-kind event counts for every observed sweep position plus the
+/// sweep-wide totals. Deterministic like [`sweep_json`] — counts depend
+/// only on simulated execution, never on thread count or ring capacity,
+/// so CI can diff this file byte-for-byte against a committed baseline.
+pub fn obs_counts_json(base_seed: u64, entries: &[ObsCountEntry]) -> String {
+    let mut totals = [0u64; KINDS];
+    let mut total_dropped = 0u64;
+    for e in entries {
+        for (t, c) in totals.iter_mut().zip(e.counts.iter()) {
+            *t += c;
+        }
+        total_dropped += e.dropped;
+    }
+    let lines: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{\"index\":{},\"name\":\"{}\",\"seed\":{},\"counts\":{},\"dropped\":{}}}",
+                e.index,
+                esc(&e.name),
+                e.seed,
+                kind_counts_json(&e.counts),
+                e.dropped
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"format_version\": {FORMAT_VERSION},\n  \"base_seed\": {},\n  \"positions\": [\n{}\n  ],\n  \"totals\": {},\n  \"total_dropped\": {}\n}}\n",
+        base_seed,
+        lines.join(",\n"),
+        kind_counts_json(&totals),
+        total_dropped
     )
 }
 

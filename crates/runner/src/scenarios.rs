@@ -9,7 +9,10 @@
 use mithril::MithrilConfig;
 use mithril_baselines::{BlockHammerConfig, CbtConfig, GrapheneConfig, TwiCeConfig, FLIP_TH_SWEEP};
 use mithril_dram::{Ddr5Timing, Geometry};
-use mithril_sim::{geomean, FaultConfig, FaultStats, Metrics, Scheme, System, SystemConfig};
+use mithril_obs::ObsCapture;
+use mithril_sim::{
+    geomean, FaultConfig, FaultStats, Metrics, ObsConfig, Scheme, System, SystemConfig,
+};
 use mithril_trace::ReplayEnd;
 use mithril_workloads::{
     attack_mix, bh_cover_attack_mix, channel_interference_mix, mix_blend, mix_high, multithreaded,
@@ -267,6 +270,25 @@ fn run_capped(
     run_capped_detailed(cfg, workload_name, insts_per_core, seed).map(|(m, _)| m)
 }
 
+/// [`run_capped_detailed`] with ring-sink observability attached: the
+/// same run, but the controllers record structured events and the system
+/// samples cycle-domain probes. The metrics are identical to the
+/// unobserved run — the instrumentation only reads simulator state.
+fn run_capped_observed(
+    cfg: SystemConfig,
+    workload_name: &str,
+    insts_per_core: u64,
+    seed: u64,
+    obs: ObsConfig,
+) -> Result<(Metrics, ObsCapture), String> {
+    let threads = workload(workload_name, cfg.cores, &cfg, seed);
+    let mut sys = System::with_obs(cfg, threads, obs)?;
+    let max_time = insts_per_core.saturating_mul(MAX_TIME_PS_PER_INST);
+    let metrics = sys.run(insts_per_core, max_time);
+    let capture = sys.take_obs();
+    Ok((metrics, capture))
+}
+
 /// Runs one configuration over one workload for `insts_per_core`.
 ///
 /// # Panics
@@ -410,6 +432,20 @@ impl Scenario {
             &self.workload,
             self.insts_per_core,
             seed,
+        )
+    }
+
+    /// Like [`Scenario::run`], additionally returning the observability
+    /// capture (structured events + cycle-domain time series) recorded
+    /// under `obs`. The metrics are identical to [`Scenario::run`]'s —
+    /// observability reads simulator state but never steers it.
+    pub fn run_observed(&self, seed: u64, obs: ObsConfig) -> Result<(Metrics, ObsCapture), String> {
+        run_capped_observed(
+            self.system_config(seed),
+            &self.workload,
+            self.insts_per_core,
+            seed,
+            obs,
         )
     }
 }

@@ -39,7 +39,7 @@ mod system;
 pub use core_model::CoreParams;
 pub use llc::{Llc, LlcAccess, LlcConfig};
 pub use metrics::{geomean, ChannelMetrics, Metrics};
-pub use system::{Scheme, System, SystemConfig};
+pub use system::{ObsConfig, Scheme, System, SystemConfig};
 
 // Re-exported so benches and the runner can select the controller's
 // scheduler core without a direct memctrl dependency.

@@ -14,6 +14,9 @@ use mithril_memctrl::{
     AddressMapping, McConfig, McMitigation, MemRequest, MemoryController, NoMcMitigation, RfmMode,
     SchedulerKind,
 };
+use mithril_obs::{
+    ChannelCapture, EventSink, NullSink, ObsCapture, RingSink, SampleRow, Sampler, DEFAULT_CYCLE_PS,
+};
 use mithril_workloads::{ThreadSet, TraceOp};
 
 use crate::core_model::{CoreParams, CoreState};
@@ -145,6 +148,28 @@ impl SystemConfig {
 /// scenario seed (scheme RNGs, workload generators).
 const FAULT_SEED_SALT: u64 = 0xFA_171A_7ED0_5EED;
 
+/// Observability capture parameters for [`System::with_obs`].
+#[derive(Debug, Clone, Copy)]
+pub struct ObsConfig {
+    /// Events retained per channel ring (exact per-kind counts are kept
+    /// regardless; the ring only bounds the JSONL tail).
+    pub ring_capacity: usize,
+    /// Time-series grid spacing, in memory cycles.
+    pub interval_cycles: u64,
+    /// Memory-cycle period in picoseconds (the cycle domain of the grid).
+    pub cycle_ps: u64,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            ring_capacity: 65_536,
+            interval_cycles: 100_000,
+            cycle_ps: DEFAULT_CYCLE_PS,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 enum ReqKind {
     /// Demand fill of a cacheable line; wakes merged waiters and fills LLC.
@@ -156,12 +181,18 @@ enum ReqKind {
 }
 
 /// The assembled system.
-pub struct System {
+///
+/// Generic over an observability sink `S` (default: the disabled
+/// [`NullSink`], under which the obs plumbing compiles away). Build an
+/// observed system with [`System::with_obs`].
+pub struct System<S: EventSink = NullSink> {
     config: SystemConfig,
     cores: Vec<CoreState>,
     threads: ThreadSet,
     llc: Llc,
-    mcs: Vec<MemoryController>,
+    mcs: Vec<MemoryController<S>>,
+    /// Per-channel cycle-grid samplers; empty when obs is disabled.
+    samplers: Vec<Sampler>,
     mapping: AddressMapping,
     /// In-flight request slab: the request id *is* the slot index, slots
     /// recycle through `free_req_ids`. Scheduling decisions never depend
@@ -183,6 +214,76 @@ impl System {
     /// Returns an error string when the scheme cannot be configured for
     /// `config.flip_th` (e.g. an infeasible Mithril `(FlipTH, RFMTH)` pair).
     pub fn new(config: SystemConfig, threads: ThreadSet) -> Result<Self, String> {
+        Self::assemble(config, threads, |_| NullSink, None)
+    }
+}
+
+impl System<RingSink> {
+    /// Builds a system with structured event tracing and cycle-grid
+    /// sampling enabled on every channel. Drain the capture with
+    /// [`take_obs`](System::take_obs) after the run.
+    pub fn with_obs(
+        config: SystemConfig,
+        threads: ThreadSet,
+        obs: ObsConfig,
+    ) -> Result<Self, String> {
+        Self::assemble(
+            config,
+            threads,
+            |_| RingSink::new(obs.ring_capacity),
+            Some(obs),
+        )
+    }
+
+    /// Drains everything observed so far — per-channel events, exact
+    /// per-kind counts and time-series rows — leaving the sinks empty
+    /// but still recording.
+    pub fn take_obs(&mut self) -> ObsCapture {
+        let cycle_ps = self
+            .samplers
+            .first()
+            .map(Sampler::cycle_ps)
+            .unwrap_or(DEFAULT_CYCLE_PS);
+        let interval_cycles = self
+            .samplers
+            .first()
+            .map(Sampler::interval_cycles)
+            .unwrap_or(1);
+        let channels = self
+            .mcs
+            .iter_mut()
+            .zip(self.samplers.iter_mut())
+            .enumerate()
+            .map(|(ch, (mc, sampler))| {
+                let sink = mc.obs_mut();
+                let counts = *sink.counts();
+                let dropped = sink.dropped();
+                ChannelCapture {
+                    channel: ch as u32,
+                    events: sink.take_events(),
+                    counts,
+                    dropped,
+                    rows: sampler.take_rows(),
+                }
+            })
+            .collect();
+        ObsCapture {
+            cycle_ps,
+            interval_cycles,
+            channels,
+        }
+    }
+}
+
+impl<S: EventSink> System<S> {
+    /// Shared construction path: builds every channel with a sink from
+    /// `mk_sink` and (when `obs` is set) a cycle-grid sampler per channel.
+    fn assemble(
+        config: SystemConfig,
+        threads: ThreadSet,
+        mk_sink: impl Fn(usize) -> S,
+        obs: Option<ObsConfig>,
+    ) -> Result<Self, String> {
         assert_eq!(
             config.cores,
             threads.threads.len(),
@@ -190,8 +291,14 @@ impl System {
         );
         let mut mcs = Vec::with_capacity(config.geometry.channels);
         for ch in config.geometry.channel_ids() {
-            mcs.push(Self::build_channel(&config, ch.0)?);
+            mcs.push(Self::build_channel(&config, ch.0, mk_sink(ch.0))?);
         }
+        let samplers = match obs {
+            Some(o) => (0..config.geometry.channels)
+                .map(|_| Sampler::new(o.interval_cycles, o.cycle_ps))
+                .collect(),
+            None => Vec::new(),
+        };
         Ok(Self {
             cores: (0..config.cores)
                 .map(|_| CoreState::new(config.core, u64::MAX))
@@ -199,6 +306,7 @@ impl System {
             threads,
             llc: Llc::new(config.llc),
             mcs,
+            samplers,
             mapping: config.mapping(),
             requests: Vec::new(),
             free_req_ids: Vec::new(),
@@ -208,7 +316,11 @@ impl System {
         })
     }
 
-    fn build_channel(config: &SystemConfig, channel: usize) -> Result<MemoryController, String> {
+    fn build_channel(
+        config: &SystemConfig,
+        channel: usize,
+        obs: S,
+    ) -> Result<MemoryController<S>, String> {
         let timing = config.timing;
         // Each controller owns one channel's worth of the hierarchy.
         let geometry = config.geometry.channel_view();
@@ -305,11 +417,12 @@ impl System {
                 })
             }
         };
-        Ok(MemoryController::with_scheduler(
+        Ok(MemoryController::with_obs(
             device,
             mc_cfg,
             mitigation,
             config.scheduler,
+            obs,
         ))
     }
 
@@ -331,6 +444,7 @@ impl System {
                     break;
                 }
             }
+            self.poll_samplers(epoch_end);
             let all_done = self.cores.iter().all(|c| c.done());
             if all_done || epoch_end >= max_time {
                 break;
@@ -424,6 +538,40 @@ impl System {
         any
     }
 
+    /// Emits one time-series row per channel for every grid deadline the
+    /// epoch fence passed. Rows are stamped with the *scheduled* grid
+    /// cycle, so the series depends only on simulated time, never on how
+    /// unevenly the event loops advanced. No-op when obs is disabled.
+    fn poll_samplers(&mut self, now: TimePs) {
+        if self.samplers.is_empty() {
+            return;
+        }
+        let (llc_hits, llc_misses) = self.llc.counters();
+        let mut samplers = std::mem::take(&mut self.samplers);
+        for (ch, sampler) in samplers.iter_mut().enumerate() {
+            let mc = &self.mcs[ch];
+            let s = mc.stats();
+            let (cand_hits, cand_invalidations) = mc.obs_cand_counters();
+            sampler.poll(now, &mut |cycle| SampleRow {
+                cycle,
+                channel: ch as u32,
+                acts: s.acts,
+                refs: s.refs,
+                rfms: s.rfms,
+                rfm_elisions: s.rfm_elisions,
+                arrs: s.arrs,
+                queue_depth: mc.queue_depth(),
+                tracker: mc.observe_trackers(),
+                cand_hits,
+                cand_invalidations,
+                llc_hits,
+                llc_misses,
+                bank_acts: mc.obs_bank_acts().to_vec(),
+            });
+        }
+        self.samplers = samplers;
+    }
+
     fn alloc_request(&mut self, kind: ReqKind) -> u64 {
         match self.free_req_ids.pop() {
             Some(id) => {
@@ -500,7 +648,7 @@ impl System {
     }
 }
 
-impl std::fmt::Debug for System {
+impl<S: EventSink> std::fmt::Debug for System<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("System")
             .field("scheme", &self.config.scheme.name())

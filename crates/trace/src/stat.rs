@@ -244,6 +244,14 @@ impl TraceStats {
     /// host- or time-dependent content), in the spirit of
     /// `BENCH_sweep.json`.
     pub fn render_json(&self) -> String {
+        self.render_json_with(None)
+    }
+
+    /// [`render_json`](TraceStats::render_json) with an optional
+    /// [`ResilienceReport`] embedded as a `resilience` object — the shape
+    /// `trace stat --resilient` emits, so a damaged capture's statistics
+    /// carry what was skipped to produce them.
+    pub fn render_json_with(&self, resilience: Option<&ResilienceReport>) -> String {
         let g = &self.header.geometry;
         let per_core: Vec<String> = self.per_core_ops.iter().map(u64::to_string).collect();
         let per_channel: Vec<String> = self
@@ -285,12 +293,25 @@ impl TraceStats {
                 )
             })
             .collect();
+        let resilience = match resilience {
+            Some(r) => format!(
+                ",\n  \"resilience\": {{\"skipped_chunks\":{},\"skipped_bytes\":{},\
+                 \"missing_end_marker\":{},\"end_count_mismatch\":{},\"clean\":{}}}",
+                r.skipped_chunks,
+                r.skipped_bytes,
+                r.missing_end_marker,
+                r.end_count_mismatch,
+                r.is_clean()
+            ),
+            None => String::new(),
+        };
         format!(
-            "{{\n  \"source\": \"{}\",\n  \"geometry\": \"{}ch{}rk{}b\",\n  \"cores\": {},\n  \
+            "{{\n  \"format_version\": {},\n  \"source\": \"{}\",\n  \"geometry\": \"{}ch{}rk{}b\",\n  \"cores\": {},\n  \
              \"base_seed\": {},\n  \"insts_per_core\": {},\n  \"total_ops\": {},\n  \
              \"per_core_ops\": [{}],\n  \"reads\": {},\n  \"writes\": {},\n  \
              \"uncacheable\": {},\n  \"distinct_rows\": {},\n  \"per_channel\": [{}],\n  \
-             \"row_touch_histogram\": [{}],\n  \"hot_rows\": [{}]\n}}\n",
+             \"row_touch_histogram\": [{}],\n  \"hot_rows\": [{}]{resilience}\n}}\n",
+            mithril_obs::FORMAT_VERSION,
             esc(&self.header.source),
             g.channels,
             g.ranks,
@@ -394,6 +415,31 @@ mod tests {
         c.push(0, &TraceOp::read(0, 1));
         let json = c.finish().render_json();
         assert!(json.contains(r#""source": "we\"ird\\name""#), "{json}");
+    }
+
+    #[test]
+    fn json_carries_format_version_and_optional_resilience() {
+        let mut c = StatsCollector::new(header(), 1);
+        c.push(0, &TraceOp::read(0, 1));
+        let s = c.finish();
+        let plain = s.render_json();
+        assert!(plain.contains("\"format_version\": 1"), "{plain}");
+        assert!(!plain.contains("\"resilience\""), "{plain}");
+        let report = ResilienceReport {
+            skipped_chunks: 2,
+            skipped_bytes: 77,
+            missing_end_marker: true,
+            end_count_mismatch: true,
+        };
+        let with = s.render_json_with(Some(&report));
+        assert!(
+            with.contains(
+                "\"resilience\": {\"skipped_chunks\":2,\"skipped_bytes\":77,\
+                 \"missing_end_marker\":true,\"end_count_mismatch\":true,\"clean\":false}"
+            ),
+            "{with}"
+        );
+        assert_eq!(with.matches('{').count(), with.matches('}').count());
     }
 
     #[test]

@@ -88,6 +88,8 @@ pub struct SpaceSaving {
     list: BucketList<u64>,
     capacity: usize,
     total_recorded: u64,
+    /// Cumulative minimum-entry evictions (observability counter).
+    evictions: u64,
 }
 
 impl SpaceSaving {
@@ -105,6 +107,7 @@ impl SpaceSaving {
             list: BucketList::with_capacity(capacity),
             capacity,
             total_recorded: 0,
+            evictions: 0,
         }
     }
 
@@ -143,8 +146,15 @@ impl SpaceSaving {
         self.index.remove(&evicted);
         self.items[victim as usize] = item;
         self.index.insert(item, victim);
+        self.evictions += 1;
         self.increment(victim);
         RecordOutcome::Evicted(evicted)
+    }
+
+    /// Cumulative minimum-entry evictions since construction (or the last
+    /// [`FrequencyTracker::clear`]).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// The minimum counter value in the table (0 while entries are free).
@@ -355,6 +365,22 @@ impl FrequencyTracker for SpaceSaving {
         self.index.clear();
         self.list.clear();
         self.total_recorded = 0;
+        self.evictions = 0;
+    }
+}
+
+impl mithril_obs::Observe for SpaceSaving {
+    /// O(1) snapshot for the cycle-domain sampler. The `u64` counters are
+    /// absolute, so min/max are the real bucket-list endpoints.
+    fn observe(&self) -> mithril_obs::TrackerObservation {
+        mithril_obs::TrackerObservation {
+            len: self.len() as u64,
+            capacity: self.capacity as u64,
+            min: self.min_count(),
+            max: self.max_entry().map(|e| e.count).unwrap_or(0),
+            evictions: self.evictions,
+            invalidations: (self.len() - self.index.len()) as u64,
+        }
     }
 }
 

@@ -102,5 +102,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  trace replay  --trace mix.mtrc --scheme mithril --metrics-only");
     println!("  trace convert --in ramulator.txt --out ext.mtrc --in-format ramulator");
     println!("  (binary: cargo run --release -p mithril-runner --bin trace -- ...)");
+
+    // 8. Observability: attach structured event logs and cycle-domain time
+    //    series to any sweep or replay — bit-identical at any --threads,
+    //    and free when not attached (see ARCHITECTURE.md, Observability).
+    println!("\nObservability quickstart:");
+    println!(
+        "  sweep --smoke --obs obs_out/          # events.jsonl + series.csv + obs_counts.json"
+    );
+    println!("  trace replay --trace mix.mtrc --obs obs_out/");
     Ok(())
 }
