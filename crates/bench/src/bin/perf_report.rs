@@ -141,15 +141,19 @@ struct SimRow {
     event_acts_per_sec: f64,
     naive_acts_per_sec: f64,
     acts: u64,
+    read_p50_ps: u64,
+    read_p99_ps: u64,
 }
 
 /// End-to-end simulator activation rate (full System: cores + LLC +
-/// controllers + DRAM) under `scheduler`, best of two runs. Unlike the
-/// bucket-table rows this measures the whole simulation loop, so it is the
-/// number sweeps and fault campaigns actually experience.
-fn sim_acts_per_sec(scheme: Scheme, scheduler: SchedulerKind, insts: u64) -> (f64, u64) {
+/// controllers + DRAM) under `scheduler`, best of two runs, plus the
+/// run's deterministic read-latency percentiles. Unlike the bucket-table
+/// rows this measures the whole simulation loop, so it is the number
+/// sweeps and fault campaigns actually experience.
+fn sim_acts_per_sec(scheme: Scheme, scheduler: SchedulerKind, insts: u64) -> (f64, u64, u64, u64) {
     let mut best = 0.0f64;
     let mut acts = 0;
+    let (mut p50, mut p99) = (0, 0);
     for _ in 0..2 {
         let mut cfg = SystemConfig::table_iii();
         cfg.cores = 4;
@@ -160,9 +164,11 @@ fn sim_acts_per_sec(scheme: Scheme, scheduler: SchedulerKind, insts: u64) -> (f6
         let m = sys.run(insts, u64::MAX);
         let rate = m.counters.acts as f64 / t0.elapsed().as_secs_f64();
         acts = m.counters.acts;
+        p50 = m.read_latency.p50();
+        p99 = m.read_latency.p99();
         best = best.max(rate);
     }
-    (best, acts)
+    (best, acts, p50, p99)
 }
 
 fn bench_sim() -> Vec<SimRow> {
@@ -181,13 +187,16 @@ fn bench_sim() -> Vec<SimRow> {
     schemes
         .iter()
         .map(|&(name, scheme)| {
-            let (event, acts) = sim_acts_per_sec(scheme, SchedulerKind::EventQueue, SIM_INSTS);
-            let (naive, _) = sim_acts_per_sec(scheme, SchedulerKind::NaiveRescan, SIM_INSTS);
+            let (event, acts, p50, p99) =
+                sim_acts_per_sec(scheme, SchedulerKind::EventQueue, SIM_INSTS);
+            let (naive, ..) = sim_acts_per_sec(scheme, SchedulerKind::NaiveRescan, SIM_INSTS);
             SimRow {
                 scheme: name,
                 event_acts_per_sec: event,
                 naive_acts_per_sec: naive,
                 acts,
+                read_p50_ps: p50,
+                read_p99_ps: p99,
             }
         })
         .collect()
@@ -219,7 +228,7 @@ fn bench_obs() -> ObsSummary {
     let m = sys.run(SIM_INSTS, u64::MAX);
     let observed = m.counters.acts as f64 / t0.elapsed().as_secs_f64();
     let capture = sys.take_obs();
-    let (plain, _) = sim_acts_per_sec(scheme, SchedulerKind::EventQueue, SIM_INSTS);
+    let (plain, ..) = sim_acts_per_sec(scheme, SchedulerKind::EventQueue, SIM_INSTS);
     ObsSummary {
         counts: capture.total_counts(),
         series_rows: capture.channels.iter().map(|c| c.rows.len()).sum(),
@@ -248,12 +257,14 @@ fn sim_rows_to_json(rows: &[SimRow]) -> String {
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             s,
-            "    {{\"scheme\": \"{}\", \"event_acts_per_sec\": {:.0}, \"naive_acts_per_sec\": {:.0}, \"speedup\": {:.2}, \"acts\": {}}}{}",
+            "    {{\"scheme\": \"{}\", \"event_acts_per_sec\": {:.0}, \"naive_acts_per_sec\": {:.0}, \"speedup\": {:.2}, \"acts\": {}, \"read_p50_ps\": {}, \"read_p99_ps\": {}}}{}",
             r.scheme,
             r.event_acts_per_sec,
             r.naive_acts_per_sec,
             r.event_acts_per_sec / r.naive_acts_per_sec,
             r.acts,
+            r.read_p50_ps,
+            r.read_p99_ps,
             if i + 1 < rows.len() { "," } else { "" }
         );
     }
@@ -322,17 +333,19 @@ fn main() {
     println!("\n# End-to-end simulator rate: event-driven vs naive-rescan controller core");
     println!("# (full System loop, 4 cores, mix-high; acts/s of simulated activations)");
     println!(
-        "{:>10} {:>18} {:>18} {:>9}",
-        "scheme", "event acts/s", "naive acts/s", "speedup"
+        "{:>10} {:>18} {:>18} {:>9} {:>12} {:>12}",
+        "scheme", "event acts/s", "naive acts/s", "speedup", "read p50", "read p99"
     );
     let sim = bench_sim();
     for r in &sim {
         println!(
-            "{:>10} {:>18.0} {:>18.0} {:>8.2}x",
+            "{:>10} {:>18.0} {:>18.0} {:>8.2}x {:>10}ps {:>10}ps",
             r.scheme,
             r.event_acts_per_sec,
             r.naive_acts_per_sec,
-            r.event_acts_per_sec / r.naive_acts_per_sec
+            r.event_acts_per_sec / r.naive_acts_per_sec,
+            r.read_p50_ps,
+            r.read_p99_ps
         );
     }
 

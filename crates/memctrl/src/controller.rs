@@ -27,7 +27,9 @@
 use std::collections::VecDeque;
 
 use mithril_dram::{BankId, DramDevice, FaultStats, RankId, RowId, TimePs};
-use mithril_obs::{Event, EventSink, LaneCause, NullSink, TrackerObservation};
+use mithril_obs::{
+    Event, EventSink, LaneCause, LatencyHistogram, NullSink, PerCore, TrackerObservation,
+};
 
 use crate::bliss::{Bliss, BlissConfig};
 use crate::mitigation::{McAction, McMitigation};
@@ -96,8 +98,50 @@ pub struct Completion {
     pub is_write: bool,
 }
 
+/// One core's share of a controller's activity — the per-tenant
+/// attribution the QoS roadmap item needs. Every field is attributed to
+/// the *issuing* core of the request that caused the command: latency to
+/// the request that completed, RFM/mitigation triggers to the ACT whose
+/// activation crossed the threshold (the "who is hammering" signal), not
+/// to the bank cadence that later issued the command.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// ACTs issued for this core's requests.
+    pub acts: u64,
+    /// Demand reads completed for this core.
+    pub reads_done: u64,
+    /// Writebacks completed for this core.
+    pub writes_done: u64,
+    /// ACTs of this core delayed by a throttling mitigation.
+    pub throttled_acts: u64,
+    /// RAA-threshold crossings caused by this core's ACTs (each arms one
+    /// pending RFM on the bank).
+    pub rfm_triggers: u64,
+    /// Mitigation-engine reactions (queued ARRs) provoked by this core's
+    /// ACTs.
+    pub mitigation_triggers: u64,
+    /// Read-latency histogram of this core's completed reads,
+    /// picoseconds.
+    pub read_latency: LatencyHistogram,
+}
+
+impl CoreStats {
+    /// Folds another controller's share of the same core into `self`
+    /// (bucket-wise for the histogram, additive otherwise) — associative
+    /// and commutative, so cross-channel roll-up order does not matter.
+    pub fn merge(&mut self, other: &CoreStats) {
+        self.acts += other.acts;
+        self.reads_done += other.reads_done;
+        self.writes_done += other.writes_done;
+        self.throttled_acts += other.throttled_acts;
+        self.rfm_triggers += other.rfm_triggers;
+        self.mitigation_triggers += other.mitigation_triggers;
+        self.read_latency.merge(&other.read_latency);
+    }
+}
+
 /// Aggregate controller statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct McStats {
     /// Demand reads serviced.
     pub reads_done: u64,
@@ -122,6 +166,15 @@ pub struct McStats {
     pub arrs: u64,
     /// ACTs whose issue was delayed by a throttling mitigation.
     pub throttled_acts: u64,
+    /// Read-latency distribution (completion − arrival, picoseconds).
+    /// The histogram — not [`total_read_latency`](McStats::total_read_latency)
+    /// — is the source of truth for latency reporting; the sum survives
+    /// only to feed the legacy average field.
+    pub read_latency: LatencyHistogram,
+    /// Writeback-latency distribution (commit − arrival, picoseconds).
+    pub write_latency: LatencyHistogram,
+    /// Per-issuing-core attribution of the counters above.
+    pub per_core: PerCore<CoreStats>,
 }
 
 impl McStats {
@@ -534,9 +587,10 @@ impl<S: EventSink> MemoryController<S> {
         self.clock
     }
 
-    /// Controller statistics.
-    pub fn stats(&self) -> McStats {
-        self.stats
+    /// Controller statistics (borrowed: `McStats` now carries latency
+    /// histograms and per-core attribution, so it is no longer `Copy`).
+    pub fn stats(&self) -> &McStats {
+        &self.stats
     }
 
     /// The DRAM device behind this controller.
@@ -1222,8 +1276,16 @@ impl<S: EventSink> MemoryController<S> {
                 self.lanes[bank].hits_served += 1;
                 let timing = self.device.timing();
                 self.bus_free = now + timing.tcl + timing.tbl;
-                if !req.is_write {
-                    self.stats.total_read_latency += done.saturating_sub(req.arrival);
+                let latency = done.saturating_sub(req.arrival);
+                let core = self.stats.per_core.slot(req.thread);
+                if req.is_write {
+                    core.writes_done += 1;
+                    self.stats.write_latency.record(latency);
+                } else {
+                    core.reads_done += 1;
+                    core.read_latency.record(latency);
+                    self.stats.read_latency.record(latency);
+                    self.stats.total_read_latency += latency;
                 }
                 self.mark_dirty(bank);
                 self.obs_lane(now, bank, LaneCause::Execute);
@@ -1265,14 +1327,21 @@ impl<S: EventSink> MemoryController<S> {
                 };
                 self.device.issue_activate(bank, req.addr.row, now);
                 self.stats.acts += 1;
+                let core = self.stats.per_core.slot(req.thread);
+                core.acts += 1;
                 self.lanes[bank].hits_served = 0;
                 if throttled {
                     self.stats.throttled_acts += 1;
+                    core.throttled_acts += 1;
                 }
                 if self.config.rfm_mode != RfmMode::Disabled {
                     self.lanes[bank].raa += 1;
-                    if self.lanes[bank].raa >= self.config.rfm_th {
+                    if self.lanes[bank].raa >= self.config.rfm_th && !self.lanes[bank].rfm_pending {
                         self.lanes[bank].rfm_pending = true;
+                        // The crossing ACT armed this RFM: charge it to the
+                        // issuing core, not to the bank cadence that will
+                        // later issue the command.
+                        self.stats.per_core.slot(req.thread).rfm_triggers += 1;
                     }
                 }
                 self.mark_dirty(bank);
@@ -1317,6 +1386,10 @@ impl<S: EventSink> MemoryController<S> {
                         bank: target,
                         victims,
                     } => {
+                        // The reacting engine saw this core's ACT: the
+                        // trigger is attributed to the hammering core even
+                        // though the ARR lands on `target`'s victims.
+                        self.stats.per_core.slot(req.thread).mitigation_triggers += 1;
                         if S::ENABLED {
                             self.obs.emit(
                                 now,
@@ -1376,6 +1449,57 @@ mod tests {
         let mut out = Vec::new();
         mc.advance_until_into(end, &mut out);
         out
+    }
+
+    #[test]
+    fn latency_histogram_and_per_core_attribution_match_totals() {
+        let (mut mc, _) = controller(McConfig::default());
+        // Threads 0 and 1 hit different rows of different banks; thread 1
+        // issues twice as many reads plus a writeback.
+        for i in 0..6u64 {
+            let thread = usize::from(i % 3 != 0);
+            let addr = crate::mapping::MappedAddr {
+                channel: mithril_dram::ChannelId(0),
+                bank: (i % 4) as usize,
+                row: 10 + i,
+                col: 0,
+            };
+            mc.enqueue(MemRequest::read(i, addr, thread, 0));
+        }
+        let wb = crate::mapping::MappedAddr {
+            channel: mithril_dram::ChannelId(0),
+            bank: 0,
+            row: 99,
+            col: 0,
+        };
+        mc.enqueue(MemRequest::write(100, wb, 1, 0));
+        let done = drain(&mut mc, PS_PER_MS);
+        assert_eq!(done.len(), 7);
+
+        let s = mc.stats();
+        // The histogram is the source of truth; the legacy sum must agree
+        // exactly (both integer picoseconds over the same completions).
+        assert_eq!(s.read_latency.count(), s.reads_done);
+        assert_eq!(s.read_latency.sum(), s.total_read_latency);
+        assert_eq!(s.write_latency.count(), s.writes_done);
+        assert!(s.read_latency.min() > 0, "reads cannot complete at t=0");
+
+        // Per-core shares sum to the controller totals.
+        let (mut acts, mut reads, mut writes) = (0, 0, 0);
+        let mut merged = LatencyHistogram::new();
+        for (_, core) in s.per_core.iter() {
+            acts += core.acts;
+            reads += core.reads_done;
+            writes += core.writes_done;
+            merged.merge(&core.read_latency);
+        }
+        assert_eq!(acts, s.acts);
+        assert_eq!(reads, s.reads_done);
+        assert_eq!(writes, s.writes_done);
+        assert_eq!(merged, s.read_latency);
+        assert_eq!(s.per_core.get(0).unwrap().reads_done, 2);
+        assert_eq!(s.per_core.get(1).unwrap().reads_done, 4);
+        assert_eq!(s.per_core.get(1).unwrap().writes_done, 1);
     }
 
     #[test]

@@ -49,8 +49,8 @@ mod request;
 
 pub use bliss::{Bliss, BlissConfig};
 pub use controller::{
-    CommandKind, CommandRecord, Completion, McConfig, McStats, MemoryController, RfmMode,
-    SchedulerKind,
+    CommandKind, CommandRecord, Completion, CoreStats, McConfig, McStats, MemoryController,
+    RfmMode, SchedulerKind,
 };
 pub use mapping::{AddressMapping, MappedAddr};
 pub use mitigation::{McAction, McMitigation, NoMcMitigation};

@@ -33,10 +33,15 @@
 //! workspace; `dram`, `core`, `trackers`, `faults`, `memctrl`, `sim` and
 //! the runner all hook into it.
 
+pub mod json;
+
 /// Version stamp carried by every emitted JSON report (sweep, metrics-only
 /// replay, fault campaign, perf report, obs summaries). Bump when a report
 /// schema changes shape; diff-based gates validate it before comparing.
-pub const FORMAT_VERSION: u64 = 1;
+///
+/// History: 1 = original report dialect; 2 = added `latency`/`per_core`
+/// sections to metrics and `warnings` arrays to the obs summaries.
+pub const FORMAT_VERSION: u64 = 2;
 
 /// DDR5-4800 command-clock period in picoseconds (2400 MHz), the default
 /// cycle unit of the sample grid. `Ddr5Timing` expresses everything in
@@ -54,6 +59,284 @@ pub fn validate_format_version(json: &str) -> Result<(), String> {
         Err(format!(
             "report is missing the `{want}` stamp (schema drift or pre-versioned report)"
         ))
+    }
+}
+
+/// Renders a warning list as the inner text of a JSON array: empty for no
+/// warnings, otherwise `"w1", "w2", ...`. Shared by the obs summary and
+/// the runner's `obs_counts.json` writer so both surface ring drops the
+/// same way.
+pub fn warnings_json(warnings: &[String]) -> String {
+    let quoted: Vec<String> = warnings
+        .iter()
+        .map(|w| format!("\"{}\"", w.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    quoted.join(", ")
+}
+
+// ------------------------------------------------------------ histograms
+
+/// Linear sub-buckets per power-of-two range: values within one octave
+/// land in one of `2^SUB_BITS` equal-width slots, bounding the relative
+/// quantization error of any recorded value to `2^-SUB_BITS` (6.25%).
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS;
+
+/// Total bucket count of [`LatencyHistogram`]: 16 exact unit buckets for
+/// values below `SUB`, then 16 linear sub-buckets per octave up to the
+/// top bit of `u64` (octaves 4..=63 → 60 × 16), inclusive.
+pub const HISTOGRAM_BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// A deterministic HDR-style latency histogram: power-of-two buckets with
+/// [`SUB`](HISTOGRAM_BUCKETS) linear sub-buckets each, plus exact
+/// count/sum/min/max side counters.
+///
+/// Everything is integer arithmetic — recording, merging and percentile
+/// extraction involve no floats — so merging per-channel histograms in
+/// any order and extracting percentiles yields bit-identical results at
+/// any worker-thread count. Percentiles return the **lower bound** of the
+/// bucket containing the requested rank (relative error ≤ 1/16); the mean
+/// is exact because the sum is kept exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Per-bucket counts; empty until the first record (all-zero shape).
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Index of the bucket holding `v`. Values below `SUB` get exact unit
+/// buckets; above, the top `SUB_BITS` bits after the leading one select
+/// the linear sub-bucket within the value's octave. Monotone in `v` and
+/// continuous at the linear/log boundary (`index(v) == v` for `v < 2·SUB`).
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let sub = (v >> (msb - SUB_BITS)) as usize - SUB;
+        SUB + (msb - SUB_BITS) as usize * SUB + sub
+    }
+}
+
+/// Smallest value that maps to bucket `idx` — the value percentile
+/// extraction reports for ranks landing in that bucket.
+fn bucket_lower_bound(idx: usize) -> u64 {
+    if idx < SUB {
+        idx as u64
+    } else {
+        let k = (idx - SUB) >> SUB_BITS;
+        let sub = (idx - SUB) & (SUB - 1);
+        ((SUB + sub) as u64) << k
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram (no allocations until the first record).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value (a latency in picoseconds).
+    pub fn record(&mut self, v: u64) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; HISTOGRAM_BUCKETS];
+        }
+        self.counts[bucket_index(v)] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of recorded values (saturating at `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact mean of recorded values (0.0 when empty). Unlike the
+    /// percentiles this does not quantize: the sum is exact.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Folds `other` into `self` bucket-wise. Associative and commutative
+    /// (all integer adds/min/max), so any merge tree over the same
+    /// histograms produces the same result — the roll-up determinism the
+    /// report writers rely on.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; HISTOGRAM_BUCKETS];
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Lower bound of the bucket containing rank `ceil(count·num/den)`
+    /// (1-based), i.e. the `num/den` quantile quantized down to its bucket
+    /// boundary. Integer-only; 0 when empty.
+    pub fn quantile_lower_bound(&self, num: u64, den: u64) -> u64 {
+        assert!(den > 0 && num <= den, "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as u128 * num as u128).div_ceil(den as u128) as u64).max(1);
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_lower_bound(idx);
+            }
+        }
+        self.max
+    }
+
+    /// Median (bucket lower bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile_lower_bound(50, 100)
+    }
+
+    /// 95th percentile (bucket lower bound).
+    pub fn p95(&self) -> u64 {
+        self.quantile_lower_bound(95, 100)
+    }
+
+    /// 99th percentile (bucket lower bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile_lower_bound(99, 100)
+    }
+
+    /// 99.9th percentile (bucket lower bound).
+    pub fn p999(&self) -> u64 {
+        self.quantile_lower_bound(999, 1000)
+    }
+
+    /// Renders the summary the reports embed: exact counters plus the
+    /// standard percentile ladder, all in picoseconds. Field order is
+    /// fixed and every value is an integer, so two equal histograms render
+    /// to identical bytes.
+    pub fn summary_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"sum_ps\":{},\"min_ps\":{},\"max_ps\":{},\"p50_ps\":{},\
+             \"p95_ps\":{},\"p99_ps\":{},\"p999_ps\":{}}}",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max(),
+            self.p50(),
+            self.p95(),
+            self.p99(),
+            self.p999()
+        )
+    }
+}
+
+/// Grow-on-demand per-core attribution vector: `slot(core)` resizes with
+/// `T::default()` so instrumented code never bounds-checks against a core
+/// count it does not know. Index-wise merging keeps roll-ups
+/// order-independent when each entry's fold is.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PerCore<T> {
+    slots: Vec<T>,
+}
+
+impl<T> PerCore<T> {
+    /// An empty attribution vector.
+    pub fn new() -> Self {
+        Self { slots: Vec::new() }
+    }
+
+    /// Number of slots materialized so far (highest touched core + 1).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no core has been attributed anything yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The entry for `core`, if that slot was ever materialized.
+    pub fn get(&self, core: usize) -> Option<&T> {
+        self.slots.get(core)
+    }
+
+    /// Iterates `(core, entry)` pairs in core order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.slots.iter().enumerate()
+    }
+}
+
+impl<T: Default> PerCore<T> {
+    /// The entry for `core`, materializing default slots up to it.
+    pub fn slot(&mut self, core: usize) -> &mut T {
+        if core >= self.slots.len() {
+            self.slots.resize_with(core + 1, T::default);
+        }
+        &mut self.slots[core]
+    }
+
+    /// Folds `other` into `self` index-wise with `fold`, growing to the
+    /// longer of the two.
+    pub fn merge_by(&mut self, other: &PerCore<T>, mut fold: impl FnMut(&mut T, &T)) {
+        if other.slots.len() > self.slots.len() {
+            self.slots.resize_with(other.slots.len(), T::default);
+        }
+        for (a, b) in self.slots.iter_mut().zip(other.slots.iter()) {
+            fold(a, b);
+        }
     }
 }
 
@@ -649,8 +932,26 @@ impl ObsCapture {
         lines.join(",\n")
     }
 
+    /// Ring-drop warnings, one string per channel whose ring overwrote
+    /// events (payloads lost; exact counts were kept). Empty when nothing
+    /// was dropped — the summaries surface these so a truncated capture
+    /// is loud instead of a silently smaller `events.jsonl`.
+    pub fn warnings(&self) -> Vec<String> {
+        self.channels
+            .iter()
+            .filter(|c| c.dropped > 0)
+            .map(|c| {
+                format!(
+                    "channel {} ring dropped {} events (payloads lost, counts exact)",
+                    c.channel, c.dropped
+                )
+            })
+            .collect()
+    }
+
     /// Renders the capture summary: grid parameters, exact per-kind
-    /// totals, drop accounting and per-channel volumes.
+    /// totals, drop accounting (plus a top-level `warnings` array when
+    /// any ring dropped) and per-channel volumes.
     pub fn summary_json(&self) -> String {
         let per_channel: Vec<String> = self
             .channels
@@ -669,11 +970,13 @@ impl ObsCapture {
         format!(
             "{{\n  \"format_version\": {FORMAT_VERSION},\n  \"cycle_ps\": {},\n  \
              \"interval_cycles\": {},\n  \"events_total\": {},\n  \"events_dropped\": {},\n  \
+             \"warnings\": [{}],\n  \
              \"samples\": {},\n  \"counts\": {{\n{}\n  }},\n  \"per_channel\": [\n{}\n  ]\n}}\n",
             self.cycle_ps,
             self.interval_cycles,
             self.total_events(),
             self.total_dropped(),
+            warnings_json(&self.warnings()),
             self.channels.iter().map(|c| c.rows.len()).sum::<usize>(),
             Self::counts_json(&self.total_counts(), "    "),
             per_channel.join(",\n")
@@ -870,7 +1173,177 @@ mod tests {
 
     #[test]
     fn format_version_validation() {
-        assert!(validate_format_version("{\n  \"format_version\": 1,\n}").is_ok());
+        let stamped = format!("{{\n  \"format_version\": {FORMAT_VERSION},\n}}");
+        assert!(validate_format_version(&stamped).is_ok());
+        assert!(validate_format_version("{\n  \"format_version\": 999,\n}").is_err());
         assert!(validate_format_version("{}").is_err());
+    }
+
+    #[test]
+    fn summary_surfaces_ring_drops_as_warnings() {
+        let mut capture = ObsCapture {
+            cycle_ps: 2,
+            interval_cycles: 10,
+            channels: vec![ChannelCapture {
+                channel: 3,
+                events: vec![],
+                counts: [0; KINDS],
+                dropped: 0,
+                rows: vec![],
+            }],
+        };
+        assert!(capture.warnings().is_empty());
+        assert!(capture.summary_json().contains("\"warnings\": []"));
+        capture.channels[0].dropped = 17;
+        let summary = capture.summary_json();
+        assert!(
+            summary.contains("\"warnings\": [\"channel 3 ring dropped 17 events"),
+            "{summary}"
+        );
+    }
+
+    #[test]
+    fn histogram_bucket_mapping_is_monotone_and_invertible() {
+        // Exact below SUB, continuous at the boundary, monotone overall.
+        for v in 0..64u64 {
+            let idx = bucket_index(v);
+            assert!(bucket_lower_bound(idx) <= v);
+            if v < 2 * SUB as u64 {
+                assert_eq!(idx, v as usize, "linear region must be exact");
+            }
+            assert!(bucket_index(v + 1) >= idx);
+        }
+        // Lower bound is the smallest member of its bucket.
+        for idx in 0..HISTOGRAM_BUCKETS {
+            let lb = bucket_lower_bound(idx);
+            assert_eq!(bucket_index(lb), idx);
+            if lb > 0 {
+                assert!(bucket_index(lb - 1) < idx);
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_zero_latency_and_empty_percentiles() {
+        let empty = LatencyHistogram::new();
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.p999(), 0);
+        assert_eq!(empty.min(), 0);
+        assert_eq!(empty.max(), 0);
+        assert_eq!(empty.mean(), 0.0);
+
+        let mut h = LatencyHistogram::new();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 0);
+        assert_eq!((h.min(), h.max()), (0, 0));
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p999(), 0);
+    }
+
+    #[test]
+    fn histogram_saturates_at_the_top_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+        let top = bucket_lower_bound(HISTOGRAM_BUCKETS - 1);
+        assert_eq!(h.p50(), top);
+        assert_eq!(h.p999(), top);
+    }
+
+    #[test]
+    fn histogram_percentiles_pick_bucket_lower_bounds() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        // Rank 50 is value 50; its bucket [50, 52) has lower bound 50.
+        assert_eq!(h.p50(), 50);
+        // Rank 95 is value 95, quantized down to its bucket start 92.
+        assert_eq!(h.p95(), 92);
+        assert_eq!(h.p99(), 96);
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99() && h.p99() <= h.p999());
+        assert!((h.mean() - 50.5).abs() < 1e-12, "mean is exact");
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative() {
+        let make = |vals: &[u64]| {
+            let mut h = LatencyHistogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let a = make(&[0, 1, 17, 900]);
+        let b = make(&[5, 5, 123_456]);
+        let c = make(&[u64::MAX, 3]);
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "merge must be associative");
+
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, ba, "merge must be commutative");
+
+        let mut with_empty = a.clone();
+        with_empty.merge(&LatencyHistogram::new());
+        assert_eq!(with_empty, a, "empty is the identity");
+        let mut from_empty = LatencyHistogram::new();
+        from_empty.merge(&a);
+        assert_eq!(from_empty.summary_json(), a.summary_json());
+    }
+
+    #[test]
+    fn histogram_summary_json_is_integer_only() {
+        let mut h = LatencyHistogram::new();
+        h.record(40);
+        h.record(60);
+        let json = h.summary_json();
+        assert_eq!(
+            json,
+            "{\"count\":2,\"sum_ps\":100,\"min_ps\":40,\"max_ps\":60,\
+             \"p50_ps\":40,\"p95_ps\":60,\"p99_ps\":60,\"p999_ps\":60}"
+        );
+        assert_eq!(
+            LatencyHistogram::new().summary_json(),
+            "{\"count\":0,\"sum_ps\":0,\"min_ps\":0,\"max_ps\":0,\
+             \"p50_ps\":0,\"p95_ps\":0,\"p99_ps\":0,\"p999_ps\":0}"
+        );
+    }
+
+    #[test]
+    fn per_core_grows_on_demand_and_merges_index_wise() {
+        let mut pc: PerCore<u64> = PerCore::new();
+        assert!(pc.is_empty());
+        *pc.slot(2) += 5;
+        assert_eq!(pc.len(), 3);
+        assert_eq!(pc.get(0), Some(&0));
+        assert_eq!(pc.get(2), Some(&5));
+        assert_eq!(pc.get(3), None);
+
+        let mut other: PerCore<u64> = PerCore::new();
+        *other.slot(0) += 1;
+        *other.slot(4) += 9;
+        pc.merge_by(&other, |a, b| *a += b);
+        assert_eq!(pc.len(), 5);
+        let flat: Vec<u64> = pc.iter().map(|(_, v)| *v).collect();
+        assert_eq!(flat, vec![1, 0, 5, 0, 9]);
     }
 }

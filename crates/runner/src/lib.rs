@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytics;
 pub mod engine;
 pub mod journal;
 pub mod report;

@@ -8,7 +8,7 @@
 //! stdout, not in the report.
 
 use mithril_dram::EnergyCounters;
-use mithril_sim::{ChannelMetrics, FaultStats, Metrics};
+use mithril_sim::{ChannelMetrics, CoreStats, FaultStats, Metrics, PerCore};
 
 use crate::scenarios::{geometry_tag, Scenario};
 
@@ -96,19 +96,59 @@ fn channel_json(c: &ChannelMetrics) -> String {
     )
 }
 
+/// Renders the per-core attribution array: one entry per issuing core,
+/// with its command shares, latency percentiles and its share of the
+/// mitigation triggers (the "who is hammering" signal, rendered as an
+/// exact fraction of the run's total triggers).
+fn per_core_json(per_core: &PerCore<CoreStats>) -> String {
+    let total_triggers: u64 = per_core.iter().map(|(_, c)| c.mitigation_triggers).sum();
+    let entries: Vec<String> = per_core
+        .iter()
+        .map(|(core, c)| {
+            let share = if total_triggers == 0 {
+                0.0
+            } else {
+                c.mitigation_triggers as f64 / total_triggers as f64
+            };
+            format!(
+                "{{\"core\":{core},\"acts\":{},\"reads\":{},\"writes\":{},\
+                 \"throttled_acts\":{},\"rfm_triggers\":{},\"mitigation_triggers\":{},\
+                 \"trigger_share\":{},\"p50_ps\":{},\"p99_ps\":{}}}",
+                c.acts,
+                c.reads_done,
+                c.writes_done,
+                c.throttled_acts,
+                c.rfm_triggers,
+                c.mitigation_triggers,
+                num(share),
+                c.read_latency.p50(),
+                c.read_latency.p99()
+            )
+        })
+        .collect();
+    format!("[{}]", entries.join(","))
+}
+
 /// Renders one run's [`Metrics`] in the deterministic report dialect.
 ///
 /// Public because replay comparisons diff *metrics*, not scenario labels:
 /// a replayed scenario is named `trace:<path>` while its live twin carries
 /// the generator name, so whole-report strings can never match — this
 /// projection is the byte-comparable part.
+///
+/// The `latency` section embeds the read/write histograms' integer
+/// summaries (exact count/sum/min/max plus bucket-lower-bound
+/// percentiles) and `per_core` the per-issuing-core attribution; both are
+/// integer-rendered, so they are byte-identical at any thread count like
+/// the rest of the report.
 pub fn metrics_json(m: &Metrics) -> String {
     let channels: Vec<String> = m.per_channel.iter().map(channel_json).collect();
     format!(
         "{{\"aggregate_ipc\":{},\"total_insts\":{},\"sim_time_ps\":{},\"llc_miss_rate\":{},\
          \"energy_pj\":{},\"rfms\":{},\"rfm_elisions\":{},\"arrs\":{},\"throttled_acts\":{},\
          \"avg_read_latency_ns\":{},\"max_disturbance\":{},\"flips\":{},\"counters\":{},\
-         \"per_channel\":[{}]}}",
+         \"per_channel\":[{}],\
+         \"latency\":{{\"read\":{},\"write\":{}}},\"per_core\":{}}}",
         num(m.aggregate_ipc),
         m.total_insts,
         m.sim_time_ps,
@@ -122,7 +162,10 @@ pub fn metrics_json(m: &Metrics) -> String {
         m.max_disturbance,
         m.flips,
         counters_json(&m.counters),
-        channels.join(",")
+        channels.join(","),
+        m.read_latency.summary_json(),
+        m.write_latency.summary_json(),
+        per_core_json(&m.per_core)
     )
 }
 
@@ -347,6 +390,10 @@ fn kind_counts_json(counts: &[u64; KINDS]) -> String {
 /// sweep-wide totals. Deterministic like [`sweep_json`] — counts depend
 /// only on simulated execution, never on thread count or ring capacity,
 /// so CI can diff this file byte-for-byte against a committed baseline.
+///
+/// Ring drops surface as a top-level `warnings` array (one entry per
+/// affected position) rather than only the silent `total_dropped`
+/// counter; `obs report` flags any nonzero drop it ingests.
 pub fn obs_counts_json(base_seed: u64, entries: &[ObsCountEntry]) -> String {
     let mut totals = [0u64; KINDS];
     let mut total_dropped = 0u64;
@@ -356,6 +403,16 @@ pub fn obs_counts_json(base_seed: u64, entries: &[ObsCountEntry]) -> String {
         }
         total_dropped += e.dropped;
     }
+    let warnings: Vec<String> = entries
+        .iter()
+        .filter(|e| e.dropped > 0)
+        .map(|e| {
+            format!(
+                "position {} ({}) ring dropped {} events (payloads lost, counts exact)",
+                e.index, e.name, e.dropped
+            )
+        })
+        .collect();
     let lines: Vec<String> = entries
         .iter()
         .map(|e| {
@@ -370,11 +427,12 @@ pub fn obs_counts_json(base_seed: u64, entries: &[ObsCountEntry]) -> String {
         })
         .collect();
     format!(
-        "{{\n  \"format_version\": {FORMAT_VERSION},\n  \"base_seed\": {},\n  \"positions\": [\n{}\n  ],\n  \"totals\": {},\n  \"total_dropped\": {}\n}}\n",
+        "{{\n  \"format_version\": {FORMAT_VERSION},\n  \"base_seed\": {},\n  \"positions\": [\n{}\n  ],\n  \"totals\": {},\n  \"total_dropped\": {},\n  \"warnings\": [{}]\n}}\n",
         base_seed,
         lines.join(",\n"),
         kind_counts_json(&totals),
-        total_dropped
+        total_dropped,
+        mithril_obs::warnings_json(&warnings)
     )
 }
 
@@ -414,6 +472,43 @@ mod tests {
         assert!(a.contains("\"base_seed\": 7"));
         assert!(a.contains("\"per_channel\""));
         assert!(a.contains("\"geometry\""));
+        // The latency histograms and per-core attribution ride in every
+        // metrics object, integer-rendered.
+        assert!(a.contains("\"latency\":{\"read\":{\"count\":"));
+        assert!(a.contains("\"p999_ps\":"));
+        assert!(a.contains("\"per_core\":[{\"core\":0,"));
+        assert!(a.contains("\"trigger_share\":"));
+    }
+
+    #[test]
+    fn per_core_trigger_shares_sum_to_one() {
+        let mut per_core: PerCore<CoreStats> = PerCore::new();
+        per_core.slot(0).mitigation_triggers = 3;
+        per_core.slot(1).mitigation_triggers = 1;
+        let json = per_core_json(&per_core);
+        assert!(json.contains("\"trigger_share\":0.75"), "{json}");
+        assert!(json.contains("\"trigger_share\":0.25"), "{json}");
+        // No triggers at all: shares are 0, not NaN.
+        let json = per_core_json(&PerCore::new());
+        assert_eq!(json, "[]");
+    }
+
+    #[test]
+    fn obs_counts_surface_drops_as_warnings() {
+        let entry = |index: usize, dropped: u64| ObsCountEntry {
+            index,
+            name: format!("scenario-{index}"),
+            seed: 1,
+            counts: [0; KINDS],
+            dropped,
+        };
+        let clean = obs_counts_json(1, &[entry(0, 0)]);
+        assert!(clean.contains("\"warnings\": []"), "{clean}");
+        let noisy = obs_counts_json(1, &[entry(0, 0), entry(1, 9)]);
+        assert!(
+            noisy.contains("\"warnings\": [\"position 1 (scenario-1) ring dropped 9 events"),
+            "{noisy}"
+        );
     }
 
     #[test]

@@ -103,10 +103,46 @@ fn obs_counts_baseline_is_thread_count_invariant_and_versioned() {
     }
 }
 
+/// Acceptance pin: the latency histograms and per-core attribution that
+/// now ride in every metrics object are integer-rendered and must be
+/// byte-identical at any worker thread count, with real percentiles in
+/// them (not an all-zero shell).
+#[test]
+fn latency_sections_are_byte_identical_at_1_2_and_8_threads() {
+    let spec = tiny_spec();
+    let base = sweep_json(42, &run_sweep(&spec, pool(1), 42));
+    assert!(
+        base.contains("\"latency\":{\"read\":{\"count\":"),
+        "latency section missing"
+    );
+    assert!(
+        base.contains("\"per_core\":[{\"core\":0,"),
+        "per-core section missing"
+    );
+    // At least one scenario recorded a nonzero read p99.
+    let nonzero_p99 = base
+        .match_indices("\"p99_ps\":")
+        .any(|(i, pat)| !base[i + pat.len()..].starts_with('0'));
+    assert!(nonzero_p99, "every p99 is zero — nothing was recorded");
+    for threads in [2usize, 8] {
+        assert_eq!(
+            base,
+            sweep_json(42, &run_sweep(&spec, pool(threads), 42)),
+            "latency/per_core sections diverged at {threads} threads"
+        );
+    }
+}
+
 #[test]
 fn obs_counts_reject_foreign_format_versions() {
     let json = obs_counts_json(1, &[]);
     validate_format_version(&json).unwrap();
-    let forged = json.replace("\"format_version\": 1", "\"format_version\": 999");
+    let forged = json.replace(
+        &format!(
+            "\"format_version\": {}",
+            mithril_runner::report::FORMAT_VERSION
+        ),
+        "\"format_version\": 999",
+    );
     assert!(validate_format_version(&forged).is_err());
 }

@@ -43,7 +43,11 @@ pub use system::{ObsConfig, Scheme, System, SystemConfig};
 
 // Re-exported so benches and the runner can select the controller's
 // scheduler core without a direct memctrl dependency.
-pub use mithril_memctrl::SchedulerKind;
+pub use mithril_memctrl::{CoreStats, SchedulerKind};
+
+/// Re-exported so report writers and analysis tools can name the latency
+/// histogram / per-core attribution types without a direct obs dependency.
+pub use mithril_obs::{LatencyHistogram, PerCore};
 
 // Re-exported so scenario plumbing (the runner) can configure fault
 // campaigns and read their counters without a direct dependency.

@@ -2,6 +2,8 @@
 //! up into the system totals.
 
 use mithril_dram::{ChannelId, EnergyCounters, EnergyModel, TimePs};
+use mithril_memctrl::CoreStats;
+use mithril_obs::{LatencyHistogram, PerCore};
 
 /// One memory channel's share of a run's results.
 ///
@@ -38,6 +40,14 @@ pub struct ChannelMetrics {
     pub max_disturbance: u64,
     /// Bit flips detected on this channel.
     pub flips: usize,
+    /// Demand-read latency distribution (picoseconds). The histogram is
+    /// the source of truth for latency reporting; `avg_read_latency_ns`
+    /// is the legacy scalar projection kept for report compatibility.
+    pub read_latency: LatencyHistogram,
+    /// Writeback latency distribution (picoseconds).
+    pub write_latency: LatencyHistogram,
+    /// Per-issuing-core attribution of this channel's activity.
+    pub per_core: PerCore<CoreStats>,
 }
 
 /// Results of one system simulation run.
@@ -72,11 +82,27 @@ pub struct Metrics {
     /// ACTs delayed by throttling.
     pub throttled_acts: u64,
     /// Average demand-read latency in nanoseconds.
+    ///
+    /// Legacy scalar: it survives for report compatibility and is derived
+    /// by f64 read-weighted averaging of the per-channel averages. The
+    /// [`read_latency`](Metrics::read_latency) histogram is the source of
+    /// truth — it is merged bucket-wise in exact integer arithmetic, and
+    /// its `mean()` equals this field up to f64 rounding (test-pinned in
+    /// `legacy_average_agrees_with_histogram_mean`).
     pub avg_read_latency_ns: f64,
     /// Worst victim disturbance observed by the oracle.
     pub max_disturbance: u64,
     /// Bit flips detected (must be 0 for any deterministic scheme).
     pub flips: usize,
+    /// System-wide demand-read latency distribution: the bucket-wise
+    /// merge of every channel's histogram (picoseconds).
+    pub read_latency: LatencyHistogram,
+    /// System-wide writeback latency distribution (picoseconds).
+    pub write_latency: LatencyHistogram,
+    /// Per-core attribution merged index-wise across channels — acts,
+    /// completed reads/writes, RFM/mitigation triggers and the per-core
+    /// read-latency histogram of each issuing core.
+    pub per_core: PerCore<CoreStats>,
 }
 
 impl Metrics {
@@ -103,6 +129,9 @@ impl Metrics {
         let mut flips = 0;
         let mut lat_weighted = 0.0;
         let mut reads = 0u64;
+        let mut read_latency = LatencyHistogram::new();
+        let mut write_latency = LatencyHistogram::new();
+        let mut per_core: PerCore<CoreStats> = PerCore::new();
         for ch in &per_channel {
             counters = counters.merged(&ch.counters);
             rfms += ch.rfms;
@@ -111,8 +140,14 @@ impl Metrics {
             throttled_acts += ch.throttled_acts;
             max_disturbance = max_disturbance.max(ch.max_disturbance);
             flips += ch.flips;
+            // Legacy f64 roll-up, kept for the `avg_read_latency_ns`
+            // report field; the histogram merge below is the exact,
+            // order-independent source of truth.
             lat_weighted += ch.avg_read_latency_ns * ch.reads_done as f64;
             reads += ch.reads_done;
+            read_latency.merge(&ch.read_latency);
+            write_latency.merge(&ch.write_latency);
+            per_core.merge_by(&ch.per_core, CoreStats::merge);
         }
         Metrics {
             workload,
@@ -136,6 +171,9 @@ impl Metrics {
             },
             max_disturbance,
             flips,
+            read_latency,
+            write_latency,
+            per_core,
         }
     }
 
@@ -211,6 +249,9 @@ mod tests {
             throttled_acts: 0,
             max_disturbance: acts,
             flips: 0,
+            read_latency: LatencyHistogram::new(),
+            write_latency: LatencyHistogram::new(),
+            per_core: PerCore::new(),
         }
     }
 
@@ -281,6 +322,74 @@ mod tests {
             &EnergyModel::ddr5_default(),
         );
         assert!((m.avg_read_latency_ns - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histograms_and_per_core_roll_up_across_channels() {
+        let mut a = channel(0, 100);
+        a.read_latency.record(10_000);
+        a.read_latency.record(20_000);
+        a.per_core.slot(0).reads_done = 2;
+        a.per_core.slot(0).read_latency = a.read_latency.clone();
+        let mut b = channel(1, 100);
+        b.read_latency.record(40_000);
+        b.write_latency.record(5_000);
+        b.per_core.slot(1).reads_done = 1;
+        b.per_core.slot(1).mitigation_triggers = 3;
+        let m = Metrics::from_channels(
+            "w".into(),
+            "s".into(),
+            vec![1.0],
+            1,
+            1,
+            0.0,
+            vec![a, b],
+            &EnergyModel::ddr5_default(),
+        );
+        assert_eq!(m.read_latency.count(), 3);
+        assert_eq!(m.read_latency.sum(), 70_000);
+        assert_eq!(m.write_latency.count(), 1);
+        assert_eq!(m.per_core.len(), 2);
+        assert_eq!(m.per_core.get(0).unwrap().reads_done, 2);
+        assert_eq!(m.per_core.get(1).unwrap().mitigation_triggers, 3);
+        assert_eq!(m.per_core.get(0).unwrap().read_latency.count(), 2);
+    }
+
+    /// Satellite pin: `avg_read_latency_ns` stays the legacy f64 roll-up,
+    /// but it must agree with the histogram mean — in the real pipeline
+    /// both derive from the same exact picosecond latencies (the scalar
+    /// via the controller's exact sum, the histogram via its exact `sum`
+    /// side counter), so the agreement is to f64 rounding, well inside
+    /// the histogram's 1/16 bucket quantization error.
+    #[test]
+    fn legacy_average_agrees_with_histogram_mean() {
+        let mut chans = Vec::new();
+        for (ch, lats) in [(0usize, vec![13_731u64, 52_001]), (1, vec![9_500; 7])] {
+            let mut c = channel(ch, 10);
+            for &l in &lats {
+                c.read_latency.record(l);
+            }
+            c.reads_done = c.read_latency.count();
+            c.avg_read_latency_ns = c.read_latency.mean() / 1_000.0;
+            chans.push(c);
+        }
+        let m = Metrics::from_channels(
+            "w".into(),
+            "s".into(),
+            vec![1.0],
+            1,
+            1,
+            0.0,
+            chans,
+            &EnergyModel::ddr5_default(),
+        );
+        let hist_mean_ns = m.read_latency.mean() / 1_000.0;
+        assert!(
+            (m.avg_read_latency_ns - hist_mean_ns).abs() <= 1e-9 * hist_mean_ns.max(1.0),
+            "legacy avg {} diverged from histogram mean {}",
+            m.avg_read_latency_ns,
+            hist_mean_ns
+        );
     }
 
     #[test]

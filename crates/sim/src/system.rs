@@ -609,6 +609,9 @@ impl<S: EventSink> System<S> {
                     throttled_acts: s.throttled_acts,
                     max_disturbance: mc.device().max_disturbance(),
                     flips: mc.device().total_flips(),
+                    read_latency: s.read_latency.clone(),
+                    write_latency: s.write_latency.clone(),
+                    per_core: s.per_core.clone(),
                 }
             })
             .collect();

@@ -8,7 +8,8 @@
 #![recursion_limit = "1024"]
 
 use mithril_dram::{ChannelId, EnergyCounters, EnergyModel};
-use mithril_sim::{ChannelMetrics, Metrics};
+use mithril_obs::{LatencyHistogram, PerCore};
+use mithril_sim::{ChannelMetrics, CoreStats, Metrics};
 use proptest::prelude::*;
 
 fn counters_strategy() -> impl Strategy<Value = EnergyCounters> {
@@ -36,6 +37,7 @@ fn channel_strategy() -> impl Strategy<Value = ChannelMetrics> {
         (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 30, 0u64..1 << 30),
         (0u64..1 << 30, 0u64..1 << 30, 0u64..1 << 20, 0usize..1 << 10),
         (0u64..200_000, 0u32..1000),
+        prop::collection::vec((0u64..1 << 50, 0usize..4), 0..8),
     )
         .prop_map(
             |(
@@ -43,7 +45,16 @@ fn channel_strategy() -> impl Strategy<Value = ChannelMetrics> {
                 (reads_done, writes_done, rfms, rfm_elisions),
                 (arrs, throttled_acts, max_disturbance, flips),
                 (lat_ns, hit_milli),
+                latency_samples,
             )| {
+                let mut read_latency = LatencyHistogram::new();
+                let mut per_core: PerCore<CoreStats> = PerCore::new();
+                for &(lat_ps, core) in &latency_samples {
+                    read_latency.record(lat_ps);
+                    let slot = per_core.slot(core);
+                    slot.reads_done += 1;
+                    slot.read_latency.record(lat_ps);
+                }
                 ChannelMetrics {
                     channel: ChannelId(0), // renumbered below
                     reads_done,
@@ -58,6 +69,9 @@ fn channel_strategy() -> impl Strategy<Value = ChannelMetrics> {
                     throttled_acts,
                     max_disturbance,
                     flips,
+                    read_latency,
+                    write_latency: LatencyHistogram::new(),
+                    per_core,
                 }
             },
         )
@@ -165,6 +179,34 @@ proptest! {
                 m.avg_read_latency_ns
             );
         }
+
+        // Histogram roll-up: the system histogram is the bucket-wise merge
+        // of the channels, and (associativity + commutativity) folding in
+        // reverse order produces the identical histogram.
+        let mut fwd = LatencyHistogram::new();
+        for c in &channels {
+            fwd.merge(&c.read_latency);
+        }
+        let mut rev = LatencyHistogram::new();
+        for c in channels.iter().rev() {
+            rev.merge(&c.read_latency);
+        }
+        prop_assert_eq!(&fwd, &rev);
+        prop_assert_eq!(&m.read_latency, &fwd);
+        prop_assert_eq!(
+            m.read_latency.count(),
+            channels.iter().map(|c| c.read_latency.count()).sum::<u64>()
+        );
+
+        // Per-core roll-up: each core's reads and histogram are the merge
+        // of that core's slot across channels.
+        let mut expected: PerCore<CoreStats> = PerCore::new();
+        for c in &channels {
+            expected.merge_by(&c.per_core, CoreStats::merge);
+        }
+        prop_assert_eq!(&m.per_core, &expected);
+        let core_reads: u64 = m.per_core.iter().map(|(_, s)| s.reads_done).sum();
+        prop_assert_eq!(core_reads, m.read_latency.count());
 
         // The channel breakdown itself is passed through untouched.
         prop_assert_eq!(m.per_channel, channels);

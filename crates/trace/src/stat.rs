@@ -423,7 +423,8 @@ mod tests {
         c.push(0, &TraceOp::read(0, 1));
         let s = c.finish();
         let plain = s.render_json();
-        assert!(plain.contains("\"format_version\": 1"), "{plain}");
+        let version_line = format!("\"format_version\": {}", mithril_obs::FORMAT_VERSION);
+        assert!(plain.contains(&version_line), "{plain}");
         assert!(!plain.contains("\"resilience\""), "{plain}");
         let report = ResilienceReport {
             skipped_chunks: 2,

@@ -89,9 +89,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dt = started.elapsed().as_secs_f64().max(1e-9);
     println!(
         "\nEnd-to-end system rate (event-driven controller core, 4 cores):\n  \
-         {:.2}M simulated activations/sec, {:.2}M instructions/sec",
+         {:.2}M simulated activations/sec, {:.2}M instructions/sec\n  \
+         read latency p50 = {} ps, p99 = {} ps ({} reads histogrammed)",
         metrics.counters.acts as f64 / dt / 1e6,
-        metrics.total_insts as f64 / dt / 1e6
+        metrics.total_insts as f64 / dt / 1e6,
+        metrics.read_latency.p50(),
+        metrics.read_latency.p99(),
+        metrics.read_latency.count()
     );
 
     // 7. Beyond synthetic generators: capture and replay traces with the
@@ -111,5 +115,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  sweep --smoke --obs obs_out/          # events.jsonl + series.csv + obs_counts.json"
     );
     println!("  trace replay --trace mix.mtrc --obs obs_out/");
+    println!("  obs report baseline.json candidate.json --fail-on-regression 5");
     Ok(())
 }
