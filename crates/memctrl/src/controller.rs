@@ -33,6 +33,7 @@ use mithril_obs::{
 
 use crate::bliss::{Bliss, BlissConfig};
 use crate::mitigation::{McAction, McMitigation};
+use crate::qos::{QosPolicy, QosState, QosStats};
 use crate::request::MemRequest;
 
 /// How the controller drives the RFM interface.
@@ -274,6 +275,11 @@ enum Cand {
     Act {
         pos: u32,
         throttled: bool,
+        /// The throttle release came specifically from the QoS token
+        /// bucket (a dry suspect deferred to the window boundary). Carried
+        /// in the candidate because it cannot be recomputed at execute
+        /// time: by then the window may have rotated and refilled tokens.
+        qos_throttled: bool,
     },
 }
 
@@ -302,6 +308,7 @@ enum Action {
         bank: BankId,
         pos: usize,
         throttled: bool,
+        qos_throttled: bool,
     },
 }
 
@@ -352,9 +359,14 @@ pub struct MemoryController<S: EventSink = NullSink> {
     config: McConfig,
     scheduler: SchedulerKind,
     mitigation: Box<dyn McMitigation>,
-    /// Cached `mitigation.may_throttle()`: when true, activation release
-    /// times slide with the clock and every bank recomputes each step.
+    /// Cached `mitigation.may_throttle() || qos on`: when true, activation
+    /// release times can change step to step and every bank recomputes
+    /// each step.
     throttling: bool,
+    /// Multi-tenant QoS layer (suspect scoring + token-bucket throttle);
+    /// `None` under [`QosPolicy::Off`], leaving the controller
+    /// entry-by-entry identical to a build without the subsystem.
+    qos: Option<QosState>,
     bliss: Option<Bliss>,
     lanes: Vec<BankLane>,
     /// Banks whose cached candidate is stale (bit per flat bank).
@@ -422,6 +434,7 @@ impl<S: EventSink> MemoryController<S> {
             scheduler,
             mitigation,
             throttling,
+            qos: None,
             bliss: config.bliss.map(Bliss::new),
             lanes: (0..nbanks).map(|_| BankLane::default()).collect(),
             dirty: vec![0; words],
@@ -609,6 +622,26 @@ impl<S: EventSink> MemoryController<S> {
         self.mitigation.as_ref()
     }
 
+    /// Installs (or removes) the multi-tenant QoS policy. With any policy
+    /// other than [`QosPolicy::Off`] the controller enters throttling
+    /// mode: activation release times can change between steps, so both
+    /// scheduler cores recompute every bank each step — the conservative
+    /// fallback that keeps them decision-identical under any throttle.
+    ///
+    /// Call before advancing the controller; switching policies mid-run
+    /// is supported but resets no QoS state.
+    pub fn set_qos(&mut self, policy: QosPolicy) {
+        self.qos = QosState::new(policy);
+        self.throttling = self.mitigation.may_throttle() || self.qos.is_some();
+        self.mark_all_dirty();
+    }
+
+    /// Snapshot of the QoS layer's bookkeeping; `None` when QoS is off,
+    /// so QoS-off reports carry no QoS section at all.
+    pub fn qos_stats(&self) -> Option<QosStats> {
+        self.qos.as_ref().map(|q| q.stats())
+    }
+
     /// Advances the command loop until no action can issue at or before
     /// `end`, returning all completions produced.
     #[deprecated(
@@ -769,13 +802,14 @@ impl<S: EventSink> MemoryController<S> {
                     if lane.queue.is_empty() {
                         (Cand::Idle, 0)
                     } else if self.throttling {
-                        let (pos, t, throttled) = self
+                        let (pos, t, throttled, qos_throttled) = self
                             .best_activation(b, lane)
                             .expect("non-empty queue yields an activation");
                         (
                             Cand::Act {
                                 pos: pos as u32,
                                 throttled,
+                                qos_throttled,
                             },
                             t,
                         )
@@ -790,6 +824,7 @@ impl<S: EventSink> MemoryController<S> {
                             Cand::Act {
                                 pos: pos as u32,
                                 throttled: false,
+                                qos_throttled: false,
                             },
                             bank.earliest_activate(),
                         )
@@ -817,8 +852,10 @@ impl<S: EventSink> MemoryController<S> {
     /// pick the same action.
     fn next_candidate_event(&mut self) -> Option<(TimePs, Action)> {
         if self.throttling {
-            // Throttle releases are `now + delay`: they slide with the
-            // clock, so cached activation candidates go stale every step.
+            // Throttle releases slide with the clock (`now + delay`
+            // mitigations) or flip with executed commands (QoS token
+            // buckets), so cached activation candidates go stale every
+            // step.
             self.mark_all_dirty();
             self.obs_lane(self.clock, 0, LaneCause::Throttle);
         }
@@ -923,10 +960,15 @@ impl<S: EventSink> MemoryController<S> {
                     pos: pos as usize,
                 },
                 Cand::Pre => Action::Pre { bank },
-                Cand::Act { pos, throttled } => Action::Act {
+                Cand::Act {
+                    pos,
+                    throttled,
+                    qos_throttled,
+                } => Action::Act {
                     bank,
                     pos: pos as usize,
                     throttled,
+                    qos_throttled,
                 },
             },
         };
@@ -1064,13 +1106,14 @@ impl<S: EventSink> MemoryController<S> {
                 );
             }
             None => {
-                if let Some((pos, t, throttled)) = self.best_activation(b, bq) {
+                if let Some((pos, t, throttled, qos_throttled)) = self.best_activation(b, bq) {
                     consider(
                         t,
                         Action::Act {
                             bank: b,
                             pos,
                             throttled,
+                            qos_throttled,
                         },
                     );
                 }
@@ -1093,14 +1136,22 @@ impl<S: EventSink> MemoryController<S> {
         best.map(|(_, _, i)| i)
     }
 
-    /// Best request to activate for, with its earliest issue time.
-    fn best_activation(&self, b: BankId, bq: &BankLane) -> Option<(usize, TimePs, bool)> {
+    /// Best request to activate for, with its earliest issue time. The two
+    /// trailing booleans report whether the winning request's issue was
+    /// delayed past the bank's own earliest-activate time (throttled), and
+    /// whether the QoS token bucket specifically was the binding delay.
+    fn best_activation(&self, b: BankId, bq: &BankLane) -> Option<(usize, TimePs, bool, bool)> {
         let base = self.device.earliest_activate(b, self.clock);
-        let mut best: Option<(TimePs, bool, TimePs, usize, bool)> = None;
+        let mut best: Option<(TimePs, bool, TimePs, usize, bool, bool)> = None;
         for (i, req) in bq.queue.iter().enumerate() {
-            let release =
+            let mit_release =
                 self.mitigation
                     .activate_allowed_at(b, req.addr.row, req.thread, self.clock);
+            let qos_release = self
+                .qos
+                .as_ref()
+                .map_or(0, |q| q.activate_allowed_at(req.thread));
+            let release = mit_release.max(qos_release);
             let t = base.max(release);
             let key = (
                 t,
@@ -1108,12 +1159,13 @@ impl<S: EventSink> MemoryController<S> {
                 req.arrival,
                 i,
                 release > base,
+                qos_release > base.max(mit_release),
             );
             if best.is_none_or(|b| (key.0, key.1, key.2, key.3) < (b.0, b.1, b.2, b.3)) {
                 best = Some(key);
             }
         }
-        best.map(|(t, _, _, i, throttled)| (i, t, throttled))
+        best.map(|(t, _, _, i, throttled, qos_throttled)| (i, t, throttled, qos_throttled))
     }
 
     fn is_blacklisted(&self, thread: usize) -> bool {
@@ -1144,6 +1196,12 @@ impl<S: EventSink> MemoryController<S> {
     }
 
     fn execute(&mut self, action: Action, now: TimePs) {
+        // Rotate QoS score windows before the command's effects land, so
+        // both scheduler cores rotate at identical points of the
+        // (identical) command stream.
+        if let Some(q) = &mut self.qos {
+            q.tick(now);
+        }
         match action {
             Action::Ref { rank } => {
                 if !self.device.can_refresh_rank(rank, now) {
@@ -1318,6 +1376,7 @@ impl<S: EventSink> MemoryController<S> {
                 bank,
                 pos,
                 throttled,
+                qos_throttled,
             } => {
                 let req = self.lanes[bank].queue[pos];
                 let (pre_obs, pre_faults) = if S::ENABLED {
@@ -1334,6 +1393,9 @@ impl<S: EventSink> MemoryController<S> {
                     self.stats.throttled_acts += 1;
                     core.throttled_acts += 1;
                 }
+                if let Some(q) = &mut self.qos {
+                    q.on_act(req.thread, qos_throttled);
+                }
                 if self.config.rfm_mode != RfmMode::Disabled {
                     self.lanes[bank].raa += 1;
                     if self.lanes[bank].raa >= self.config.rfm_th && !self.lanes[bank].rfm_pending {
@@ -1342,6 +1404,9 @@ impl<S: EventSink> MemoryController<S> {
                         // issuing core, not to the bank cadence that will
                         // later issue the command.
                         self.stats.per_core.slot(req.thread).rfm_triggers += 1;
+                        if let Some(q) = &mut self.qos {
+                            q.on_pressure(req.thread);
+                        }
                     }
                 }
                 self.mark_dirty(bank);
@@ -1390,6 +1455,9 @@ impl<S: EventSink> MemoryController<S> {
                         // trigger is attributed to the hammering core even
                         // though the ARR lands on `target`'s victims.
                         self.stats.per_core.slot(req.thread).mitigation_triggers += 1;
+                        if let Some(q) = &mut self.qos {
+                            q.on_pressure(req.thread);
+                        }
                         if S::ENABLED {
                             self.obs.emit(
                                 now,
@@ -1536,7 +1604,8 @@ mod tests {
             Action::Act {
                 bank: 0,
                 pos: 0,
-                throttled: false
+                throttled: false,
+                qos_throttled: false
             }
             .priority(),
             PRIO_ACT
@@ -1789,6 +1858,77 @@ mod tests {
             );
             assert_eq!(mc.stats().throttled_acts, 1);
         }
+    }
+
+    #[test]
+    fn qos_throttles_hammering_thread_under_both_cores() {
+        use crate::qos::{QosConfig, QosPolicy};
+        let cfg = McConfig {
+            rfm_mode: RfmMode::Standard,
+            rfm_th: 4,
+            ..Default::default()
+        };
+        for kind in [SchedulerKind::EventQueue, SchedulerKind::NaiveRescan] {
+            let (mut mc, _) = controller_with(cfg, kind);
+            mc.set_qos(QosPolicy::Throttle(QosConfig {
+                window_ps: 500_000,
+                tokens_per_window: 2,
+                ..QosConfig::default()
+            }));
+            // Thread 0 hammers bank 0 across distinct rows (every access
+            // is an ACT and arms RFMs); thread 1 reads a little on bank 1.
+            for i in 0..64u64 {
+                let addr = crate::mapping::MappedAddr {
+                    channel: mithril_dram::ChannelId(0),
+                    bank: 0,
+                    row: 10 + i,
+                    col: 0,
+                };
+                mc.enqueue(MemRequest::read(i, addr, 0, 0));
+            }
+            for i in 0..4u64 {
+                let addr = crate::mapping::MappedAddr {
+                    channel: mithril_dram::ChannelId(0),
+                    bank: 1,
+                    row: 500 + i,
+                    col: 0,
+                };
+                mc.enqueue(MemRequest::read(1000 + i, addr, 1, 0));
+            }
+            let done = drain(&mut mc, PS_PER_MS);
+            assert_eq!(done.len(), 68, "all requests still complete ({kind:?})");
+            let qos = mc.qos_stats().expect("qos stats present when enabled");
+            assert!(qos.windows > 0, "windows rotate ({kind:?})");
+            let t0 = qos.per_thread[0];
+            assert!(
+                t0.suspect_windows > 0,
+                "hammering thread elected suspect ({kind:?})"
+            );
+            assert!(
+                t0.throttled_acts > 0,
+                "dry token bucket defers the hammer's ACTs ({kind:?})"
+            );
+            assert_eq!(qos.throttled_acts, t0.throttled_acts);
+            assert!(
+                qos.per_thread.get(1).is_none_or(|t| t.suspect_windows == 0),
+                "light victim thread is never suspect ({kind:?})"
+            );
+            // QoS deferrals feed the existing throttle attribution too.
+            assert!(mc.stats().throttled_acts >= t0.throttled_acts);
+            assert!(mc.stats().per_core.get(0).unwrap().throttled_acts > 0);
+        }
+    }
+
+    #[test]
+    fn qos_off_policy_keeps_controller_unthrottled() {
+        use crate::qos::QosPolicy;
+        let (mut mc, map) = controller(McConfig::default());
+        mc.set_qos(QosPolicy::Off);
+        assert!(mc.qos_stats().is_none());
+        mc.enqueue(MemRequest::read(1, map.map_line(64), 0, 0));
+        let done = drain(&mut mc, PS_PER_US);
+        assert_eq!(done.len(), 1);
+        assert_eq!(mc.stats().throttled_acts, 0);
     }
 
     #[test]

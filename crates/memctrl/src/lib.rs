@@ -14,7 +14,11 @@
 //!   the Mithril+ mode-register flag (MRR) and eliding the RFM when clear;
 //! * an **ARR path** and a **throttling hook** so MC-side mitigations
 //!   (PARA, Graphene, TWiCe, CBT, BlockHammer) can be plugged in via
-//!   [`McMitigation`].
+//!   [`McMitigation`];
+//! * a **multi-tenant QoS layer** ([`QosPolicy`], BreakHammer-style):
+//!   per-thread suspect scores fed by tracker-pressure attribution, with
+//!   a token-bucket rate clamp on suspects — see the [`qos`]-module docs
+//!   and ARCHITECTURE.md ("Multi-tenant QoS & throttling").
 //!
 //! # Example
 //!
@@ -45,6 +49,7 @@ mod bliss;
 mod controller;
 mod mapping;
 mod mitigation;
+pub mod qos;
 mod request;
 
 pub use bliss::{Bliss, BlissConfig};
@@ -54,4 +59,5 @@ pub use controller::{
 };
 pub use mapping::{AddressMapping, MappedAddr};
 pub use mitigation::{McAction, McMitigation, NoMcMitigation};
+pub use qos::{QosConfig, QosPolicy, QosStats, QosThreadStats, ThrottleKind};
 pub use request::MemRequest;

@@ -10,7 +10,7 @@
 use mithril_dram::{Ddr5Timing, DramDevice, Geometry, NoMitigation, RowId, TimePs, PS_PER_US};
 use mithril_memctrl::{
     MappedAddr, McAction, McConfig, McMitigation, MemRequest, MemoryController, NoMcMitigation,
-    RfmMode, SchedulerKind,
+    QosConfig, QosPolicy, RfmMode, SchedulerKind, ThrottleKind,
 };
 use mithril_obs::{Event, RingSink};
 use proptest::prelude::*;
@@ -93,17 +93,17 @@ fn external_events(mc: &mut MemoryController<RingSink>) -> Vec<(u64, Event)> {
         .collect()
 }
 
-/// Drives both cores through the same enqueue/advance interleaving and
-/// asserts every observable output matches.
-fn assert_cores_agree(
+/// Drives two controllers through the same enqueue/advance interleaving
+/// and asserts every observable output matches: completions, stats,
+/// device state, command log, observability events, and QoS outcomes.
+/// Returns the (agreed) QoS stats so callers can assert the run was not
+/// vacuous.
+fn assert_controllers_agree(
     geometry: Geometry,
-    cfg: McConfig,
-    mk_mitigation: impl Fn() -> Box<dyn McMitigation>,
+    mut event: MemoryController<RingSink>,
+    mut naive: MemoryController<RingSink>,
     reqs: &[Req],
-) {
-    let mut event = build(geometry, cfg, mk_mitigation(), SchedulerKind::EventQueue);
-    let mut naive = build(geometry, cfg, mk_mitigation(), SchedulerKind::NaiveRescan);
-
+) -> Option<mithril_memctrl::QosStats> {
     let nbanks = geometry.banks_total();
     let mut done_event = Vec::new();
     let mut done_naive = Vec::new();
@@ -164,6 +164,49 @@ fn assert_cores_agree(
     for (i, (e, n)) in ev_event.iter().zip(&ev_naive).enumerate() {
         assert_eq!(e, n, "observability event {i} diverges");
     }
+    assert_eq!(event.qos_stats(), naive.qos_stats(), "QoS outcomes diverge");
+    event.qos_stats()
+}
+
+/// Drives both scheduler cores (optionally with a QoS policy applied)
+/// through the same traffic and asserts decision identity.
+fn assert_cores_agree_qos(
+    geometry: Geometry,
+    cfg: McConfig,
+    mk_mitigation: impl Fn() -> Box<dyn McMitigation>,
+    qos: QosPolicy,
+    reqs: &[Req],
+) {
+    let mut event = build(geometry, cfg, mk_mitigation(), SchedulerKind::EventQueue);
+    let mut naive = build(geometry, cfg, mk_mitigation(), SchedulerKind::NaiveRescan);
+    event.set_qos(qos);
+    naive.set_qos(qos);
+    assert_controllers_agree(geometry, event, naive, reqs);
+}
+
+/// [`assert_cores_agree_qos`] without QoS — the pre-existing contract.
+fn assert_cores_agree(
+    geometry: Geometry,
+    cfg: McConfig,
+    mk_mitigation: impl Fn() -> Box<dyn McMitigation>,
+    reqs: &[Req],
+) {
+    let event = build(geometry, cfg, mk_mitigation(), SchedulerKind::EventQueue);
+    let naive = build(geometry, cfg, mk_mitigation(), SchedulerKind::NaiveRescan);
+    assert_controllers_agree(geometry, event, naive, reqs);
+}
+
+/// An aggressive QoS tuning for the differential tests: short windows,
+/// tiny token budget, low election bar — maximizes rotations, suspect
+/// churn and window-boundary deferrals per request batch.
+fn aggressive_qos() -> QosPolicy {
+    QosPolicy::Throttle(QosConfig {
+        kind: ThrottleKind::TokenBucket,
+        window_ps: 300_000,
+        share_pct: 30,
+        min_score: 8,
+        tokens_per_window: 2,
+    })
 }
 
 /// Arbitrary request batches: (bank, row, col, is_write, thread, gap).
@@ -239,6 +282,108 @@ proptest! {
             &reqs,
         );
     }
+
+    /// QoS token-bucket throttling on, with RFM pressure feeding the
+    /// suspect scorer: both cores must elect the same suspects, defer
+    /// the same ACTs to the same window boundaries, and agree on every
+    /// downstream decision.
+    #[test]
+    fn qos_throttling_matches(reqs in batches(120)) {
+        let cfg = McConfig {
+            rfm_mode: RfmMode::Standard,
+            rfm_th: 4,
+            ..Default::default()
+        };
+        assert_cores_agree_qos(
+            Geometry::default(),
+            cfg,
+            || Box::new(NoMcMitigation),
+            aggressive_qos(),
+            &reqs,
+        );
+    }
+
+    /// QoS layered on top of an ARR mitigation: both pressure sources
+    /// (RFM arming and MC-mitigation triggers) feed the scorer.
+    #[test]
+    fn qos_over_arr_mitigation_matches(reqs in batches(100), k in 2u64..6) {
+        assert_cores_agree_qos(
+            Geometry::default(),
+            McConfig::default(),
+            || Box::new(ArrEveryK { k, seen: 0 }),
+            aggressive_qos(),
+            &reqs,
+        );
+    }
+
+    /// `QosPolicy::Off` must be entry-by-entry identical to a controller
+    /// that never saw the QoS subsystem at all — the command-log half of
+    /// the `BENCH_sweep.json` byte-identity contract.
+    #[test]
+    fn qos_off_is_identical_to_no_qos(reqs in batches(120)) {
+        let cfg = McConfig {
+            rfm_mode: RfmMode::Standard,
+            rfm_th: 8,
+            ..Default::default()
+        };
+        let untouched = build(
+            Geometry::default(),
+            cfg,
+            Box::new(NoMcMitigation),
+            SchedulerKind::EventQueue,
+        );
+        let mut off = build(
+            Geometry::default(),
+            cfg,
+            Box::new(NoMcMitigation),
+            SchedulerKind::EventQueue,
+        );
+        off.set_qos(QosPolicy::Off);
+        assert_controllers_agree(Geometry::default(), untouched, off, &reqs);
+    }
+}
+
+/// The adversarial hammer under QoS throttling: the differential holds
+/// on the Table III channel while the hammer is actually being deferred
+/// (the stats assert throttling really happened, so this is not a
+/// vacuous agreement).
+#[test]
+fn adversarial_hammer_matches_under_qos() {
+    let geometry = Geometry::table_iii_system().channel_view();
+    let mut reqs = Vec::new();
+    for i in 0..400u64 {
+        let row = if i.is_multiple_of(2) { 100 } else { 102 };
+        reqs.push((0usize, row, i % 4, false, 0usize, 0u64));
+        if i % 5 == 0 {
+            reqs.push((0usize, 101, 0, false, 1usize, 0u64));
+        }
+    }
+    let cfg = McConfig {
+        rfm_mode: RfmMode::Standard,
+        rfm_th: 8,
+        ..Default::default()
+    };
+    let mut event = build(
+        geometry,
+        cfg,
+        Box::new(NoMcMitigation),
+        SchedulerKind::EventQueue,
+    );
+    let mut naive = build(
+        geometry,
+        cfg,
+        Box::new(NoMcMitigation),
+        SchedulerKind::NaiveRescan,
+    );
+    event.set_qos(aggressive_qos());
+    naive.set_qos(aggressive_qos());
+    let qos =
+        assert_controllers_agree(geometry, event, naive, &reqs).expect("QoS-on run reports stats");
+    assert!(qos.windows > 0, "windows must rotate over this horizon");
+    assert!(
+        qos.throttled_acts > 0,
+        "the hammer must actually be deferred (vacuous agreement otherwise)"
+    );
 }
 
 /// Adversarial double-sided hammer plus a conflicting victim stream on the

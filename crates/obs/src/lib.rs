@@ -32,6 +32,32 @@
 //! This crate is dependency-free and sits below every other crate in the
 //! workspace; `dram`, `core`, `trackers`, `faults`, `memctrl`, `sim` and
 //! the runner all hook into it.
+//!
+//! # Example
+//!
+//! Collect events into a bounded ring and latencies into the
+//! integer-only histogram every controller carries:
+//!
+//! ```
+//! use mithril_obs::{Event, EventSink, LatencyHistogram, RingSink};
+//!
+//! let mut sink = RingSink::new(8);
+//! for t in 0..20u64 {
+//!     sink.emit(t * 1_000, Event::Act { bank: 0, row: t });
+//! }
+//! // The ring kept the newest 8 events but the per-kind totals are exact.
+//! assert_eq!(sink.take_events().len(), 8);
+//! assert_eq!(sink.counts()[Event::Act { bank: 0, row: 0 }.kind_index()], 20);
+//!
+//! let mut h = LatencyHistogram::new();
+//! h.record(40_000);
+//! h.record(90_000);
+//! assert_eq!(h.count(), 2);
+//! assert!(h.p99() <= h.max());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod json;
 
@@ -381,40 +407,97 @@ impl LaneCause {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
     /// An ACT was issued to `bank` for `row`.
-    Act { bank: u32, row: u64 },
+    Act {
+        /// Flat bank index within the channel.
+        bank: u32,
+        /// Activated row.
+        row: u64,
+    },
     /// A rank auto-refresh covered `banks` banks of `rank`.
-    Ref { rank: u32, banks: u32 },
+    Ref {
+        /// Refreshed rank.
+        rank: u32,
+        /// Number of banks the refresh segment covered.
+        banks: u32,
+    },
     /// An RFM was issued: the engine greedily selected `aggressor`
     /// (absent when the table was empty or the tag was invalid) and
     /// refreshed `victims` rows; `skipped` marks adaptive-refresh skips.
     Rfm {
+        /// Flat bank index within the channel.
         bank: u32,
+        /// Greedily selected aggressor row, if any.
         aggressor: Option<u64>,
+        /// Victim rows refreshed.
         victims: u32,
+        /// `true` when adaptive refresh skipped the window.
         skipped: bool,
     },
     /// A Mithril+ MRR round found no pending refresh; the RFM cadence
     /// slot was elided entirely.
-    RfmElided { bank: u32 },
+    RfmElided {
+        /// Flat bank index within the channel.
+        bank: u32,
+    },
     /// An ARR (targeted victim refresh) retired for `bank`.
-    Arr { bank: u32, victims: u32 },
+    Arr {
+        /// Flat bank index within the channel.
+        bank: u32,
+        /// Victim rows refreshed.
+        victims: u32,
+    },
     /// A mitigation engine asked the controller to act (queued an ARR
     /// with `victims` victim rows) in response to an ACT.
-    MitigationTrigger { bank: u32, victims: u32 },
+    MitigationTrigger {
+        /// Flat bank index within the channel.
+        bank: u32,
+        /// Victim rows the queued ARR will refresh.
+        victims: u32,
+    },
     /// The bank's tracker evicted `evictions` minimum entries since the
     /// previous ACT (Space-Saving replacement pressure).
-    TableEvict { bank: u32, evictions: u64 },
+    TableEvict {
+        /// Flat bank index within the channel.
+        bank: u32,
+        /// Minimum-entry evictions since the previous ACT.
+        evictions: u64,
+    },
     /// The bank's tracker has `invalidations` tag-invalidated entries
     /// (CAM upsets) outstanding.
-    TableInvalidate { bank: u32, invalidations: u64 },
+    TableInvalidate {
+        /// Flat bank index within the channel.
+        bank: u32,
+        /// Outstanding tag-invalidated entries.
+        invalidations: u64,
+    },
     /// The fault plan landed `count` new faults on `bank`'s engine.
-    FaultInject { bank: u32, count: u64 },
+    FaultInject {
+        /// Flat bank index within the channel.
+        bank: u32,
+        /// Faults injected by this draw.
+        count: u64,
+    },
     /// A scrub pass detected `count` new corruptions on `bank`.
-    FaultDetect { bank: u32, count: u64 },
+    FaultDetect {
+        /// Flat bank index within the channel.
+        bank: u32,
+        /// Newly detected corruptions.
+        count: u64,
+    },
     /// A scrub pass repaired `bank`'s tracker `count` times.
-    FaultRepair { bank: u32, count: u64 },
+    FaultRepair {
+        /// Flat bank index within the channel.
+        bank: u32,
+        /// Repairs performed.
+        count: u64,
+    },
     /// The event core invalidated `bank`'s scheduler lane.
-    LaneInvalidate { bank: u32, cause: LaneCause },
+    LaneInvalidate {
+        /// Flat bank index within the channel.
+        bank: u32,
+        /// What dirtied the lane.
+        cause: LaneCause,
+    },
     /// BLISS cleared its blacklist (interval rollover or served-streak
     /// change forcing a full candidate refresh).
     BlissClear,

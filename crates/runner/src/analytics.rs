@@ -103,6 +103,20 @@ fn scenario_metrics(name: &str, metrics: &Json) -> RunMetrics {
             out.push((label.to_string(), v, dir));
         }
     }
+    // Per-tenant tails: one `core<N>_p99_ps` metric per issuing core, so
+    // a single tenant's latency blowup (the noisy-neighbor failure mode)
+    // trips the gate even when the aggregate percentiles barely move.
+    if let Some(per_core) = metrics.get("per_core").and_then(Json::as_arr) {
+        for c in per_core {
+            let (Some(core), Some(p99)) = (
+                c.get("core").and_then(Json::as_u64),
+                c.get("p99_ps").and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            out.push((format!("core{core}_p99_ps"), p99, Direction::LowerBetter));
+        }
+    }
     RunMetrics {
         name: name.to_string(),
         metrics: out,

@@ -27,6 +27,9 @@
 //!                     degradation curves per scheme
 //!   --fault-rates R,R,...  override the campaign's rates (ppm of ACTs)
 //!   --no-scrub        disable scrub (self-check + repair) in --faults
+//!   --qos             multi-tenant QoS campaign: the noisy-neighbor grid
+//!                     run with QoS off and on, reported as per-tenant
+//!                     comparison pairs (default out: BENCH_qos.json)
 //! ```
 //!
 //! The report contains only deterministic content; wall-clock and thread
@@ -40,10 +43,10 @@
 use std::time::Instant;
 
 use mithril_runner::engine::{default_threads, PoolConfig};
-use mithril_runner::scenarios::{FaultCampaignSpec, SweepSpec};
+use mithril_runner::scenarios::{FaultCampaignSpec, QosCampaignSpec, SweepSpec};
 use mithril_runner::{
-    report, run_fault_campaign, run_sweep_journaled_with, run_sweep_observed, run_sweep_with,
-    write_obs_outputs, Progress,
+    report, run_fault_campaign, run_qos_campaign, run_sweep_journaled_with, run_sweep_observed,
+    run_sweep_with, write_obs_outputs, Progress,
 };
 use mithril_sim::ObsConfig;
 
@@ -62,6 +65,7 @@ struct Args {
     faults: bool,
     fault_rates: Option<Vec<u64>>,
     scrub: bool,
+    qos: bool,
 }
 
 fn die(msg: impl std::fmt::Display) -> ! {
@@ -98,6 +102,7 @@ fn parse_args() -> Args {
         faults: false,
         fault_rates: None,
         scrub: true,
+        qos: false,
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -126,6 +131,7 @@ fn parse_args() -> Args {
                 }));
             }
             "--no-scrub" => out.scrub = false,
+            "--qos" => out.qos = true,
             other => die(format!(
                 "unknown argument {other} (see --help in the crate docs)"
             )),
@@ -143,6 +149,9 @@ fn parse_args() -> Args {
     }
     if out.obs.is_some() && out.faults {
         die("--obs and --faults are mutually exclusive");
+    }
+    if out.qos && (out.faults || out.journal.is_some() || out.obs.is_some()) {
+        die("--qos is mutually exclusive with --faults, --journal and --obs");
     }
     out
 }
@@ -230,6 +239,83 @@ fn run_faults_mode(args: &Args, pool: PoolConfig) {
     );
 }
 
+fn run_qos_mode(args: &Args, pool: PoolConfig) {
+    let mut spec = if args.smoke {
+        QosCampaignSpec::smoke()
+    } else {
+        QosCampaignSpec::full()
+    };
+    if let Some(insts) = args.insts {
+        spec.base.insts_per_core = insts;
+    }
+    if let Some(cores) = args.cores {
+        spec.base.cores = cores;
+    }
+
+    let n = spec.scenarios().len();
+    println!(
+        "# qos campaign: {n} runs ({} base scenarios, off + throttled passes)",
+        spec.base.scenarios().len()
+    );
+    println!(
+        "# engine: {} threads, shard size {}, base seed {}",
+        pool.threads, pool.shard_size, args.seed
+    );
+
+    let heartbeat = args.progress.then(|| Progress::new(n));
+    let t0 = Instant::now();
+    let results = run_qos_campaign(&spec, pool, args.seed, heartbeat.as_ref());
+    let wall = t0.elapsed();
+
+    println!(
+        "{:<48} {:>12} {:>12} {:>9} {:>6} {:>9}",
+        "run", "victim_p99", "hammer_p99", "fairness", "flips", "qos_thr"
+    );
+    for r in &results {
+        match &r.outcome {
+            Ok(m) => {
+                let hammer = m.per_core.iter().map(|(core, _)| core).max();
+                let victim_p99 = m
+                    .per_core
+                    .iter()
+                    .filter(|(core, _)| Some(*core) != hammer)
+                    .map(|(_, c)| c.read_latency.p99())
+                    .max()
+                    .unwrap_or(0);
+                let hammer_p99 = hammer
+                    .and_then(|h| m.per_core.get(h))
+                    .map_or(0, |c| c.read_latency.p99());
+                let acts: Vec<u64> = m.per_core.iter().map(|(_, c)| c.acts).collect();
+                let fairness = match (acts.iter().min(), acts.iter().max()) {
+                    (Some(&lo), Some(&hi)) if hi > 0 => lo as f64 / hi as f64,
+                    _ => 0.0,
+                };
+                println!(
+                    "{:<48} {:>12} {:>12} {:>9.3} {:>6} {:>9}",
+                    r.scenario.name,
+                    victim_p99,
+                    hammer_p99,
+                    fairness,
+                    m.flips,
+                    m.qos.as_ref().map_or(0, |q| q.throttled_acts)
+                );
+            }
+            Err(e) => println!("{:<48} unavailable: {e}", r.scenario.name),
+        }
+    }
+
+    let out = args.out.as_deref().unwrap_or("BENCH_qos.json");
+    let json = report::qos_campaign_json(args.seed, &results);
+    write_report(out, &json);
+    let ok = results.iter().filter(|r| r.outcome.is_ok()).count();
+    println!(
+        "# {ok}/{} runs ok; wall-clock {:.2}s at {} threads; wrote {out}",
+        results.len(),
+        wall.as_secs_f64(),
+        pool.threads,
+    );
+}
+
 fn main() {
     let args = parse_args();
     let pool = PoolConfig {
@@ -238,6 +324,10 @@ fn main() {
     };
     if args.faults {
         run_faults_mode(&args, pool);
+        return;
+    }
+    if args.qos {
+        run_qos_mode(&args, pool);
         return;
     }
 

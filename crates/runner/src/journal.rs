@@ -233,6 +233,7 @@ mod tests {
             cores: 1,
             insts_per_core: 100,
             faults: None,
+            qos: mithril_sim::QosPolicy::Off,
         }
     }
 

@@ -52,7 +52,7 @@ use engine::{ItemOutcome, PoolConfig, DEFAULT_RETRIES};
 use mithril_obs::ObsCapture;
 use mithril_sim::ObsConfig;
 use report::{FaultRun, ObsCountEntry, SweepResult};
-use scenarios::{FaultCampaignSpec, Scenario, SweepSpec};
+use scenarios::{FaultCampaignSpec, QosCampaignSpec, Scenario, SweepSpec};
 
 /// A sweep heartbeat: worker threads [`tick`](Progress::tick) it after
 /// every finished scenario and it prints `# progress: done/total (name)`
@@ -109,7 +109,57 @@ pub fn run_sweep_with(
     base_seed: u64,
     progress: Option<&Progress>,
 ) -> Vec<SweepResult> {
-    let scenarios = spec.scenarios();
+    run_scenarios(spec.scenarios(), pool, base_seed, progress)
+}
+
+/// Executes a QoS campaign (`spec.base` with QoS off, then the same grid
+/// with throttling on) and returns results in registry (off-pass-first)
+/// order. Bit-identical at any `pool.threads` like [`run_sweep`].
+///
+/// The two passes are seeded independently from the same `base_seed`, so
+/// a QoS-off run and its `+qos` twin execute under the **same** seed —
+/// every off/on pair differs only in the throttling policy, never in the
+/// workload's or scheme's RNG draw.
+///
+/// ```
+/// use mithril_runner::engine::PoolConfig;
+/// use mithril_runner::run_qos_campaign;
+/// use mithril_runner::scenarios::QosCampaignSpec;
+///
+/// let mut spec = QosCampaignSpec::smoke();
+/// spec.base.insts_per_core = 400; // keep the doctest quick
+/// spec.base.cores = 2;
+/// let pool = PoolConfig { threads: 2, shard_size: 1 };
+/// let results = run_qos_campaign(&spec, pool, 7, None);
+/// let half = results.len() / 2;
+/// // Position i of the off pass pairs with position half + i of the on
+/// // pass: same scenario, same seed, QoS policy flipped.
+/// assert_eq!(results[0].seed, results[half].seed);
+/// assert_eq!(
+///     format!("{}+qos", results[0].scenario.name),
+///     results[half].scenario.name
+/// );
+/// ```
+pub fn run_qos_campaign(
+    spec: &QosCampaignSpec,
+    pool: PoolConfig,
+    base_seed: u64,
+    progress: Option<&Progress>,
+) -> Vec<SweepResult> {
+    let all = spec.scenarios();
+    let per_pass = all.len() / 2;
+    let (off, on) = all.split_at(per_pass);
+    let mut results = run_scenarios(off.to_vec(), pool, base_seed, progress);
+    results.extend(run_scenarios(on.to_vec(), pool, base_seed, progress));
+    results
+}
+
+fn run_scenarios(
+    scenarios: Vec<Scenario>,
+    pool: PoolConfig,
+    base_seed: u64,
+    progress: Option<&Progress>,
+) -> Vec<SweepResult> {
     let outcomes =
         engine::run_sharded_robust(&scenarios, pool, base_seed, DEFAULT_RETRIES, |s, seed| {
             let outcome = s.run(seed);

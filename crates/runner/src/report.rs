@@ -8,7 +8,7 @@
 //! stdout, not in the report.
 
 use mithril_dram::EnergyCounters;
-use mithril_sim::{ChannelMetrics, CoreStats, FaultStats, Metrics, PerCore};
+use mithril_sim::{ChannelMetrics, CoreStats, FaultStats, Metrics, PerCore, QosStats};
 
 use crate::scenarios::{geometry_tag, Scenario};
 
@@ -129,6 +129,29 @@ fn per_core_json(per_core: &PerCore<CoreStats>) -> String {
     format!("[{}]", entries.join(","))
 }
 
+/// Renders the QoS throttling summary: window count, total deferred
+/// ACTs, and the per-thread suspect/throttle attribution.
+fn qos_json(q: &QosStats) -> String {
+    let threads: Vec<String> = q
+        .per_thread
+        .iter()
+        .enumerate()
+        .map(|(thread, t)| {
+            format!(
+                "{{\"thread\":{thread},\"suspect_windows\":{},\"throttled_acts\":{},\
+                 \"score\":{},\"pressure\":{}}}",
+                t.suspect_windows, t.throttled_acts, t.score, t.pressure
+            )
+        })
+        .collect();
+    format!(
+        "{{\"windows\":{},\"throttled_acts\":{},\"per_thread\":[{}]}}",
+        q.windows,
+        q.throttled_acts,
+        threads.join(",")
+    )
+}
+
 /// Renders one run's [`Metrics`] in the deterministic report dialect.
 ///
 /// Public because replay comparisons diff *metrics*, not scenario labels:
@@ -141,14 +164,22 @@ fn per_core_json(per_core: &PerCore<CoreStats>) -> String {
 /// percentiles) and `per_core` the per-issuing-core attribution; both are
 /// integer-rendered, so they are byte-identical at any thread count like
 /// the rest of the report.
+///
+/// A `qos` section rides at the end *only* when the run had QoS
+/// throttling enabled — QoS-off runs carry no QoS state at all, keeping
+/// their reports byte-identical to pre-QoS builds.
 pub fn metrics_json(m: &Metrics) -> String {
     let channels: Vec<String> = m.per_channel.iter().map(channel_json).collect();
+    let qos = match &m.qos {
+        Some(q) => format!(",\"qos\":{}", qos_json(q)),
+        None => String::new(),
+    };
     format!(
         "{{\"aggregate_ipc\":{},\"total_insts\":{},\"sim_time_ps\":{},\"llc_miss_rate\":{},\
          \"energy_pj\":{},\"rfms\":{},\"rfm_elisions\":{},\"arrs\":{},\"throttled_acts\":{},\
          \"avg_read_latency_ns\":{},\"max_disturbance\":{},\"flips\":{},\"counters\":{},\
          \"per_channel\":[{}],\
-         \"latency\":{{\"read\":{},\"write\":{}}},\"per_core\":{}}}",
+         \"latency\":{{\"read\":{},\"write\":{}}},\"per_core\":{}{}}}",
         num(m.aggregate_ipc),
         m.total_insts,
         m.sim_time_ps,
@@ -165,7 +196,8 @@ pub fn metrics_json(m: &Metrics) -> String {
         channels.join(","),
         m.read_latency.summary_json(),
         m.write_latency.summary_json(),
-        per_core_json(&m.per_core)
+        per_core_json(&m.per_core),
+        qos
     )
 }
 
@@ -355,6 +387,90 @@ pub fn faults_json(base_seed: u64, scrub: bool, rates_ppm: &[u64], runs: &[Fault
         rates.join(","),
         entries.join(",\n"),
         curves.join(",\n")
+    )
+}
+
+/// Per-tenant outcome summary of one noisy-neighbor run: worst victim
+/// tail latency, the hammering tenant's tail, an activations fairness
+/// ratio, flip safety, and QoS throttle attribution.
+///
+/// The noisy-neighbor mix pins the hammering tenant on the **highest
+/// core index** (victims occupy the lower indices), so tenant roles are
+/// recovered from core position, not from a heuristic.
+fn tenant_summary_json(m: &Metrics) -> String {
+    let hammer = m.per_core.iter().map(|(core, _)| core).max();
+    let victims: Vec<&CoreStats> = m
+        .per_core
+        .iter()
+        .filter(|(core, _)| Some(*core) != hammer)
+        .map(|(_, c)| c)
+        .collect();
+    let victim_p50 = victims
+        .iter()
+        .map(|c| c.read_latency.p50())
+        .max()
+        .unwrap_or(0);
+    let victim_p99 = victims
+        .iter()
+        .map(|c| c.read_latency.p99())
+        .max()
+        .unwrap_or(0);
+    let hammer_p99 = hammer
+        .and_then(|h| m.per_core.get(h))
+        .map_or(0, |c| c.read_latency.p99());
+    let acts: Vec<u64> = m.per_core.iter().map(|(_, c)| c.acts).collect();
+    let fairness = match (acts.iter().min(), acts.iter().max()) {
+        (Some(&lo), Some(&hi)) if hi > 0 => lo as f64 / hi as f64,
+        _ => 0.0,
+    };
+    format!(
+        "{{\"victim_p50_ps\":{victim_p50},\"victim_p99_ps\":{victim_p99},\
+         \"hammer_p99_ps\":{hammer_p99},\"fairness_acts\":{},\"flips\":{},\
+         \"max_disturbance\":{},\"qos_throttled_acts\":{}}}",
+        num(fairness),
+        m.flips,
+        m.max_disturbance,
+        m.qos.as_ref().map_or(0, |q| q.throttled_acts)
+    )
+}
+
+/// Renders a QoS campaign to the `BENCH_qos.json` format: the flat run
+/// list (QoS-off pass first, then the `+qos` pass), followed by one
+/// comparison pair per scheme × geometry cell — the per-tenant summaries
+/// of the QoS-off and QoS-on runs side by side, so victim tail latency,
+/// fairness and flip safety can be read off without re-deriving them
+/// from the per-core arrays.
+///
+/// Deterministic like [`sweep_json`]: identical campaigns render to
+/// identical strings at any worker count.
+pub fn qos_campaign_json(base_seed: u64, results: &[SweepResult]) -> String {
+    let entries: Vec<String> = results.iter().map(result_json).collect();
+    let pairs: Vec<String> = results
+        .iter()
+        .filter(|r| !r.scenario.name.ends_with("+qos"))
+        .filter_map(|off| {
+            let on = results
+                .iter()
+                .find(|r| r.scenario.name == format!("{}+qos", off.scenario.name))?;
+            let (Ok(m_off), Ok(m_on)) = (&off.outcome, &on.outcome) else {
+                return None;
+            };
+            Some(format!(
+                "    {{\"scheme\":\"{}\",\"workload\":\"{}\",\"geometry\":\"{}\",\
+                 \"off\":{},\"qos\":{}}}",
+                esc(&off.scenario.scheme_label),
+                esc(&off.scenario.workload),
+                geometry_tag(&off.scenario.geometry),
+                tenant_summary_json(m_off),
+                tenant_summary_json(m_on)
+            ))
+        })
+        .collect();
+    format!(
+        "{{\n  \"format_version\": {FORMAT_VERSION},\n  \"base_seed\": {},\n  \"scenarios\": [\n{}\n  ],\n  \"pairs\": [\n{}\n  ]\n}}\n",
+        base_seed,
+        entries.join(",\n"),
+        pairs.join(",\n")
     )
 }
 

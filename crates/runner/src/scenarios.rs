@@ -11,12 +11,13 @@ use mithril_baselines::{BlockHammerConfig, CbtConfig, GrapheneConfig, TwiCeConfi
 use mithril_dram::{Ddr5Timing, Geometry};
 use mithril_obs::ObsCapture;
 use mithril_sim::{
-    geomean, FaultConfig, FaultStats, Metrics, ObsConfig, Scheme, System, SystemConfig,
+    geomean, FaultConfig, FaultStats, Metrics, ObsConfig, QosConfig, QosPolicy, Scheme, System,
+    SystemConfig,
 };
 use mithril_trace::ReplayEnd;
 use mithril_workloads::{
     attack_mix, bh_cover_attack_mix, channel_interference_mix, mix_blend, mix_high, multithreaded,
-    ThreadSet,
+    noisy_neighbor_mix, ThreadSet,
 };
 
 /// The `(FlipTH, RFMTH)` pairs of paper Fig. 9 (one point per column).
@@ -134,9 +135,11 @@ pub fn all_schemes(rfm_th: u64, nbl_scale: u64) -> Vec<(&'static str, Scheme)> {
 ///
 /// Names: `mix-high`, `mix-blend`, `fft`, `radix`, `pagerank`, attack
 /// sets `attack-double`, `attack-multi`, `attack-bh` (profiled CBF
-/// collisions) and `attack-bh-pollution` on a mix-high background, and
+/// collisions) and `attack-bh-pollution` on a mix-high background,
 /// `channel-interference` (hammer on channel 0, streaming victims on the
-/// other channels).
+/// other channels), and `noisy-neighbor` (one hammering tenant sharing
+/// channel 0 with latency-sensitive victim tenants — the QoS campaign's
+/// workload).
 ///
 /// `trace:<path>` replays the MTRC capture at `<path>` (recorded with the
 /// `trace` binary or [`mithril_trace::record_thread_set`]): one replay
@@ -216,6 +219,7 @@ pub fn workload(name: &str, cores: usize, cfg: &SystemConfig, seed: u64) -> Thre
         ),
         "attack-bh-pollution" => attack_mix("bh-adversarial", cores, cfg.mapping(), seed),
         "channel-interference" => channel_interference_mix(cores, cfg.mapping(), seed),
+        "noisy-neighbor" => noisy_neighbor_mix(cores, cfg.mapping(), seed),
         other => panic!("unknown workload {other}"),
     }
 }
@@ -391,6 +395,10 @@ pub struct Scenario {
     /// hot path untouched and the report byte-identical to a fault-free
     /// build.
     pub faults: Option<FaultConfig>,
+    /// Controller-side multi-tenant QoS throttling. `Off` (the default
+    /// everywhere outside QoS campaigns) builds no QoS state at all, so
+    /// QoS-off sweeps stay byte-identical to pre-QoS reports.
+    pub qos: QosPolicy,
 }
 
 impl Scenario {
@@ -404,6 +412,7 @@ impl Scenario {
         cfg.scheme = self.scheme;
         cfg.seed = seed;
         cfg.faults = self.faults;
+        cfg.qos = self.qos;
         cfg
     }
 
@@ -557,6 +566,7 @@ impl SweepSpec {
                         cores: self.cores,
                         insts_per_core: self.insts_per_core,
                         faults: None,
+                        qos: QosPolicy::Off,
                     });
                 }
             }
@@ -621,9 +631,94 @@ impl FaultCampaignSpec {
     }
 }
 
+/// A multi-tenant QoS campaign: the noisy-neighbor grid run twice, once
+/// with QoS off and once with controller-side throttling on.
+///
+/// The QoS-off pass anchors every comparison (victim tail latency,
+/// fairness, flip safety); the QoS-on pass re-runs the identical grid
+/// with [`QosPolicy::Throttle`] and a `+qos` name suffix so the flat run
+/// list stays unambiguous, mirroring the fault campaign's `@f<rate>ppm`
+/// convention.
+#[derive(Debug, Clone)]
+pub struct QosCampaignSpec {
+    /// The scheme × workload × geometry grid to run with and without QoS.
+    pub base: SweepSpec,
+    /// The throttling parameters applied in the QoS-on pass.
+    pub qos: QosConfig,
+}
+
+impl QosCampaignSpec {
+    /// The CI smoke campaign: the unprotected baseline and both Mithril
+    /// variants on the noisy-neighbor tenancy mix over the Table III
+    /// hierarchy.
+    pub fn smoke() -> Self {
+        let mut base = SweepSpec::smoke();
+        base.geometries = vec![Geometry::table_iii_system()];
+        base.workloads = vec!["noisy-neighbor".into()];
+        Self {
+            base,
+            qos: QosConfig::default(),
+        }
+    }
+
+    /// The full campaign: every catalog scheme on the noisy-neighbor mix
+    /// over single- and dual-rank Table III hierarchies.
+    pub fn full() -> Self {
+        let mut base = SweepSpec::full();
+        base.geometries = vec![
+            Geometry::table_iii_system(),
+            Geometry::table_iii_system().with_ranks(2),
+        ];
+        base.workloads = vec!["noisy-neighbor".into()];
+        Self {
+            base,
+            qos: QosConfig::default(),
+        }
+    }
+
+    /// Expands the campaign into concrete scenarios: the full base grid
+    /// QoS-off first (bit-identical to a plain sweep over `base`), then
+    /// the same grid QoS-on with `+qos` name suffixes.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = self.base.scenarios();
+        for mut s in self.base.scenarios() {
+            s.name = format!("{}+qos", s.name);
+            s.qos = QosPolicy::Throttle(self.qos);
+            out.push(s);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn qos_campaign_pairs_off_and_on_passes() {
+        let spec = QosCampaignSpec::smoke();
+        let scenarios = spec.scenarios();
+        let per_pass = spec.base.scenarios().len();
+        assert_eq!(scenarios.len(), per_pass * 2);
+        assert!(scenarios[..per_pass]
+            .iter()
+            .all(|s| s.qos == QosPolicy::Off && !s.name.ends_with("+qos")));
+        for (off, on) in scenarios[..per_pass].iter().zip(&scenarios[per_pass..]) {
+            assert_eq!(on.name, format!("{}+qos", off.name));
+            assert_eq!(on.qos, QosPolicy::Throttle(spec.qos));
+            assert_eq!(on.workload, off.workload);
+            assert_eq!(on.scheme_label, off.scheme_label);
+        }
+        assert!(scenarios.iter().all(|s| s.workload == "noisy-neighbor"));
+    }
+
+    #[test]
+    fn noisy_neighbor_workload_resolves() {
+        let cfg = SystemConfig::table_iii();
+        let set = workload("noisy-neighbor", 4, &cfg, 1);
+        assert_eq!(set.threads.len(), 4);
+        assert_eq!(set.name, "noisy-neighbor");
+    }
 
     #[test]
     fn fault_campaign_expands_rate_major_with_anchor() {

@@ -102,6 +102,45 @@ fn injected_regression_exits_nonzero() {
     assert_eq!(code, 0, "{stdout}");
 }
 
+/// Acceptance pin for the per-tenant gate: a single core's p99 blowup —
+/// the noisy-neighbor failure mode — must trip `--fail-on-regression`
+/// even though the aggregate latency histogram is untouched.
+#[test]
+fn per_tenant_p99_blowup_trips_the_gate() {
+    let results = tiny_sweep(11);
+    let old = sweep_json(11, &results);
+    let mut worse = results;
+    for r in &mut worse {
+        if let Ok(m) = &mut r.outcome {
+            // Blow up core 1's tail only; the system-level histogram and
+            // averages stay exactly as emitted.
+            let slot = m.per_core.slot(1);
+            for _ in 0..4096 {
+                slot.read_latency.record(50_000_000);
+            }
+        }
+    }
+    let new = sweep_json(11, &worse);
+    let a = write_temp("tenant-old.json", &old);
+    let b = write_temp("tenant-new.json", &new);
+    let (code, stdout, _) = run_obs(&[
+        "report",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--fail-on-regression",
+        "5",
+    ]);
+    assert_ne!(code, 0, "{stdout}");
+    assert!(stdout.contains("core1_p99_ps"), "{stdout}");
+    assert!(stdout.contains("<-- worse"), "{stdout}");
+    assert!(
+        !stdout
+            .lines()
+            .any(|l| l.contains("read_p99_ps") && l.contains("worse")),
+        "aggregate percentiles must stay clean: {stdout}"
+    );
+}
+
 #[test]
 fn forged_format_version_is_refused() {
     let json = sweep_json(7, &tiny_sweep(7));

@@ -42,8 +42,11 @@ pub use metrics::{geomean, ChannelMetrics, Metrics};
 pub use system::{ObsConfig, Scheme, System, SystemConfig};
 
 // Re-exported so benches and the runner can select the controller's
-// scheduler core without a direct memctrl dependency.
-pub use mithril_memctrl::{CoreStats, SchedulerKind};
+// scheduler core and configure the QoS throttling layer without a
+// direct memctrl dependency.
+pub use mithril_memctrl::{
+    CoreStats, QosConfig, QosPolicy, QosStats, QosThreadStats, SchedulerKind, ThrottleKind,
+};
 
 /// Re-exported so report writers and analysis tools can name the latency
 /// histogram / per-core attribution types without a direct obs dependency.

@@ -2,7 +2,7 @@
 //! up into the system totals.
 
 use mithril_dram::{ChannelId, EnergyCounters, EnergyModel, TimePs};
-use mithril_memctrl::CoreStats;
+use mithril_memctrl::{CoreStats, QosStats};
 use mithril_obs::{LatencyHistogram, PerCore};
 
 /// One memory channel's share of a run's results.
@@ -48,6 +48,10 @@ pub struct ChannelMetrics {
     pub write_latency: LatencyHistogram,
     /// Per-issuing-core attribution of this channel's activity.
     pub per_core: PerCore<CoreStats>,
+    /// QoS-layer outcome of this channel — `Some` exactly when the run
+    /// had a [`mithril_memctrl::QosPolicy`] other than `Off`, so QoS-off
+    /// reports stay byte-identical (the fault-stats pattern).
+    pub qos: Option<QosStats>,
 }
 
 /// Results of one system simulation run.
@@ -103,6 +107,10 @@ pub struct Metrics {
     /// completed reads/writes, RFM/mitigation triggers and the per-core
     /// read-latency histogram of each issuing core.
     pub per_core: PerCore<CoreStats>,
+    /// QoS-layer roll-up (suspect windows, token-bucket deferrals and
+    /// final scores per thread), merged additively across channels.
+    /// `None` when QoS is off, keeping those reports byte-identical.
+    pub qos: Option<QosStats>,
 }
 
 impl Metrics {
@@ -132,6 +140,7 @@ impl Metrics {
         let mut read_latency = LatencyHistogram::new();
         let mut write_latency = LatencyHistogram::new();
         let mut per_core: PerCore<CoreStats> = PerCore::new();
+        let mut qos: Option<QosStats> = None;
         for ch in &per_channel {
             counters = counters.merged(&ch.counters);
             rfms += ch.rfms;
@@ -148,6 +157,9 @@ impl Metrics {
             read_latency.merge(&ch.read_latency);
             write_latency.merge(&ch.write_latency);
             per_core.merge_by(&ch.per_core, CoreStats::merge);
+            if let Some(chq) = &ch.qos {
+                qos.get_or_insert_with(QosStats::default).merge(chq);
+            }
         }
         Metrics {
             workload,
@@ -174,6 +186,7 @@ impl Metrics {
             read_latency,
             write_latency,
             per_core,
+            qos,
         }
     }
 
@@ -252,6 +265,7 @@ mod tests {
             read_latency: LatencyHistogram::new(),
             write_latency: LatencyHistogram::new(),
             per_core: PerCore::new(),
+            qos: None,
         }
     }
 
@@ -390,6 +404,40 @@ mod tests {
             m.avg_read_latency_ns,
             hist_mean_ns
         );
+    }
+
+    #[test]
+    fn qos_stats_roll_up_only_when_present() {
+        // Both channels off → system roll-up stays None (byte-identity).
+        let m = metrics(1.0, 10);
+        assert!(m.qos.is_none());
+
+        let mut a = channel(0, 10);
+        a.qos = Some(QosStats {
+            windows: 4,
+            throttled_acts: 6,
+            per_thread: vec![mithril_memctrl::QosThreadStats {
+                suspect_windows: 2,
+                throttled_acts: 6,
+                score: 32,
+                pressure: 48,
+            }],
+        });
+        let b = channel(1, 10); // qos: None (mixed is tolerated)
+        let m = Metrics::from_channels(
+            "w".into(),
+            "s".into(),
+            vec![1.0],
+            1,
+            1,
+            0.0,
+            vec![a, b],
+            &EnergyModel::ddr5_default(),
+        );
+        let q = m.qos.expect("one QoS channel is enough for a roll-up");
+        assert_eq!(q.windows, 4);
+        assert_eq!(q.throttled_acts, 6);
+        assert_eq!(q.per_thread[0].suspect_windows, 2);
     }
 
     #[test]

@@ -11,8 +11,8 @@ use mithril_dram::{
 };
 use mithril_faults::{FaultConfig, FaultPlan, FaultyEngine};
 use mithril_memctrl::{
-    AddressMapping, McConfig, McMitigation, MemRequest, MemoryController, NoMcMitigation, RfmMode,
-    SchedulerKind,
+    AddressMapping, McConfig, McMitigation, MemRequest, MemoryController, NoMcMitigation,
+    QosPolicy, RfmMode, SchedulerKind,
 };
 use mithril_obs::{
     ChannelCapture, EventSink, NullSink, ObsCapture, RingSink, SampleRow, Sampler, DEFAULT_CYCLE_PS,
@@ -109,6 +109,11 @@ pub struct SystemConfig {
     /// fault-free path constructs no injection wrapper at all, so it
     /// stays zero-cost and byte-identical to pre-fault builds).
     pub faults: Option<FaultConfig>,
+    /// Multi-tenant QoS throttling on every channel's controller
+    /// (BreakHammer-style suspect scoring, see `mithril_memctrl::qos`).
+    /// `Off` leaves the controllers entry-by-entry identical to pre-QoS
+    /// builds, so QoS-off reports stay byte-identical.
+    pub qos: QosPolicy,
 }
 
 impl SystemConfig {
@@ -129,6 +134,7 @@ impl SystemConfig {
             epoch_ps: 500_000,
             attackable_banks: 22,
             faults: None,
+            qos: QosPolicy::Off,
         }
     }
 
@@ -417,13 +423,9 @@ impl<S: EventSink> System<S> {
                 })
             }
         };
-        Ok(MemoryController::with_obs(
-            device,
-            mc_cfg,
-            mitigation,
-            config.scheduler,
-            obs,
-        ))
+        let mut mc = MemoryController::with_obs(device, mc_cfg, mitigation, config.scheduler, obs);
+        mc.set_qos(config.qos);
+        Ok(mc)
     }
 
     /// Runs until every core retires `insts_per_core` instructions or the
@@ -612,6 +614,7 @@ impl<S: EventSink> System<S> {
                     read_latency: s.read_latency.clone(),
                     write_latency: s.write_latency.clone(),
                     per_core: s.per_core.clone(),
+                    qos: mc.qos_stats(),
                 }
             })
             .collect();
@@ -861,6 +864,45 @@ mod tests {
                 assert_eq!(ev.aggregate_ipc, na.aggregate_ipc, "IPC diverges ({tag})");
             }
         }
+    }
+
+    /// Decision identity must also hold with the QoS layer live: both
+    /// cores see the same suspect elections and token-bucket deferrals
+    /// (the conservative mark-all-dirty fallback applies to QoS exactly
+    /// as to throttling mitigations).
+    #[test]
+    fn scheduler_cores_agree_with_qos_throttling() {
+        use mithril_memctrl::QosConfig;
+        let run = |scheduler: SchedulerKind| {
+            let mut cfg = quick_config(Scheme::Mithril {
+                rfm_th: 32,
+                ad_th: None,
+                plus: false,
+            });
+            cfg.flip_th = 1_500;
+            cfg.scheduler = scheduler;
+            cfg.qos = QosPolicy::Throttle(QosConfig::default());
+            let threads = attack_mix("multi", 4, cfg.mapping(), 3);
+            let mut sys = System::new(cfg, threads).unwrap();
+            sys.run(20_000, u64::MAX)
+        };
+        let ev = run(SchedulerKind::EventQueue);
+        let na = run(SchedulerKind::NaiveRescan);
+        assert_eq!(ev.total_insts, na.total_insts);
+        assert_eq!(ev.sim_time_ps, na.sim_time_ps);
+        assert_eq!(ev.counters, na.counters);
+        assert_eq!(ev.throttled_acts, na.throttled_acts);
+        assert_eq!(ev.max_disturbance, na.max_disturbance);
+        let (eq, nq) = (ev.qos.unwrap(), na.qos.unwrap());
+        assert_eq!(eq, nq, "QoS bookkeeping diverges between cores");
+        assert!(eq.windows > 0);
+    }
+
+    #[test]
+    fn qos_off_reports_no_qos_section() {
+        let m = run(Scheme::None, 5_000);
+        assert!(m.qos.is_none());
+        assert!(m.per_channel.iter().all(|c| c.qos.is_none()));
     }
 
     #[test]

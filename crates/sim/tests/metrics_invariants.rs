@@ -8,6 +8,7 @@
 #![recursion_limit = "1024"]
 
 use mithril_dram::{ChannelId, EnergyCounters, EnergyModel};
+use mithril_memctrl::{QosStats, QosThreadStats};
 use mithril_obs::{LatencyHistogram, PerCore};
 use mithril_sim::{ChannelMetrics, CoreStats, Metrics};
 use proptest::prelude::*;
@@ -31,6 +32,36 @@ fn counters_strategy() -> impl Strategy<Value = EnergyCounters> {
         )
 }
 
+fn qos_strategy() -> impl Strategy<Value = Option<QosStats>> {
+    // The offline proptest shim has no `prop::option`; a bool gate over
+    // the inner strategy is equivalent.
+    (
+        any::<bool>(),
+        0u64..1 << 30,
+        prop::collection::vec(
+            (0u64..1 << 20, 0u64..1 << 20, 0u64..1 << 20, 0u64..1 << 20),
+            0..4,
+        ),
+    )
+        .prop_map(|(present, windows, threads)| {
+            present.then(|| QosStats {
+                windows,
+                throttled_acts: threads.iter().map(|t| t.1).sum(),
+                per_thread: threads
+                    .into_iter()
+                    .map(
+                        |(suspect_windows, throttled_acts, score, pressure)| QosThreadStats {
+                            suspect_windows,
+                            throttled_acts,
+                            score,
+                            pressure,
+                        },
+                    )
+                    .collect(),
+            })
+        })
+}
+
 fn channel_strategy() -> impl Strategy<Value = ChannelMetrics> {
     (
         counters_strategy(),
@@ -38,6 +69,7 @@ fn channel_strategy() -> impl Strategy<Value = ChannelMetrics> {
         (0u64..1 << 30, 0u64..1 << 30, 0u64..1 << 20, 0usize..1 << 10),
         (0u64..200_000, 0u32..1000),
         prop::collection::vec((0u64..1 << 50, 0usize..4), 0..8),
+        qos_strategy(),
     )
         .prop_map(
             |(
@@ -46,6 +78,7 @@ fn channel_strategy() -> impl Strategy<Value = ChannelMetrics> {
                 (arrs, throttled_acts, max_disturbance, flips),
                 (lat_ns, hit_milli),
                 latency_samples,
+                qos,
             )| {
                 let mut read_latency = LatencyHistogram::new();
                 let mut per_core: PerCore<CoreStats> = PerCore::new();
@@ -72,6 +105,7 @@ fn channel_strategy() -> impl Strategy<Value = ChannelMetrics> {
                     read_latency,
                     write_latency: LatencyHistogram::new(),
                     per_core,
+                    qos,
                 }
             },
         )
@@ -207,6 +241,24 @@ proptest! {
         prop_assert_eq!(&m.per_core, &expected);
         let core_reads: u64 = m.per_core.iter().map(|(_, s)| s.reads_done).sum();
         prop_assert_eq!(core_reads, m.read_latency.count());
+
+        // QoS roll-up: present exactly when any channel carries QoS stats
+        // (the byte-identity contract for QoS-off reports), with additive
+        // totals and index-wise per-thread merging.
+        prop_assert_eq!(m.qos.is_some(), channels.iter().any(|c| c.qos.is_some()));
+        if let Some(q) = &m.qos {
+            let mut expected_qos = QosStats::default();
+            for c in &channels {
+                if let Some(cq) = &c.qos {
+                    expected_qos.merge(cq);
+                }
+            }
+            prop_assert_eq!(q, &expected_qos);
+            prop_assert_eq!(
+                q.windows,
+                channels.iter().filter_map(|c| c.qos.as_ref()).map(|x| x.windows).sum::<u64>()
+            );
+        }
 
         // The channel breakdown itself is passed through untouched.
         prop_assert_eq!(m.per_channel, channels);

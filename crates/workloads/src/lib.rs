@@ -44,7 +44,7 @@ pub use kernels::{
 };
 pub use mixes::{
     attack_mix, bh_cover_attack_mix, channel_interference_mix, mix_blend, mix_high, multithreaded,
-    Thread, ThreadSet,
+    noisy_neighbor_mix, Thread, ThreadSet,
 };
 pub use op::TraceOp;
 

@@ -284,6 +284,51 @@ pub fn channel_interference_mix(cores: usize, mapping: AddressMapping, seed: u64
     }
 }
 
+/// The noisy-neighbor mix — the multi-tenant QoS scenario: one hammering
+/// tenant (a 32-row multi-sided hammer on channel 0) co-located with
+/// `cores - 1` latency-sensitive victims that *share* the attacker's
+/// channels (unlike [`channel_interference_mix`], whose victims are
+/// pinned off the attacked channel). Victims alternate pointer-chasing
+/// and random-access tenants on disjoint footprints, the
+/// dependent-load profiles whose p99 read latency a cloud operator
+/// watches; the attacker burns shared RFM/mitigation budget and bank
+/// turnaround on the banks the victims also need. Reports for this mix
+/// are read through the per-tenant `per_core` and `qos` sections.
+///
+/// # Panics
+///
+/// Panics if `cores` is zero.
+pub fn noisy_neighbor_mix(cores: usize, mapping: AddressMapping, seed: u64) -> ThreadSet {
+    assert!(cores > 0, "cores must be non-zero");
+    let mut threads = Vec::with_capacity(cores);
+    for t in 0..cores - 1 {
+        let s = seed.wrapping_mul(5000).wrapping_add(t as u64);
+        // Disjoint 8M-line (512 MB) footprints per victim so tenants
+        // don't serve each other's lines out of the shared LLC.
+        let offset_lines = (t as u64) * (8 << 20);
+        let source: Box<dyn TraceSource + Send> = if t % 2 == 0 {
+            Box::new(OffsetLines {
+                inner: PointerChase::new(1 << 20, s),
+                offset_lines,
+            })
+        } else {
+            Box::new(OffsetLines {
+                inner: RandomAccess::new(1 << 21, s),
+                offset_lines,
+            })
+        };
+        threads.push(Thread::new(format!("tenant-victim/{t}"), source));
+    }
+    threads.push(Thread::new(
+        "tenant-hammer",
+        Box::new(MultiSided::new(mapping, ChannelId(0), 0, 5000, 32)),
+    ));
+    ThreadSet {
+        name: "noisy-neighbor".into(),
+        threads,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,6 +410,41 @@ mod tests {
                 let op = set.threads[t].next_op();
                 assert!(!op.uncacheable);
                 assert_ne!(m.map_line(op.line_addr).channel, ChannelId(0));
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_neighbor_mix_shares_the_attacked_channel() {
+        let m = AddressMapping::new(Geometry::table_iii_system());
+        let mut set = noisy_neighbor_mix(4, m, 5);
+        assert_eq!(set.name, "noisy-neighbor");
+        assert_eq!(set.threads.len(), 4);
+        assert_eq!(set.threads[3].name(), "tenant-hammer");
+        let op = set.threads[3].next_op();
+        assert!(op.uncacheable);
+        assert_eq!(m.map_line(op.line_addr).channel, ChannelId(0));
+        // Victims are cacheable tenants that do land on the attacked
+        // channel too — co-location is the point of the scenario.
+        let mut victim_on_ch0 = false;
+        for t in 0..3 {
+            for _ in 0..128 {
+                let op = set.threads[t].next_op();
+                assert!(!op.uncacheable);
+                victim_on_ch0 |= m.map_line(op.line_addr).channel == ChannelId(0);
+            }
+        }
+        assert!(victim_on_ch0, "victims must share channel 0");
+    }
+
+    #[test]
+    fn noisy_neighbor_mix_is_deterministic() {
+        let m = AddressMapping::new(Geometry::table_iii_system());
+        let mut a = noisy_neighbor_mix(4, m, 42);
+        let mut b = noisy_neighbor_mix(4, m, 42);
+        for t in 0..4 {
+            for _ in 0..50 {
+                assert_eq!(a.threads[t].next_op(), b.threads[t].next_op());
             }
         }
     }

@@ -1,0 +1,113 @@
+//! Noisy-neighbor walkthrough: one hammering tenant, three
+//! latency-sensitive victims, and the QoS throttling layer that protects
+//! the victims' tail latency.
+//!
+//! ```text
+//! cargo run --release --example noisy_neighbor
+//! ```
+//!
+//! The campaign version of this experiment — every catalog scheme, off
+//! and on, with per-tenant comparison pairs in `BENCH_qos.json` — is
+//! `sweep --qos` (see docs/REPORT_SCHEMA.md for the report fields).
+
+use mithril_repro::sim::{Metrics, QosPolicy, Scheme, System, SystemConfig};
+use mithril_repro::workloads::noisy_neighbor_mix;
+
+const CORES: usize = 4;
+const INSTS_PER_CORE: u64 = 20_000;
+const SEED: u64 = 1;
+
+/// Runs the noisy-neighbor mix under Mithril with the given QoS policy.
+fn run(qos: QosPolicy) -> Result<Metrics, Box<dyn std::error::Error>> {
+    let mut cfg = SystemConfig::table_iii();
+    cfg.cores = CORES;
+    cfg.seed = SEED;
+    cfg.scheme = Scheme::Mithril {
+        rfm_th: 64,
+        ad_th: None,
+        plus: false,
+    };
+    cfg.qos = qos;
+    let set = noisy_neighbor_mix(CORES, cfg.mapping(), SEED);
+    let mut sys = System::new(cfg, set)?;
+    Ok(sys.run(INSTS_PER_CORE, u64::MAX))
+}
+
+/// Worst victim read p99: the mix pins the hammering tenant on the
+/// highest core index, so every other core is a victim.
+fn victim_p99(m: &Metrics) -> u64 {
+    let hammer = m.per_core.iter().map(|(core, _)| core).max();
+    m.per_core
+        .iter()
+        .filter(|(core, _)| Some(*core) != hammer)
+        .map(|(_, c)| c.read_latency.p99())
+        .max()
+        .unwrap_or(0)
+}
+
+/// min/max activations across tenants — 1.0 is perfectly fair.
+fn fairness(m: &Metrics) -> f64 {
+    let acts: Vec<u64> = m.per_core.iter().map(|(_, c)| c.acts).collect();
+    match (acts.iter().min(), acts.iter().max()) {
+        (Some(&lo), Some(&hi)) if hi > 0 => lo as f64 / hi as f64,
+        _ => 0.0,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The tenancy: core 3 runs a multi-sided hammer; cores 0-2 run
+    //    pointer-chasing / random-access tenants whose p99 read latency
+    //    is what a cloud operator actually watches.
+    println!(
+        "Noisy neighbor: {CORES} tenants, core {} hammers.\n",
+        CORES - 1
+    );
+
+    // 2. Baseline — Mithril protects the DRAM (zero flips), but the
+    //    mitigation work the hammer provokes is paid by everyone.
+    let off = run(QosPolicy::Off)?;
+
+    // 3. Same seed, same tenants, QoS throttling on: the controller
+    //    scores each thread's share of tracker pressure (RFM armings,
+    //    mitigation triggers), elects the dominant source as suspect,
+    //    and clamps it with a per-thread token bucket.
+    let on = run(QosPolicy::Throttle(Default::default()))?;
+
+    // 4. The operator's view: victims' tail and fairness improve, the
+    //    hammer pays, and flip safety is untouched.
+    println!("                      QoS off     QoS on");
+    println!(
+        "  victim p99 (ps)   {:>9}  {:>9}",
+        victim_p99(&off),
+        victim_p99(&on)
+    );
+    println!(
+        "  fairness (acts)   {:>9.3}  {:>9.3}",
+        fairness(&off),
+        fairness(&on)
+    );
+    println!("  bit flips         {:>9}  {:>9}", off.flips, on.flips);
+
+    // 5. Attribution: the qos section names the throttled thread. The
+    //    hammer dominates cumulative pressure and owns every deferral;
+    //    victims are never elected suspect.
+    let q = on.qos.as_ref().expect("QoS-on metrics carry a qos section");
+    println!(
+        "\nQoS: {} windows, {} ACTs deferred",
+        q.windows, q.throttled_acts
+    );
+    for (t, s) in q.per_thread.iter().enumerate() {
+        println!(
+            "  thread {t}: pressure {:>4}  suspect windows {:>3}  throttled acts {:>3}",
+            s.pressure, s.suspect_windows, s.throttled_acts
+        );
+    }
+    assert!(on.qos.is_some() && off.qos.is_none());
+    assert_eq!(off.flips, 0);
+    assert_eq!(on.flips, 0);
+    assert!(victim_p99(&on) < victim_p99(&off));
+
+    println!("\nCampaign version (all schemes, off/on pairs, BENCH_qos.json):");
+    println!("  cargo run --release -p mithril-runner --bin sweep -- --qos --smoke");
+    Ok(())
+}

@@ -7,8 +7,20 @@
 
 use mithril_repro::core::{MithrilConfig, MithrilScheme};
 use mithril_repro::dram::{AttackHarness, Ddr5Timing};
-use mithril_repro::sim::{SchedulerKind, Scheme, System, SystemConfig};
-use mithril_repro::workloads::mix_high;
+use mithril_repro::sim::{Metrics, QosPolicy, SchedulerKind, Scheme, System, SystemConfig};
+use mithril_repro::workloads::{mix_high, noisy_neighbor_mix};
+
+/// Worst victim read p99 of a noisy-neighbor run (the hammering tenant
+/// sits on the highest core index; everyone else is a victim).
+fn victim_p99(m: &Metrics) -> u64 {
+    let hammer = m.per_core.iter().map(|(core, _)| core).max();
+    m.per_core
+        .iter()
+        .filter(|(core, _)| Some(*core) != hammer)
+        .map(|(_, c)| c.read_latency.p99())
+        .max()
+        .unwrap_or(0)
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Pick the protection target: the Row Hammer threshold of the DRAM
@@ -116,5 +128,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("  trace replay --trace mix.mtrc --obs obs_out/");
     println!("  obs report baseline.json candidate.json --fail-on-regression 5");
+
+    // 9. Multi-tenant QoS: co-locate three latency-sensitive tenants with
+    //    a hammering neighbor and let the controller throttle the suspect
+    //    (see "Multi-tenant QoS & throttling" in ARCHITECTURE.md; report
+    //    fields in docs/REPORT_SCHEMA.md).
+    let run_noisy = |qos| -> Result<Metrics, Box<dyn std::error::Error>> {
+        let mut cfg = SystemConfig::table_iii();
+        cfg.cores = 4;
+        cfg.scheme = Scheme::Mithril {
+            rfm_th: 64,
+            ad_th: None,
+            plus: false,
+        };
+        cfg.qos = qos;
+        let set = noisy_neighbor_mix(4, cfg.mapping(), 1);
+        let mut sys = System::new(cfg, set)?;
+        Ok(sys.run(20_000, u64::MAX))
+    };
+    let off = run_noisy(QosPolicy::Off)?;
+    let on = run_noisy(QosPolicy::Throttle(Default::default()))?;
+    println!(
+        "\nNoisy neighbor (1 hammer + 3 victims, mithril): victim p99 {} ps \
+         without QoS -> {} ps with QoS, flips {} = {}",
+        victim_p99(&off),
+        victim_p99(&on),
+        off.flips,
+        on.flips
+    );
+    println!("  full campaign: sweep --qos --smoke   (BENCH_qos.json, off/on pairs)");
+    println!("  walkthrough:   cargo run --release --example noisy_neighbor");
     Ok(())
 }
